@@ -1,0 +1,107 @@
+"""Shared infrastructure for the per-table / per-figure benchmarks.
+
+Every bench regenerates one artifact of the paper's evaluation section
+(Tables II–VIII, Figures 5–8).  Defaults run the ``*-mini`` market presets
+so the whole directory finishes on a laptop CPU; set environment variables
+to scale up:
+
+- ``RTGCN_BENCH_EPOCHS``  (default 12)  training epochs per run
+- ``RTGCN_BENCH_RUNS``    (default 3)   repeated runs per model (paper: 15)
+- ``RTGCN_BENCH_MARKETS`` (default "nasdaq-mini,nyse-mini,csi-mini")
+
+Each bench prints the paper-style table and writes it under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import TrainConfig
+from repro.data import StockDataset, load_market
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+BENCH_EPOCHS = int(os.environ.get("RTGCN_BENCH_EPOCHS", "12"))
+BENCH_RUNS = int(os.environ.get("RTGCN_BENCH_RUNS", "3"))
+BENCH_MARKETS = os.environ.get(
+    "RTGCN_BENCH_MARKETS", "nasdaq-mini,nyse-mini,csi-mini").split(",")
+BENCH_WINDOW = int(os.environ.get("RTGCN_BENCH_WINDOW", "10"))
+BENCH_SEED = int(os.environ.get("RTGCN_BENCH_SEED", "0"))
+#: early stopping (0 = disabled, the default): the mini presets'
+#: validation tail lies in the pre-crash regime while the test period is
+#: crash+recovery, so validation-based selection adds regime-mismatch noise
+BENCH_PATIENCE = int(os.environ.get("RTGCN_BENCH_PATIENCE", "0"))
+BENCH_VALIDATION_DAYS = int(os.environ.get("RTGCN_BENCH_VALIDATION_DAYS",
+                                           "30"))
+
+_dataset_cache: Dict[str, StockDataset] = {}
+
+
+def bench_dataset(market: str) -> StockDataset:
+    """Load (and cache) a market preset for the bench session."""
+    if market not in _dataset_cache:
+        _dataset_cache[market] = load_market(market, seed=BENCH_SEED)
+    return _dataset_cache[market]
+
+
+def bench_config(**overrides) -> TrainConfig:
+    """The shared §V-B-4 training configuration at bench scale."""
+    defaults = dict(window=BENCH_WINDOW, num_features=4, alpha=0.1,
+                    epochs=BENCH_EPOCHS, seed=BENCH_SEED,
+                    early_stopping_patience=BENCH_PATIENCE or None,
+                    validation_days=BENCH_VALIDATION_DAYS)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence], note: Optional[str] = None
+                 ) -> str:
+    """Render an aligned text table in the paper's layout."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [max(len(str(h)), *(len(r[i]) for r in rendered_rows))
+              if rendered_rows else len(str(h))
+              for i, h in enumerate(headers)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        if value != 0.0 and abs(value) < 0.005:
+            return f"{value:.0e}"
+        return f"{value:+.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def publish(name: str, text: str) -> Path:
+    """Print a bench artifact and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print("\n" + text + "\n")
+    return path
+
+
+def metric_row(name: str, summary: dict,
+               keys: Sequence[str] = ("MRR", "IRR-1", "IRR-5", "IRR-10")
+               ) -> List:
+    """One Table-IV-style row from a metric-summary dict."""
+    return [name] + [summary[k].mean if k in summary else None for k in keys]

@@ -1,0 +1,76 @@
+"""Figure 6 — cumulative return curves of the three strategies vs indices.
+
+Trains RT-GCN (U/W/T) once per strategy and traces the cumulative IRR-1 /
+IRR-5 / IRR-10 curves across the test period, together with the market
+index analogues (DJI / S&P 500 for US-style markets, CSI 300 for the CSI
+market).
+
+Paper shape targets:
+- IRR-1 is far noisier (higher daily variance) than IRR-5 and IRR-10 —
+  single-stock bets lack diversification (§V-C-3);
+- the strategies finish above the market index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RTGCN, Trainer
+from repro.eval import irr_curve, market_index_curves
+
+from _harness import (BENCH_MARKETS, bench_config, bench_dataset,
+                      format_table, publish)
+
+MARKET = BENCH_MARKETS[0]
+STRATEGIES = ["uniform", "weight", "time"]
+
+
+def build_curves():
+    dataset = bench_dataset(MARKET)
+    config = bench_config()
+    curves = {}
+    volatility = {}
+    for strategy in STRATEGIES:
+        label = f"RT-GCN ({strategy[0].upper()})"
+        model = RTGCN(dataset.relations, strategy=strategy,
+                      relational_filters=16,
+                      rng=np.random.default_rng(7))
+        result = Trainer(model, dataset, config).run()
+        for top_n in (1, 5, 10):
+            curve = irr_curve(result.predictions, result.actuals, top_n)
+            curves[f"{label} IRR-{top_n}"] = curve
+            daily = np.diff(np.concatenate([[0.0], curve]))
+            volatility[f"{label} IRR-{top_n}"] = float(daily.std())
+    _, test_days = dataset.split(config.window)
+    for name, curve in market_index_curves(dataset, test_days).items():
+        curves[f"index {name}"] = np.asarray(curve)
+    return curves, volatility
+
+
+def test_fig6_return_curves(benchmark):
+    curves, volatility = benchmark.pedantic(build_curves, rounds=1,
+                                            iterations=1)
+    sample_points = np.linspace(0, len(next(iter(curves.values()))) - 1,
+                                8).astype(int)
+    rows = []
+    for name, curve in curves.items():
+        sampled = [float(curve[i]) for i in sample_points]
+        rows.append([name] + [f"{v:+.2f}" for v in sampled])
+    headers = ["Series"] + [f"d{int(i)}" for i in sample_points]
+    vol_note = "\n".join(
+        f"daily volatility {name}: {vol:.4f}"
+        for name, vol in sorted(volatility.items()))
+    text = format_table(
+        f"Figure 6 — cumulative IRR over the {MARKET} test period",
+        headers, rows, note=vol_note)
+    publish("fig6_returns", text)
+
+    # Shape 1: IRR-1 is the noisiest series for every strategy.
+    for strategy in STRATEGIES:
+        label = f"RT-GCN ({strategy[0].upper()})"
+        assert volatility[f"{label} IRR-1"] > volatility[f"{label} IRR-10"]
+    # Shape 2: the best strategy finishes above the market index.
+    index_final = max(curve[-1] for name, curve in curves.items()
+                      if name.startswith("index"))
+    best_final = max(curve[-1] for name, curve in curves.items()
+                     if not name.startswith("index"))
+    assert best_final > index_final

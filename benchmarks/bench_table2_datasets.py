@@ -1,0 +1,47 @@
+"""Table II — statistics of historical data.
+
+Regenerates the dataset-statistics table: stocks per market and the
+training/testing day counts.  Full-scale rows come from the presets
+(exactly the paper's numbers); the mini rows document the scaled-down
+universes the remaining benches train on.
+"""
+
+import pytest
+
+from repro.data import MARKET_SPECS
+
+from _harness import BENCH_MARKETS, bench_dataset, format_table, publish
+
+
+def build_table2():
+    rows = []
+    for key in ["nasdaq", "nyse", "csi"]:
+        spec = MARKET_SPECS[key]
+        rows.append([spec.name, spec.num_stocks, spec.train_days,
+                     spec.test_days])
+    for key in BENCH_MARKETS:
+        ds = bench_dataset(key)
+        train, test = ds.split(10)
+        rows.append([ds.market, ds.num_stocks, len(train), len(test)])
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+    text = format_table(
+        "Table II — statistics of historical data",
+        ["Market", "Stocks", "Training days", "Testing days"], rows,
+        note=("Full rows mirror the paper exactly (854/1405/242 stocks, "
+              "1295 train days,\n207/207/139 test days); mini rows are the "
+              "bench-scale presets."))
+    publish("table2_datasets", text)
+
+    by_market = {row[0]: row for row in rows}
+    assert by_market["NASDAQ"][1:] == [854, 1295, 207]
+    assert by_market["NYSE"][1:] == [1405, 1295, 207]
+    assert by_market["CSI"][1:] == [242, 1295, 139]
+    # Mini presets keep the paper's relative sizes: NYSE > NASDAQ > CSI.
+    minis = [row for row in rows if row[0].endswith("mini")]
+    if len(minis) == 3:
+        sizes = {row[0]: row[1] for row in minis}
+        assert sizes["NYSE-mini"] > sizes["NASDAQ-mini"] > sizes["CSI-mini"]

@@ -1,0 +1,79 @@
+"""Table III — statistics of wiki-relation and industry-relation data.
+
+Regenerates the relation-statistics table: number of relation types and
+relation ratio per market and per relation source.  Full-scale rows use
+the universe generator directly (NASDAQ-sized; the NYSE dense relation
+tensor would need ~2 GB, so its industry ratio is computed exactly from
+the group sizes instead — the statistic is identical).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (MARKET_SPECS, allocate_group_sizes,
+                        build_industry_relations, build_wiki_relations,
+                        generate_universe, pair_ratio_of_sizes)
+
+from _harness import BENCH_MARKETS, bench_dataset, format_table, publish
+
+
+def build_table3():
+    rows = []
+    # Full NASDAQ: materialize the real tensors (fits in memory).
+    rng = np.random.default_rng(0)
+    nasdaq = MARKET_SPECS["nasdaq"]
+    universe = generate_universe(nasdaq.name, nasdaq.num_stocks,
+                                 nasdaq.num_industries,
+                                 nasdaq.industry_pair_ratio, rng=rng)
+    industry = build_industry_relations(universe)
+    wiki = build_wiki_relations(universe, nasdaq.wiki_types,
+                                nasdaq.wiki_pair_ratio, rng=rng)
+    rows.append(["NASDAQ", wiki.matrix.num_types,
+                 wiki.matrix.relation_ratio(), industry.num_types,
+                 industry.relation_ratio()])
+    # Full NYSE / CSI: exact ratios from group-size arithmetic (the dense
+    # (N, N, K) tensor would be multi-GB).
+    for key in ["nyse", "csi"]:
+        spec = MARKET_SPECS[key]
+        sizes = allocate_group_sizes(spec.num_stocks, spec.num_industries,
+                                     spec.industry_pair_ratio)
+        industry_ratio = pair_ratio_of_sizes(sizes, spec.num_stocks)
+        rows.append([spec.name, spec.wiki_types,
+                     spec.wiki_pair_ratio if spec.wiki_types else None,
+                     spec.num_industries, industry_ratio])
+    # Bench-scale empirical rows.
+    for key in BENCH_MARKETS:
+        ds = bench_dataset(key)
+        wiki_types = wiki_ratio = None
+        if ds.wiki_relations is not None:
+            wiki_types = ds.wiki_relations.matrix.num_types
+            wiki_ratio = ds.wiki_relations.matrix.relation_ratio()
+        rows.append([ds.market, wiki_types, wiki_ratio,
+                     ds.industry_relations.num_types,
+                     ds.industry_relations.relation_ratio()])
+    return rows
+
+
+def test_table3_relation_statistics(benchmark):
+    rows = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    text = format_table(
+        "Table III — wiki-relation and industry-relation statistics",
+        ["Market", "Wiki types", "Wiki ratio", "Industry types",
+         "Industry ratio"], rows,
+        note=("Paper targets: NASDAQ 41/0.3%/97/5.4%, NYSE 28/0.4%/108/"
+              "6.9%, CSI -/-/24/6.7%.\nCSI has no wiki relations, exactly "
+              "as in the paper."))
+    publish("table3_relations", text)
+
+    by_market = {row[0]: row for row in rows}
+    nasdaq = by_market["NASDAQ"]
+    assert nasdaq[1] == 41
+    assert abs(nasdaq[2] - 0.003) < 0.001
+    assert nasdaq[3] == 97
+    assert abs(nasdaq[4] - 0.054) < 0.01
+    nyse = by_market["NYSE"]
+    assert nyse[1] == 28 and nyse[3] == 108
+    assert abs(nyse[4] - 0.069) < 0.01
+    csi = by_market["CSI"]
+    assert csi[1] is None and csi[3] == 24
+    assert abs(csi[4] - 0.067) < 0.01

@@ -1,0 +1,84 @@
+"""Table V — comparison with STHAN-SR and RSR on industry-only data.
+
+The paper's Table V evaluates on Feng et al.'s *published* datasets, which
+contain only industry relations (NASDAQ-II / NYSE-II), and tests
+significance with a one-sample Wilcoxon against the published numbers.
+Here the "published value" is each baseline's own measured mean on the
+same simulated industry-only dataset, and RT-GCN (T)'s runs are tested
+against it — the same statistical machinery on the same relation regime.
+
+Paper shape target: RT-GCN (T) ≥ STHAN-SR ≥ RSR on industry-only data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import StockDataset
+from repro.eval import compare_to_published, run_named_experiment
+
+from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
+                      bench_dataset, format_table, metric_row, publish)
+
+MODELS = ["RSR_I", "RSR_E", "STHAN-SR", "RT-GCN (T)"]
+
+
+def industry_only(dataset: StockDataset) -> StockDataset:
+    """The NASDAQ-II/NYSE-II regime: drop wiki relations."""
+    return StockDataset(market=dataset.market + "-II",
+                        universe=dataset.universe,
+                        industry_relations=dataset.industry_relations,
+                        wiki_relations=None,
+                        simulated=dataset.simulated,
+                        train_day_count=dataset.train_day_count,
+                        test_day_count=dataset.test_day_count)
+
+
+def build_table5():
+    config = bench_config()
+    outputs = {}
+    for market in BENCH_MARKETS[:2]:           # paper: NASDAQ-II, NYSE-II
+        dataset = industry_only(bench_dataset(market))
+        outputs[dataset.market] = {
+            name: run_named_experiment(name, dataset, config,
+                                       n_runs=BENCH_RUNS)
+            for name in MODELS}
+    return outputs
+
+
+def test_table5_industry_only_comparison(benchmark):
+    outputs = benchmark.pedantic(build_table5, rounds=1, iterations=1)
+    rows = []
+    notes = []
+    for market, results in outputs.items():
+        for name in MODELS:
+            rows.append([market] + metric_row(
+                name, results[name].summary(),
+                keys=("MRR", "IRR-5", "IRR-10")))
+        ours = results["RT-GCN (T)"]
+        for metric in ("MRR", "IRR-5"):
+            strongest = max((n for n in MODELS if n != "RT-GCN (T)"),
+                            key=lambda n: results[n].mean(metric))
+            published = results[strongest].mean(metric)
+            try:
+                p = compare_to_published(ours, metric, published).p_value
+                notes.append(f"{market} {metric}: one-sample Wilcoxon of "
+                             f"RT-GCN (T) vs {strongest} mean "
+                             f"({published:+.3f}): p={p:.3f}")
+            except ValueError:
+                notes.append(f"{market} {metric}: degenerate sample")
+
+    text = format_table(
+        "Table V — industry-relations-only comparison (NASDAQ-II/NYSE-II "
+        "analogues)",
+        ["Dataset", "Model", "MRR", "IRR-5", "IRR-10"], rows,
+        note="\n".join(notes))
+    publish("table5_published", text)
+
+    for market, results in outputs.items():
+        ours = results["RT-GCN (T)"]
+        rsr_best = max(results["RSR_I"].mean("IRR-5"),
+                       results["RSR_E"].mean("IRR-5"))
+        # Shape target: RT-GCN (T) competitive with (within noise of, and
+        # typically above) the two-step rankers on industry-only data.
+        tolerance = max(0.15, 0.4 * abs(rsr_best))
+        assert ours.mean("IRR-5") > rsr_best - tolerance, market

@@ -1,0 +1,85 @@
+"""Table VI — wiki relations vs industry relations ablation.
+
+Trains Rank_LSTM (relation-blind reference) and RT-GCN (U/W/T) twice per
+market: once with only wiki relations, once with only industry relations.
+
+Paper shape targets:
+- every RT-GCN variant beats Rank_LSTM under either relation source
+  (relations help);
+- industry relations (denser, ratio ~5-7%) generally beat wiki relations
+  (ratio ~0.3-2%) — "the larger the relation ratio, the wider the
+  information can be propagated".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RTGCN
+from repro.data import StockDataset
+from repro.eval import run_experiment, run_named_experiment
+
+from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
+                      bench_dataset, format_table, metric_row, publish)
+
+MARKET = BENCH_MARKETS[0]         # needs wiki relations -> US-style market
+STRATEGIES = ["uniform", "weight", "time"]
+
+
+def restricted(dataset: StockDataset, source: str) -> StockDataset:
+    """Dataset view whose merged relations come from one source only.
+
+    The single-source matrix is installed in the ``industry_relations``
+    slot (with no wiki set), so ``dataset.relations`` resolves to exactly
+    that source.
+    """
+    return StockDataset(market=f"{dataset.market}[{source}]",
+                        universe=dataset.universe,
+                        industry_relations=dataset.relations_of(source),
+                        wiki_relations=None,
+                        simulated=dataset.simulated,
+                        train_day_count=dataset.train_day_count,
+                        test_day_count=dataset.test_day_count)
+
+
+def build_table6():
+    dataset = bench_dataset(MARKET)
+    config = bench_config()
+    outputs = {}
+    for source in ("wiki", "industry"):
+        view = restricted(dataset, source)
+        results = {"Rank_LSTM": run_named_experiment(
+            "Rank_LSTM", view, config, n_runs=BENCH_RUNS)}
+        for strategy in STRATEGIES:
+            label = f"RT-GCN ({strategy[0].upper()})"
+            results[label] = run_experiment(
+                label,
+                lambda gen, s=strategy, v=view: RTGCN(
+                    v.relations, strategy=s, relational_filters=16,
+                    rng=gen),
+                view, config, n_runs=BENCH_RUNS)
+        outputs[source] = results
+    return outputs
+
+
+def test_table6_relation_type_ablation(benchmark):
+    outputs = benchmark.pedantic(build_table6, rounds=1, iterations=1)
+    rows = []
+    for source, results in outputs.items():
+        for name, result in results.items():
+            rows.append([source] + metric_row(name, result.summary()))
+    text = format_table(
+        f"Table VI — wiki vs industry relations on {MARKET}",
+        ["Relations", "Model", "MRR", "IRR-1", "IRR-5", "IRR-10"], rows,
+        note=("Paper shape: RT-GCN beats Rank_LSTM under both sources; the "
+              "denser industry\nrelations usually propagate more signal "
+              "than the sparse wiki relations."))
+    publish("table6_relation_types", text)
+
+    for source, results in outputs.items():
+        best_ours = max(results[f"RT-GCN ({s[0].upper()})"].mean("IRR-5")
+                        for s in STRATEGIES)
+        reference = results["Rank_LSTM"].mean("IRR-5")
+        # Relations must help (or at bench scale at least not hurt by more
+        # than the run-to-run noise band).
+        tolerance = max(0.10, 0.25 * abs(reference))
+        assert best_ours > reference - tolerance, source

@@ -1,0 +1,81 @@
+"""Anatomy of a simulated market and its relation-temporal graph.
+
+Walks through the data substrate the reproduction builds in place of
+Yahoo-Finance + Wikidata: the universe's sector/industry structure, the
+typed relation matrix, the G_RT graph of §III-B, the planted market
+dynamics (crash, factors, lead-lag spillovers), and the Figure-8-style
+case study of a connected stock clique.
+
+Run:  python examples/market_anatomy.py
+"""
+
+import numpy as np
+
+from repro import RelationTemporalGraph, load_market
+from repro.core import TrainConfig
+from repro.eval import run_case_study
+
+
+def main() -> None:
+    dataset = load_market("nasdaq-mini", seed=3)
+    universe = dataset.universe
+    print(f"Universe: {len(universe)} stocks, market {dataset.market}")
+
+    print("\nLargest industries:")
+    industries = sorted(universe.industries().items(),
+                        key=lambda kv: -len(kv[1]))
+    for name, members in industries[:5]:
+        symbols = ", ".join(universe[i].symbol for i in members[:4])
+        print(f"  {name[:48]:48s} {len(members):3d} stocks ({symbols}, ...)")
+
+    relations = dataset.relations
+    print(f"\nRelation matrix: {relations.num_types} types, "
+          f"{relations.edge_count()} linked pairs, "
+          f"ratio {relations.relation_ratio():.1%}")
+    usage = sorted(dataset.relations.type_usage().items(),
+                   key=lambda kv: -kv[1])
+    for name, count in usage[:6]:
+        print(f"  {name[:52]:52s} {count:4d} pairs")
+
+    grt = RelationTemporalGraph(relations, num_steps=10)
+    stats = grt.stats()
+    print(f"\nRelation-temporal graph over a 10-day window (Fig. 2):")
+    print(f"  nodes: {stats.num_nodes}  relational edges: "
+          f"{stats.num_relational_edges}  temporal edges: "
+          f"{stats.num_temporal_edges}")
+
+    sim = dataset.simulated
+    _, test_days = dataset.split(10)
+    crash_window = sim.market_factor[test_days[0]:test_days[0] + 10]
+    normal = sim.market_factor[:test_days[0]]
+    print(f"\nPlanted dynamics:")
+    print(f"  normal-period market factor mean: {normal.mean():+.5f}/day")
+    print(f"  crash-period market factor mean:  {crash_window.mean():+.5f}"
+          "/day (the 2020/03 analogue)")
+    wiki = dataset.wiki_relations
+    print(f"  wiki lead-lag edges: {len(wiki.influences)}, mean strength "
+          f"{np.mean([e.strength for e in wiki.influences]):.2f}")
+
+    print("\nTraining a small RT-GCN (T) for the case study ...")
+    study = run_case_study(dataset,
+                           config=TrainConfig(window=10, epochs=3),
+                           num_days=10)
+    print(f"  clique: {', '.join(study.symbols)}")
+    print(f"  industries: {sorted(set(study.industries))}")
+    print("\n  predicted return-ratio heatmap (rows = stocks, cols = days,"
+          "\n   '+' up / '-' down, scaled by magnitude):")
+    scale = np.abs(study.predicted_heatmap).max() or 1.0
+    for symbol, row in zip(study.symbols, study.predicted_heatmap):
+        cells = "".join("+" if v > scale / 3 else
+                        "-" if v < -scale / 3 else "." for v in row)
+        print(f"    {symbol:10s} {cells}")
+    print("\n  actual return-ratio heatmap:")
+    scale = np.abs(study.actual_heatmap).max() or 1.0
+    for symbol, row in zip(study.symbols, study.actual_heatmap):
+        cells = "".join("+" if v > scale / 3 else
+                        "-" if v < -scale / 3 else "." for v in row)
+        print(f"    {symbol:10s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Portfolio construction and risk analysis with a trained RT-GCN.
+
+Goes beyond the paper's headline IRR: trains a model, then examines how
+portfolio size (top-N) trades return against risk, comparing against the
+perfect-foresight oracle and a random picker.
+
+Run:  python examples/portfolio_backtest.py
+"""
+
+import numpy as np
+
+from repro import RTGCN, TrainConfig, Trainer, load_market
+from repro.eval import oracle_backtest, random_backtest, run_backtest
+
+
+def main() -> None:
+    dataset = load_market("nyse-mini", seed=1)
+    print(f"Market: {dataset}\n")
+
+    config = TrainConfig(window=10, epochs=5, alpha=0.2)
+    model = RTGCN(dataset.relations, strategy="time", relational_filters=16,
+                  rng=np.random.default_rng(1))
+    result = Trainer(model, dataset, config).run()
+
+    header = (f"{'portfolio':>10s} {'IRR':>8s} {'compound':>9s} "
+              f"{'sharpe':>7s} {'maxDD':>7s} {'hit':>6s}")
+    print("RT-GCN (T) portfolios by size:")
+    print(header)
+    for top_n in (1, 3, 5, 10, 20):
+        bt = run_backtest(result.predictions, result.actuals, top_n)
+        s = bt.summary()
+        print(f"{'top-' + str(top_n):>10s} {s['irr']:+8.3f} "
+              f"{s['compounded']:+9.3f} {s['sharpe']:+7.2f} "
+              f"{s['max_drawdown']:7.3f} {s['hit_rate']:6.1%}")
+
+    print("\nReference strategies (top-5):")
+    print(header)
+    for name, bt in [
+        ("oracle", oracle_backtest(result.actuals, 5)),
+        ("model", run_backtest(result.predictions, result.actuals, 5)),
+        ("random", random_backtest(result.actuals, 5,
+                                   rng=np.random.default_rng(0))),
+    ]:
+        s = bt.summary()
+        print(f"{name:>10s} {s['irr']:+8.3f} {s['compounded']:+9.3f} "
+              f"{s['sharpe']:+7.2f} {s['max_drawdown']:7.3f} "
+              f"{s['hit_rate']:6.1%}")
+
+    print("\nNote: IRR-1 concentrates all capital in a single stock per "
+          "day, so its\ncurve is far noisier than IRR-5/IRR-10 — the "
+          "diversification effect the\npaper discusses in §V-C-3.")
+
+
+if __name__ == "__main__":
+    main()

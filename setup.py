@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (``pip install -e .``) cannot build a wheel.  This
+shim lets ``python setup.py develop`` provide the same editable install; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Comparison models of Table IV/V, plus the shared predictor interface."""
+
+from .base import (ModulePredictor, PredictorResult, StockPredictor,
+                   collect_actuals, regression_config)
+from .classifiers import (ALSTMNetwork, ARIMAClassifier,
+                          AdversarialLSTMClassifier, class_scores,
+                          movement_classes)
+from .recurrent import LSTMScorer, SFMScorer
+from .darnn import DARNN, InputAttention, TemporalAttention
+from .mtdnn import MTDNN, multiscale_design_row
+from .registry import (BASELINE_SPECS, EXTRA_MODELS, RANKING_MODELS,
+                       TABLE_IV_MODELS, BaselineSpec, available_baselines,
+                       get_spec, make_predictor)
+from .rl import DQNTrader, IRDPGTrader, PolicyNetwork, QNetwork, ReplayBuffer
+from .rsr import RSR
+from .rtgat import RTGAT
+from .sthan import (HawkesAttention, HypergraphConv, STHANSR,
+                    hyperedges_from_relations)
+from .wsae_lstm import WSAELSTM
+
+__all__ = [
+    "StockPredictor", "PredictorResult", "ModulePredictor",
+    "regression_config", "collect_actuals",
+    "ARIMAClassifier", "AdversarialLSTMClassifier", "ALSTMNetwork",
+    "movement_classes", "class_scores",
+    "LSTMScorer", "SFMScorer",
+    "RSR", "RTGAT", "STHANSR", "HawkesAttention", "HypergraphConv",
+    "hyperedges_from_relations",
+    "DQNTrader", "IRDPGTrader", "QNetwork", "PolicyNetwork", "ReplayBuffer",
+    "BaselineSpec", "BASELINE_SPECS", "TABLE_IV_MODELS", "RANKING_MODELS",
+    "EXTRA_MODELS", "available_baselines", "get_spec", "make_predictor",
+    "DARNN", "InputAttention", "TemporalAttention", "WSAELSTM",
+    "MTDNN", "multiscale_design_row",
+]

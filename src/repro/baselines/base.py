@@ -1,0 +1,90 @@
+"""Common predictor interface for every comparison model (Table IV).
+
+Two families exist:
+
+- gradient models trained through the shared
+  :class:`~repro.core.trainer.Trainer` (Rank_LSTM, RSR, RT-GAT, ...), and
+- models with bespoke fitting (ARIMA least-squares, RL agents, the
+  adversarially-trained classifier).
+
+:class:`StockPredictor` unifies them: ``fit_predict`` runs the whole
+train-then-score-the-test-period pipeline and returns a
+:class:`PredictorResult` with timings, so Table IV and Figure 5 treat every
+model identically.  ``can_rank`` mirrors the paper's '-' entries:
+classification models cannot order stocks, so their MRR is undefined and
+their "top-N" is a random draw from the predicted-up class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.trainer import TrainConfig, Trainer
+from ..data import StockDataset
+from ..nn.module import Module
+
+
+@dataclass
+class PredictorResult:
+    """Scores of one fitted model over the dataset's test period."""
+
+    train_seconds: float
+    test_seconds: float
+    test_days: List[int]
+    predictions: np.ndarray       # (num_test_days, num_stocks)
+    actuals: np.ndarray           # (num_test_days, num_stocks)
+    extras: dict = field(default_factory=dict)
+
+
+class StockPredictor:
+    """A model that can be fitted on a dataset and score the test days."""
+
+    #: whether scores define a meaningful ranking (False → MRR is '-')
+    can_rank: bool = True
+    #: whether the model consumes the relation matrix
+    uses_relations: bool = False
+    #: category tag from Table IV: CLF / REG / RL / RAN
+    category: str = "RAN"
+
+    def fit_predict(self, dataset: StockDataset, config: TrainConfig
+                    ) -> PredictorResult:
+        raise NotImplementedError
+
+
+class ModulePredictor(StockPredictor):
+    """Adapter: a gradient scoring model trained by the shared Trainer.
+
+    ``factory(rng)`` builds a fresh :class:`Module` mapping window features
+    ``(T, N, D)`` to per-stock scores ``(N,)``.
+    """
+
+    def __init__(self, factory: Callable[[np.random.Generator], Module],
+                 rng: Optional[np.random.Generator] = None,
+                 category: str = "RAN", uses_relations: bool = False):
+        self._factory = factory
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.category = category
+        self.uses_relations = uses_relations
+
+    def fit_predict(self, dataset: StockDataset, config: TrainConfig
+                    ) -> PredictorResult:
+        model = self._factory(self._rng)
+        result = Trainer(model, dataset, config).run()
+        return PredictorResult(train_seconds=result.train_seconds,
+                               test_seconds=result.test_seconds,
+                               test_days=result.test_days,
+                               predictions=result.predictions,
+                               actuals=result.actuals)
+
+
+def regression_config(config: TrainConfig) -> TrainConfig:
+    """Config variant for REG/CLF baselines: no ranking loss (α = 0)."""
+    return replace(config, alpha=0.0)
+
+
+def collect_actuals(dataset: StockDataset, days: List[int]) -> np.ndarray:
+    """Ground-truth next-day returns for the given prediction days."""
+    return np.stack([dataset.label(day) for day in days])

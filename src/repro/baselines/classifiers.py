@@ -1,0 +1,206 @@
+"""Classification-based baselines (Table IV's CLF rows): ARIMA and A-LSTM.
+
+Both predict a three-way movement class (up / neutral / down) rather than a
+ranking.  Following the paper's protocol, "the classification-based methods
+only output three results but cannot rank the stocks according to the
+return ratio, so we randomly select top-N stocks" — here: scores are the
+predicted class plus a small random tie-break, so the top-N is a uniform
+draw from the best predicted class.  Their MRR is reported as NaN ('-' in
+Table IV).
+
+Movement classes are per-day cross-sectional terciles of the next-day
+return, which keeps the three classes balanced on every market regime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.trainer import TrainConfig
+from ..data import StockDataset
+from ..nn import LSTM, Linear
+from ..nn.module import Module
+from ..nn.random import get_rng
+from ..optim import Adam, clip_grad_norm_
+from ..tensor import Tensor, cross_entropy, no_grad
+from .base import PredictorResult, StockPredictor, collect_actuals
+
+_CLASSES = 3  # down / neutral / up
+
+
+def movement_classes(returns: np.ndarray) -> np.ndarray:
+    """Per-day tercile labels: 0 = down, 1 = neutral, 2 = up."""
+    lo, hi = np.quantile(returns, [1 / 3, 2 / 3])
+    labels = np.ones(returns.shape, dtype=np.int64)
+    labels[returns <= lo] = 0
+    labels[returns >= hi] = 2
+    return labels
+
+
+def class_scores(labels: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Class index plus a uniform tie-break in (0, 1)."""
+    return labels.astype(np.float64) + rng.uniform(size=labels.shape)
+
+
+class ARIMAClassifier(StockPredictor):
+    """AR(p) trend classifier (ARIMA-style, Wang & Leu [14]).
+
+    Per stock, an autoregressive model of order ``p`` on daily returns
+    (equivalently ARIMA(p, 1, 0) on log prices) is fit by ordinary least
+    squares over the training period; the sign/magnitude of the one-step
+    forecast gives the movement class.
+    """
+
+    can_rank = False
+    category = "CLF"
+
+    def __init__(self, order: int = 5, seed: int = 0):
+        if order < 1:
+            raise ValueError("AR order must be >= 1")
+        self.order = order
+        self.seed = seed
+
+    def _fit_coefficients(self, returns: np.ndarray,
+                          train_days: List[int]) -> np.ndarray:
+        """OLS AR coefficients per stock: ``(N, order + 1)`` incl. intercept."""
+        p = self.order
+        num_stocks = returns.shape[0]
+        coefficients = np.zeros((num_stocks, p + 1))
+        days = np.asarray(train_days)
+        # Regress r_{t+1} on [1, r_t, r_{t-1}, ..., r_{t-p+1}].
+        targets = returns[:, days + 1]                       # (N, M)
+        design = np.stack([returns[:, days - lag] for lag in range(p)],
+                          axis=2)                             # (N, M, p)
+        ones = np.ones(design.shape[:2] + (1,))
+        design = np.concatenate([ones, design], axis=2)       # (N, M, p+1)
+        for i in range(num_stocks):
+            solution, *_ = np.linalg.lstsq(design[i], targets[i], rcond=None)
+            coefficients[i] = solution
+        return coefficients
+
+    def _forecast(self, returns: np.ndarray, coefficients: np.ndarray,
+                  day: int) -> np.ndarray:
+        lags = np.stack([returns[:, day - lag] for lag in range(self.order)],
+                        axis=1)
+        return coefficients[:, 0] + (coefficients[:, 1:] * lags).sum(axis=1)
+
+    def fit_predict(self, dataset: StockDataset, config: TrainConfig
+                    ) -> PredictorResult:
+        returns = dataset.return_ratios
+        train_days, test_days = dataset.split(config.window)
+        if config.max_train_days is not None:
+            train_days = train_days[-config.max_train_days:]
+        rng = np.random.default_rng(self.seed)
+
+        start = time.perf_counter()
+        coefficients = self._fit_coefficients(returns, train_days)
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rows = []
+        for day in test_days:
+            forecast = self._forecast(returns, coefficients, day)
+            rows.append(class_scores(movement_classes(forecast), rng))
+        test_seconds = time.perf_counter() - start
+        return PredictorResult(train_seconds=train_seconds,
+                               test_seconds=test_seconds,
+                               test_days=list(test_days),
+                               predictions=np.stack(rows),
+                               actuals=collect_actuals(dataset, test_days))
+
+
+class ALSTMNetwork(Module):
+    """LSTM encoder + classification head used by the A-LSTM baseline."""
+
+    def __init__(self, num_features: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        gen = rng if rng is not None else get_rng()
+        self.encoder = LSTM(num_features, hidden_size, rng=gen)
+        self.head = Linear(hidden_size, _CLASSES, rng=gen)
+
+    def embed(self, x: Tensor) -> Tensor:
+        per_stock = x.transpose(1, 0, 2)
+        _, (hidden, _) = self.encoder(per_stock)
+        return hidden
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.embed(x))
+
+
+class AdversarialLSTMClassifier(StockPredictor):
+    """A-LSTM: adversarially-trained movement classifier (Feng et al. [41]).
+
+    Training adds an FGSM-style perturbation to each stock's latent
+    embedding — ``e_adv = e + ε · ∂loss/∂e / ‖∂loss/∂e‖`` — and minimizes
+    the classification loss on both the clean and the perturbed embeddings,
+    making the decision boundary robust to small feature shifts.  (The
+    perturbed pass updates the classifier head; re-encoding through the
+    LSTM is skipped for cost, a standard simplification.)
+    """
+
+    can_rank = False
+    category = "CLF"
+
+    def __init__(self, hidden_size: int = 32, epsilon: float = 0.05,
+                 adversarial_weight: float = 0.5, seed: int = 0):
+        self.hidden_size = hidden_size
+        self.epsilon = epsilon
+        self.adversarial_weight = adversarial_weight
+        self.seed = seed
+
+    def fit_predict(self, dataset: StockDataset, config: TrainConfig
+                    ) -> PredictorResult:
+        cfg = config
+        rng = np.random.default_rng(self.seed)
+        model = ALSTMNetwork(cfg.num_features, self.hidden_size, rng=rng)
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
+        train_days, test_days = dataset.split(cfg.window)
+        if cfg.max_train_days is not None:
+            train_days = train_days[-cfg.max_train_days:]
+        params = list(model.parameters())
+
+        start = time.perf_counter()
+        for _ in range(cfg.epochs):
+            order = np.array(train_days)
+            rng.shuffle(order)
+            for day in order:
+                features = Tensor(dataset.features(int(day), cfg.window,
+                                                   cfg.num_features))
+                labels = movement_classes(dataset.label(int(day)))
+                optimizer.zero_grad()
+                embedding = model.embed(features)
+                logits = model.head(embedding)
+                clean_loss = cross_entropy(logits, labels)
+                clean_loss.backward(retain_graph=True)
+                grad = embedding.grad
+                if grad is not None:
+                    norm = np.linalg.norm(grad) + 1e-12
+                    perturbed = Tensor(embedding.data
+                                       + self.epsilon * grad / norm)
+                    adv_loss = cross_entropy(model.head(perturbed), labels)
+                    (self.adversarial_weight * adv_loss).backward()
+                clip_grad_norm_(params, cfg.grad_clip)
+                optimizer.step()
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        model.eval()
+        rows = []
+        with no_grad():
+            for day in test_days:
+                features = Tensor(dataset.features(int(day), cfg.window,
+                                                   cfg.num_features))
+                predicted = np.argmax(model(features).data, axis=1)
+                rows.append(class_scores(predicted, rng))
+        test_seconds = time.perf_counter() - start
+        return PredictorResult(train_seconds=train_seconds,
+                               test_seconds=test_seconds,
+                               test_days=list(test_days),
+                               predictions=np.stack(rows),
+                               actuals=collect_actuals(dataset, test_days))

@@ -1,0 +1,60 @@
+"""Sequential (relation-blind) baselines: LSTM, Rank_LSTM, SFM.
+
+All three treat each stock as an isolated sequence: the window features
+``(T, N, D)`` are transposed to ``(N, T, D)`` so stocks form the batch, an
+encoder summarizes the window, and a linear head emits the score.  The
+difference is the encoder (LSTM vs state-frequency memory) and the training
+objective (pure regression for LSTM/SFM, regression + pairwise ranking for
+Rank_LSTM) — the objective lives in the trainer's α, mirroring how [9]
+derives Rank_LSTM from the LSTM of [16].
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import LSTM, Linear, SFM
+from ..nn.module import Module
+from ..tensor import Tensor, ensure_tensor
+
+
+class LSTMScorer(Module):
+    """LSTM encoder + linear scorer: the LSTM [16] / Rank_LSTM [9] network."""
+
+    def __init__(self, num_features: int = 4, hidden_size: int = 32,
+                 num_layers: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.encoder = LSTM(num_features, hidden_size, num_layers=num_layers,
+                            rng=rng)
+        self.scorer = Linear(hidden_size, 1, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Window features ``(T, N, D)`` → scores ``(N,)``."""
+        x = ensure_tensor(x)
+        if x.ndim != 3:
+            raise ValueError(f"expected (T, N, D) input, got {x.shape}")
+        per_stock = x.transpose(1, 0, 2)       # (N, T, D)
+        _, (hidden, _) = self.encoder(per_stock)
+        return self.scorer(hidden).squeeze(-1)
+
+
+class SFMScorer(Module):
+    """State-frequency-memory encoder + linear scorer (SFM [1])."""
+
+    def __init__(self, num_features: int = 4, hidden_size: int = 32,
+                 n_freq: int = 4, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.encoder = SFM(num_features, hidden_size, n_freq=n_freq, rng=rng)
+        self.scorer = Linear(hidden_size, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ensure_tensor(x)
+        if x.ndim != 3:
+            raise ValueError(f"expected (T, N, D) input, got {x.shape}")
+        per_stock = x.transpose(1, 0, 2)
+        _, hidden = self.encoder(per_stock)
+        return self.scorer(hidden).squeeze(-1)

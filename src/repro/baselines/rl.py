@@ -1,0 +1,263 @@
+"""Reinforcement-learning baselines (Table IV's RL rows): DQN and iRDPG.
+
+Both learn trading policies for the daily buy-sell setting, where an
+episode step is: observe every stock's window features, commit to a
+portfolio at today's close, realize the next-day return as reward.
+
+- :class:`DQNTrader` follows Carta et al. [18]: an *ensemble* of Q-networks,
+  each trained from an experience-replay buffer with an ε-greedy behavior
+  policy and Huber TD loss.  With one-day round trips the discounted
+  bootstrap term vanishes, so Q(s, buy-stock-i) regresses the immediate
+  reward; the ensemble average reduces overfitting, which is the paper's
+  stated motivation.
+- :class:`IRDPGTrader` follows Liu et al. [19]: a recurrent deterministic
+  policy (GRU actor) trained by policy gradient on the differentiable
+  softmax-portfolio return, plus an *imitation* (behavior-cloning) term
+  toward the greedy expert that ranks stocks by realized return — the
+  "imitative" component that stabilizes early training.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.trainer import TrainConfig
+from ..data import StockDataset
+from ..nn import GRU, Linear, ReLU, Sequential
+from ..nn.module import Module
+from ..nn.random import get_rng
+from ..optim import Adam, clip_grad_norm_
+from ..tensor import Tensor, huber_loss, no_grad, softmax
+from .base import PredictorResult, StockPredictor, collect_actuals
+
+
+class QNetwork(Module):
+    """Per-stock state-action value head over flattened window features."""
+
+    def __init__(self, window: int, num_features: int, hidden: int = 64,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        gen = rng if rng is not None else get_rng()
+        self.window = window
+        self.num_features = num_features
+        self.net = Sequential(
+            Linear(window * num_features, hidden, rng=gen), ReLU(),
+            Linear(hidden, hidden // 2, rng=gen), ReLU(),
+            Linear(hidden // 2, 1, rng=gen))
+
+    def forward(self, states: Tensor) -> Tensor:
+        """``(batch, window * num_features)`` states → ``(batch,)`` Q."""
+        return self.net(states).squeeze(-1)
+
+
+def _flatten_windows(features: np.ndarray) -> np.ndarray:
+    """``(T, N, D)`` window → per-stock states ``(N, T * D)``."""
+    steps, stocks, dims = features.shape
+    return features.transpose(1, 0, 2).reshape(stocks, steps * dims)
+
+
+class ReplayBuffer:
+    """Fixed-size FIFO of (state, reward) transitions."""
+
+    def __init__(self, capacity: int, state_dim: int):
+        self.capacity = capacity
+        self.states = np.zeros((capacity, state_dim))
+        self.rewards = np.zeros(capacity)
+        self.size = 0
+        self.cursor = 0
+
+    def push(self, states: np.ndarray, rewards: np.ndarray) -> None:
+        for state, reward in zip(states, rewards):
+            self.states[self.cursor] = state
+            self.rewards[self.cursor] = reward
+            self.cursor = (self.cursor + 1) % self.capacity
+            self.size = min(self.size + 1, self.capacity)
+
+    def sample(self, batch_size: int,
+               rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        if self.size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        idx = rng.integers(0, self.size, size=min(batch_size, self.size))
+        return self.states[idx], self.rewards[idx]
+
+
+class DQNTrader(StockPredictor):
+    """Ensemble deep-Q trader (Multi-DQN, Carta et al. [18])."""
+
+    can_rank = True
+    category = "RL"
+
+    def __init__(self, n_agents: int = 3, hidden: int = 64,
+                 buffer_size: int = 20000, batch_size: int = 256,
+                 updates_per_day: int = 1, epsilon_start: float = 0.5,
+                 epsilon_end: float = 0.05, explore_top_n: int = 10,
+                 seed: int = 0):
+        self.n_agents = n_agents
+        self.hidden = hidden
+        self.buffer_size = buffer_size
+        self.batch_size = batch_size
+        self.updates_per_day = updates_per_day
+        self.epsilon_start = epsilon_start
+        self.epsilon_end = epsilon_end
+        self.explore_top_n = explore_top_n
+        self.seed = seed
+
+    def fit_predict(self, dataset: StockDataset, config: TrainConfig
+                    ) -> PredictorResult:
+        cfg = config
+        rng = np.random.default_rng(self.seed)
+        train_days, test_days = dataset.split(cfg.window)
+        if cfg.max_train_days is not None:
+            train_days = train_days[-cfg.max_train_days:]
+        state_dim = cfg.window * cfg.num_features
+
+        agents = [QNetwork(cfg.window, cfg.num_features, self.hidden,
+                           rng=np.random.default_rng(rng.integers(2 ** 32)))
+                  for _ in range(self.n_agents)]
+        optimizers = [Adam(agent.parameters(), lr=cfg.learning_rate)
+                      for agent in agents]
+        buffers = [ReplayBuffer(self.buffer_size, state_dim)
+                   for _ in range(self.n_agents)]
+
+        total_steps = max(cfg.epochs * len(train_days), 1)
+        step = 0
+        start = time.perf_counter()
+        for _ in range(cfg.epochs):
+            order = np.array(train_days)
+            rng.shuffle(order)
+            for day in order:
+                features = dataset.features(int(day), cfg.window,
+                                            cfg.num_features)
+                states = _flatten_windows(features)
+                rewards = dataset.label(int(day))
+                frac = step / total_steps
+                epsilon = (self.epsilon_start
+                           + (self.epsilon_end - self.epsilon_start) * frac)
+                step += 1
+                for agent, optimizer, buffer in zip(agents, optimizers,
+                                                    buffers):
+                    # ε-greedy behavior: explore random stocks, exploit the
+                    # current Q-ranking; only visited stocks enter replay.
+                    if rng.uniform() < epsilon:
+                        picks = rng.choice(states.shape[0],
+                                           size=min(self.explore_top_n,
+                                                    states.shape[0]),
+                                           replace=False)
+                    else:
+                        with no_grad():
+                            q = agent(Tensor(states)).data
+                        picks = np.argsort(-q)[:self.explore_top_n]
+                    buffer.push(states[picks], rewards[picks])
+                    for _ in range(self.updates_per_day):
+                        batch_states, batch_rewards = buffer.sample(
+                            self.batch_size, rng)
+                        optimizer.zero_grad()
+                        q = agent(Tensor(batch_states))
+                        loss = huber_loss(q, Tensor(batch_rewards),
+                                          delta=0.01)
+                        loss.backward()
+                        clip_grad_norm_(list(agent.parameters()),
+                                        cfg.grad_clip)
+                        optimizer.step()
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rows = []
+        with no_grad():
+            for day in test_days:
+                features = dataset.features(int(day), cfg.window,
+                                            cfg.num_features)
+                states = Tensor(_flatten_windows(features))
+                ensemble_q = np.mean([agent(states).data
+                                      for agent in agents], axis=0)
+                rows.append(ensemble_q)
+        test_seconds = time.perf_counter() - start
+        return PredictorResult(train_seconds=train_seconds,
+                               test_seconds=test_seconds,
+                               test_days=list(test_days),
+                               predictions=np.stack(rows),
+                               actuals=collect_actuals(dataset, test_days))
+
+
+class PolicyNetwork(Module):
+    """GRU actor emitting one portfolio logit per stock."""
+
+    def __init__(self, num_features: int, hidden: int = 32,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        gen = rng if rng is not None else get_rng()
+        self.encoder = GRU(num_features, hidden, rng=gen)
+        self.head = Linear(hidden, 1, rng=gen)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Window features ``(T, N, D)`` → logits ``(N,)``."""
+        per_stock = x.transpose(1, 0, 2)
+        _, hidden = self.encoder(per_stock)
+        return self.head(hidden).squeeze(-1)
+
+
+class IRDPGTrader(StockPredictor):
+    """Imitative recurrent deterministic policy gradient (Liu et al. [19])."""
+
+    can_rank = True
+    category = "RL"
+
+    def __init__(self, hidden: int = 32, imitation_weight: float = 0.5,
+                 temperature: float = 10.0, seed: int = 0):
+        self.hidden = hidden
+        self.imitation_weight = imitation_weight
+        self.temperature = temperature
+        self.seed = seed
+
+    def fit_predict(self, dataset: StockDataset, config: TrainConfig
+                    ) -> PredictorResult:
+        cfg = config
+        rng = np.random.default_rng(self.seed)
+        actor = PolicyNetwork(cfg.num_features, self.hidden,
+                              rng=np.random.default_rng(
+                                  rng.integers(2 ** 32)))
+        optimizer = Adam(actor.parameters(), lr=cfg.learning_rate)
+        params = list(actor.parameters())
+        train_days, test_days = dataset.split(cfg.window)
+        if cfg.max_train_days is not None:
+            train_days = train_days[-cfg.max_train_days:]
+
+        start = time.perf_counter()
+        for _ in range(cfg.epochs):
+            order = np.array(train_days)
+            rng.shuffle(order)
+            for day in order:
+                features = Tensor(dataset.features(int(day), cfg.window,
+                                                   cfg.num_features))
+                returns = dataset.label(int(day))
+                optimizer.zero_grad()
+                logits = actor(features)
+                weights = softmax(logits * self.temperature, axis=-1)
+                # Policy objective: maximize the portfolio's expected
+                # next-day return (negated for gradient descent).
+                reward = (weights * Tensor(returns)).sum()
+                # Imitation: match the greedy expert's standardized scores.
+                expert = (returns - returns.mean()) / (returns.std() + 1e-9)
+                imitation = ((logits - Tensor(expert)) ** 2).mean()
+                loss = -reward + self.imitation_weight * imitation
+                loss.backward()
+                clip_grad_norm_(params, cfg.grad_clip)
+                optimizer.step()
+        train_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rows = []
+        with no_grad():
+            for day in test_days:
+                features = Tensor(dataset.features(int(day), cfg.window,
+                                                   cfg.num_features))
+                rows.append(actor(features).data.copy())
+        test_seconds = time.perf_counter() - start
+        return PredictorResult(train_seconds=train_seconds,
+                               test_seconds=test_seconds,
+                               test_days=list(test_days),
+                               predictions=np.stack(rows),
+                               actuals=collect_actuals(dataset, test_days))

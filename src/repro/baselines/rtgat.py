@@ -1,0 +1,70 @@
+"""RT-GAT: the graph-attention ablation of RT-GCN (Table IV, [31]).
+
+"RT-GAT is implemented by replacing the relational graph convolution
+(Section IV-B) with a graph attention network.  We construct the graph for
+RT-GAT by connecting a pair of nodes having at least one type of
+relations."  The temporal convolution, pooling and scorer are identical to
+RT-GCN, so the comparison isolates attention-computed edge weights against
+the relation-aware strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph import RelationMatrix
+from ..nn import GraphAttention, Linear
+from ..nn.module import Module
+from ..core.temporal import TemporalConvolution
+from ..tensor import Tensor, ensure_tensor
+
+
+class RTGAT(Module):
+    """Relation-temporal graph *attention* network.
+
+    Same relation-temporal factorization as RT-GCN, but edge weights come
+    from feature attention over the binary relation mask rather than from
+    the typed relation vectors.
+    """
+
+    uses_relations = True
+
+    def __init__(self, relations: RelationMatrix, num_features: int = 4,
+                 filters: int = 32, n_heads: int = 2,
+                 temporal_kernel: int = 3, temporal_stride: int = 1,
+                 num_layers: int = 1, dropout: float = 0.05,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.relations = relations
+        self.num_features = num_features
+        self.num_layers = num_layers
+        self._mask = relations.binary_adjacency()
+        in_channels = num_features
+        for index in range(num_layers):
+            self.add_module(
+                f"attention{index}",
+                GraphAttention(in_channels, filters, n_heads=n_heads,
+                               rng=rng))
+            self.add_module(
+                f"temporal{index}",
+                TemporalConvolution(filters, filters,
+                                    kernel_size=temporal_kernel,
+                                    stride=temporal_stride,
+                                    dropout=dropout, rng=rng))
+            in_channels = filters
+        self.scorer = Linear(filters, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Window features ``(T, N, D)`` → scores ``(N,)``."""
+        x = ensure_tensor(x)
+        if x.ndim != 3:
+            raise ValueError(f"expected (T, N, D) input, got {x.shape}")
+        for index in range(self.num_layers):
+            x = self._modules[f"attention{index}"](x, self._mask).relu()
+            x = self._modules[f"temporal{index}"](x)
+        pooled = x.mean(axis=0)
+        return self.scorer(pooled).squeeze(-1)

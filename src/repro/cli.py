@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+markets
+    List the available market presets with their statistics.
+models
+    List the registered comparison models (Table IV names).
+train
+    Train one model on one market, print metrics, optionally checkpoint.
+compare
+    Run several models under the shared protocol and print a Table-IV
+    style comparison.
+
+Examples
+--------
+    python -m repro.cli markets
+    python -m repro.cli train --market nasdaq-mini --model "RT-GCN (T)" \
+        --epochs 8 --checkpoint /tmp/rtgcn.npz
+    python -m repro.cli compare --market csi-mini \
+        --models "Rank_LSTM,RSR_E,RT-GCN (T)" --runs 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .baselines import available_baselines, get_spec, make_predictor
+from .core import TrainConfig
+from .data import MARKET_SPECS, available_markets, load_market
+from .eval import ranking_metrics, run_named_experiment
+
+
+def _config_from_args(args: argparse.Namespace) -> TrainConfig:
+    return TrainConfig(window=args.window, num_features=args.features,
+                       alpha=args.alpha, epochs=args.epochs,
+                       seed=args.seed)
+
+
+def _add_train_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--market", default="nasdaq-mini",
+                        help="market preset (see `markets`)")
+    parser.add_argument("--window", type=int, default=10,
+                        help="input window T")
+    parser.add_argument("--features", type=int, default=4,
+                        help="feature count D (1..4, Table VIII)")
+    parser.add_argument("--alpha", type=float, default=0.1,
+                        help="ranking-loss balance (Eq. 9)")
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_markets(_: argparse.Namespace) -> int:
+    print(f"{'preset':14s} {'stocks':>6s} {'industries':>10s} "
+          f"{'wiki types':>10s} {'train':>6s} {'test':>5s}")
+    for name in available_markets():
+        spec = MARKET_SPECS[name]
+        wiki = str(spec.wiki_types) if spec.wiki_types else "-"
+        print(f"{name:14s} {spec.num_stocks:6d} {spec.num_industries:10d} "
+              f"{wiki:>10s} {spec.train_days:6d} {spec.test_days:5d}")
+    return 0
+
+
+def cmd_models(_: argparse.Namespace) -> int:
+    print(f"{'model':12s} {'category':8s} {'ranks?':6s} {'relations?':10s}")
+    for name in available_baselines():
+        spec = get_spec(name)
+        print(f"{name:12s} {spec.category:8s} "
+              f"{'yes' if spec.can_rank else 'no':6s} "
+              f"{'yes' if spec.uses_relations else 'no':10s}")
+    return 0
+
+
+_STRATEGY_OF = {"RT-GCN (U)": "uniform", "RT-GCN (W)": "weight",
+                "RT-GCN (T)": "time"}
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_market(args.market, seed=args.seed)
+    print(f"dataset: {dataset}")
+    config = get_spec(args.model).adapt_config(_config_from_args(args))
+    print(f"training {args.model} "
+          f"({config.epochs} epochs, window {config.window}) ...")
+
+    model = None
+    if args.model in _STRATEGY_OF:
+        # Build the RT-GCN directly so it can be checkpointed after the run.
+        from .core import RTGCN, Trainer
+        model = RTGCN(dataset.relations, num_features=config.num_features,
+                      strategy=_STRATEGY_OF[args.model],
+                      rng=np.random.default_rng(args.seed))
+        result = Trainer(model, dataset, config).run()
+    else:
+        if args.checkpoint:
+            raise SystemExit("--checkpoint is only supported for the "
+                             "RT-GCN strategies")
+        predictor = make_predictor(args.model, dataset, seed=args.seed)
+        result = predictor.fit_predict(dataset, config)
+
+    metrics = ranking_metrics(result.predictions, result.actuals)
+    if not get_spec(args.model).can_rank:
+        metrics["MRR"] = float("nan")
+    print(f"train {result.train_seconds:.1f}s, "
+          f"test {result.test_seconds:.2f}s")
+    for key, value in metrics.items():
+        rendered = "-" if np.isnan(value) else f"{value:+.4f}"
+        print(f"  {key:7s} {rendered}")
+
+    if args.checkpoint and model is not None:
+        from .io import save_checkpoint
+        path = save_checkpoint(
+            model, args.checkpoint,
+            metadata={"market": args.market,
+                      "metrics": {k: float(v) for k, v in metrics.items()
+                                  if not np.isnan(v)}})
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    dataset = load_market(args.market, seed=args.seed)
+    print(f"dataset: {dataset}")
+    names = [n.strip() for n in args.models.split(",") if n.strip()]
+    config = _config_from_args(args)
+    print(f"{'model':12s} {'MRR':>8s} {'IRR-1':>8s} {'IRR-5':>8s} "
+          f"{'IRR-10':>8s}")
+    for name in names:
+        result = run_named_experiment(name, dataset, config,
+                                      n_runs=args.runs,
+                                      base_seed=args.seed)
+        summary = result.summary()
+        cells = []
+        for key in ("MRR", "IRR-1", "IRR-5", "IRR-10"):
+            mean = summary[key].mean
+            cells.append("-" if np.isnan(mean) else f"{mean:+.3f}")
+        print(f"{name:12s} " + " ".join(f"{c:>8s}" for c in cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RT-GCN reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("markets", help="list market presets")
+    sub.add_parser("models", help="list comparison models")
+
+    train = sub.add_parser("train", help="train one model on one market")
+    _add_train_options(train)
+    train.add_argument("--model", default="RT-GCN (T)",
+                       help="model name (see `models`)")
+    train.add_argument("--checkpoint", default=None,
+                       help="write an RT-GCN (T) checkpoint here")
+
+    compare = sub.add_parser("compare", help="compare several models")
+    _add_train_options(compare)
+    compare.add_argument("--models",
+                         default="Rank_LSTM,RSR_E,RT-GCN (T)",
+                         help="comma-separated model names")
+    compare.add_argument("--runs", type=int, default=3,
+                         help="repeated runs per model")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "markets": cmd_markets,
+        "models": cmd_models,
+        "train": cmd_train,
+        "compare": cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

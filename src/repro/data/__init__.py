@@ -1,0 +1,29 @@
+"""Market data substrate: universes, relations, simulator, pipeline, presets."""
+
+from .dataset import StockDataset
+from .markets import MARKET_SPECS, MarketSpec, available_markets, load_market
+from .news import NewsAugmentedDataset, NewsConfig, generate_sentiment
+from .pipeline import (FEATURE_WINDOWS, WARMUP_DAYS, FeaturePanel,
+                       chronological_split, compute_return_ratios,
+                       moving_average)
+from .relation_builder import (DirectedInfluence, WikiRelationSet,
+                               build_industry_relations, build_wiki_relations,
+                               wiki_type_pool)
+from .simulator import (CrashEvent, SimulatedMarket, SimulationConfig,
+                        simulate_market)
+from .universe import (Stock, StockUniverse, allocate_group_sizes,
+                       generate_universe, industry_name_pool,
+                       pair_ratio_of_sizes)
+
+__all__ = [
+    "StockDataset", "MarketSpec", "MARKET_SPECS", "available_markets",
+    "load_market",
+    "NewsAugmentedDataset", "NewsConfig", "generate_sentiment",
+    "FeaturePanel", "FEATURE_WINDOWS", "WARMUP_DAYS", "moving_average",
+    "compute_return_ratios", "chronological_split",
+    "DirectedInfluence", "WikiRelationSet", "build_industry_relations",
+    "build_wiki_relations", "wiki_type_pool",
+    "CrashEvent", "SimulationConfig", "SimulatedMarket", "simulate_market",
+    "Stock", "StockUniverse", "generate_universe", "allocate_group_sizes",
+    "industry_name_pool", "pair_ratio_of_sizes",
+]

@@ -1,0 +1,111 @@
+"""Synthetic news sentiment — the paper's future-work extension.
+
+The conclusion of the paper: "once the model can capture the dependency
+among stocks, external information such as news and tweets can enrich the
+features and predict stock trends more accurately, which could be our
+future work."  This module implements that extension against the simulated
+substrate: a sparse per-stock *overnight sentiment* series that carries a
+controllable amount of genuine information about the next day's return
+(the way overnight news does in Li et al.'s study the paper cites as [8]).
+
+``NewsAugmentedDataset`` wraps any :class:`StockDataset` and appends the
+sentiment channel as a fifth feature, so every model in the repository can
+be trained with or without news by swapping the dataset object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .dataset import StockDataset
+
+
+@dataclass(frozen=True)
+class NewsConfig:
+    """Knobs of the synthetic news process."""
+
+    event_rate: float = 0.2        # P(a stock has a story on a given day)
+    informativeness: float = 0.5   # corr(sentiment, next-day return z-score)
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 < self.event_rate <= 1.0:
+            raise ValueError(f"event_rate must be in (0, 1], got "
+                             f"{self.event_rate}")
+        if not 0.0 <= self.informativeness <= 1.0:
+            raise ValueError(f"informativeness must be in [0, 1], got "
+                             f"{self.informativeness}")
+
+
+def generate_sentiment(return_ratios: np.ndarray,
+                       config: Optional[NewsConfig] = None) -> np.ndarray:
+    """Sentiment scores ``(N, days)`` in [-1, 1]; 0 = no story.
+
+    A story published at day ``t``'s close previews the day-``t+1`` return:
+    the sentiment is a noisy z-score of the future return with correlation
+    ``informativeness``, squashed by tanh.  Days without events are exactly
+    zero, so sparsity is visible to the model.
+    """
+    cfg = config if config is not None else NewsConfig()
+    returns = np.asarray(return_ratios, dtype=np.float64)
+    rng = np.random.default_rng(cfg.seed)
+    n, days = returns.shape
+
+    future = np.zeros_like(returns)
+    future[:, :-1] = returns[:, 1:]
+    scale = returns.std() or 1.0
+    z = future / scale
+    rho = cfg.informativeness
+    noise = rng.standard_normal(returns.shape)
+    raw = rho * z + np.sqrt(max(1.0 - rho * rho, 0.0)) * noise
+    sentiment = np.tanh(raw)
+    events = rng.uniform(size=returns.shape) < cfg.event_rate
+    sentiment[~events] = 0.0
+    sentiment[:, -1] = 0.0      # nothing to preview after the last day
+    return sentiment
+
+
+class NewsAugmentedDataset:
+    """A :class:`StockDataset` view with a sentiment feature appended.
+
+    Delegates everything to the wrapped dataset; ``features`` returns
+    ``(T, N, D + 1)`` where the extra channel is the sentiment at each
+    window day.  The sentiment requires no price normalization (it is
+    already scale-free in [-1, 1]).
+    """
+
+    def __init__(self, base: StockDataset,
+                 config: Optional[NewsConfig] = None):
+        self._base = base
+        self.news_config = config if config is not None else NewsConfig()
+        self.sentiment = generate_sentiment(base.return_ratios,
+                                            self.news_config)
+        self.market = base.market + "+news"
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+    def features(self, day: int, window: int,
+                 num_features: int = 4) -> np.ndarray:
+        price_features = self._base.features(day, window, num_features)
+        segment = self.sentiment[:, day - window + 1:day + 1]
+        channel = segment.T[:, :, None]              # (window, N, 1)
+        return np.concatenate([price_features, channel], axis=2)
+
+    @property
+    def num_feature_channels(self) -> int:
+        return 5
+
+    def samples(self, days: List[int], window: int, num_features: int = 4
+                ) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        for day in days:
+            yield day, self.features(day, window, num_features), \
+                self.label(day)
+
+    def __repr__(self) -> str:
+        return (f"NewsAugmentedDataset({self._base!r}, "
+                f"event_rate={self.news_config.event_rate}, "
+                f"informativeness={self.news_config.informativeness})")

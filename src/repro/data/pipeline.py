@@ -1,0 +1,145 @@
+"""Feature pipeline (paper §V-A-1, steps 1–4).
+
+Step 1 — *normalized closing price*: within an input window ending at day
+``T``, every price is divided by that stock's close on day ``T`` so no
+future information leaks into the features.
+
+Step 2 — *moving averages*: 5/10/20-day trailing means of the close,
+normalized the same way (weekly / half-month / monthly trends).
+
+Step 3 — *return ratio*: the ground truth
+``r_i^{t+1} = (p_i^{t+1} − p_i^t) / p_i^t`` (Eq. 10).
+
+Step 4 — *chronological split* into training and testing day ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: trailing moving-average lengths from the paper (close = length 1)
+FEATURE_WINDOWS: Tuple[int, ...] = (1, 5, 10, 20)
+
+#: days of history consumed before the first fully-defined feature vector
+WARMUP_DAYS: int = max(FEATURE_WINDOWS) - 1
+
+
+def moving_average(prices: np.ndarray, length: int) -> np.ndarray:
+    """Trailing moving average along the last axis.
+
+    ``out[..., t]`` is the mean of ``prices[..., t-length+1 : t+1]``; the
+    first ``length - 1`` positions, which lack full history, are NaN so
+    accidental use fails loudly.
+    """
+    prices = np.asarray(prices, dtype=np.float64)
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if prices.shape[-1] < length:
+        raise ValueError(f"need at least {length} days, got "
+                         f"{prices.shape[-1]}")
+    kernel = np.ones(length) / length
+    out = np.full_like(prices, np.nan)
+    valid = np.apply_along_axis(
+        lambda row: np.convolve(row, kernel, mode="valid"), -1, prices)
+    out[..., length - 1:] = valid
+    return out
+
+
+def compute_return_ratios(prices: np.ndarray) -> np.ndarray:
+    """Day-over-day return ratio (Eq. 10), aligned to the *later* day.
+
+    ``out[..., t] = (p_t − p_{t−1}) / p_{t−1}``; position 0 is 0 by
+    convention (no prior day).
+    """
+    prices = np.asarray(prices, dtype=np.float64)
+    out = np.zeros_like(prices)
+    out[..., 1:] = prices[..., 1:] / prices[..., :-1] - 1.0
+    return out
+
+
+@dataclass
+class FeaturePanel:
+    """Pre-computed raw features for a price history.
+
+    ``raw`` has shape ``(num_features, num_stocks, num_days)`` with the
+    feature order of Table VIII: close, 5-day MA, 10-day MA, 20-day MA.
+    Features are *not yet normalized* — normalization depends on the window
+    position (step 1 divides by the window's final close).
+    """
+
+    raw: np.ndarray
+    prices: np.ndarray
+
+    @classmethod
+    def from_prices(cls, prices: np.ndarray) -> "FeaturePanel":
+        prices = np.asarray(prices, dtype=np.float64)
+        if prices.ndim != 2:
+            raise ValueError(f"prices must be (stocks, days), got "
+                             f"{prices.shape}")
+        if not np.isfinite(prices).all():
+            raise ValueError("prices must be finite (no NaN/inf)")
+        if np.any(prices <= 0):
+            raise ValueError("prices must be strictly positive")
+        layers = [prices if w == 1 else moving_average(prices, w)
+                  for w in FEATURE_WINDOWS]
+        return cls(raw=np.stack(layers, axis=0), prices=prices)
+
+    @property
+    def num_stocks(self) -> int:
+        return self.prices.shape[0]
+
+    @property
+    def num_days(self) -> int:
+        return self.prices.shape[1]
+
+    def first_valid_day(self, window: int) -> int:
+        """Earliest prediction day ``t`` with a full feature window."""
+        return WARMUP_DAYS + window - 1
+
+    def window_features(self, t: int, window: int,
+                        num_features: int = 4) -> np.ndarray:
+        """Normalized features for the window ending at day ``t``.
+
+        Returns ``(window, num_stocks, num_features)``: each feature value
+        in the window is divided by the stock's close at day ``t`` (step 1's
+        leak-free normalization).
+        """
+        if not 1 <= num_features <= len(FEATURE_WINDOWS):
+            raise ValueError(f"num_features must be in 1..4, got "
+                             f"{num_features}")
+        if t < self.first_valid_day(window):
+            raise ValueError(f"day {t} lacks history for window={window} "
+                             f"(first valid day is "
+                             f"{self.first_valid_day(window)})")
+        if t >= self.num_days:
+            raise IndexError(f"day {t} outside history of {self.num_days}")
+        segment = self.raw[:num_features, :, t - window + 1:t + 1]
+        anchor = self.prices[:, t][None, :, None]
+        normalized = segment / anchor
+        # (features, stocks, window) -> (window, stocks, features)
+        return normalized.transpose(2, 1, 0)
+
+
+def chronological_split(num_days: int, train_days: int, test_days: int,
+                        window: int) -> Tuple[List[int], List[int]]:
+    """Day-index split (step 4): train then test, no shuffling.
+
+    Returns the lists of *prediction days* ``t`` — each sample uses features
+    up to ``t`` and is labelled by the day-``t+1`` return.  The last usable
+    day is ``num_days - 2``.
+    """
+    first = WARMUP_DAYS + window - 1
+    last = num_days - 2
+    available = last - first + 1
+    if train_days + test_days > available:
+        raise ValueError(f"requested {train_days}+{test_days} days but only "
+                         f"{available} usable days exist (num_days="
+                         f"{num_days}, window={window})")
+    test_start = last - test_days + 1
+    train_start = test_start - train_days
+    train = list(range(train_start, test_start))
+    test = list(range(test_start, last + 1))
+    return train, test

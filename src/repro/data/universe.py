@@ -1,0 +1,206 @@
+"""Stock universes with sector→industry structure.
+
+The paper's datasets are the NASDAQ/NYSE stock lists of Feng et al. [9] and
+the CSI 300 constituents, each stock carrying a sector-industry label from
+the NASDAQ screener.  With no network access, this module generates synthetic
+universes whose *industry-structure statistics* match Table III: the number
+of industry relation types and the fraction of same-industry stock pairs
+(the "relation ratio").
+
+Industry sizes follow a Zipf-like law whose exponent is calibrated by
+bisection so that the same-industry pair ratio hits the requested target —
+real industry memberships are heavily skewed (a few big industries, a long
+tail), and the pair ratio is dominated by the large groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_SECTORS = [
+    "Technology", "Health Care", "Finance", "Consumer Services",
+    "Capital Goods", "Energy", "Public Utilities", "Basic Industries",
+    "Consumer Non-Durables", "Transportation", "Miscellaneous",
+    "Consumer Durables",
+]
+
+_INDUSTRY_STEMS = [
+    "Computer Software: Prepackaged Software", "Biotechnology",
+    "Major Pharmaceuticals", "Nursing Services", "Semiconductors",
+    "Internet Software/Services", "Major Banks", "Investment Managers",
+    "Property-Casualty Insurers", "Restaurants", "Retail: Apparel",
+    "Oil & Gas Production", "Electric Utilities", "Steel/Iron Ore",
+    "Packaged Foods", "Air Freight/Delivery Services", "Auto Manufacturing",
+    "Medical Specialities", "Telecommunications Equipment",
+    "Industrial Machinery/Components", "Precious Metals", "Broadcasting",
+    "EDP Services", "Hotels/Resorts", "Real Estate Investment Trusts",
+    "Marine Transportation", "Specialty Chemicals", "Aerospace",
+    "Home Furnishings", "Shoe Manufacturing", "Beverages (Production)",
+    "Life Insurance", "Finance Companies", "Computer Manufacturing",
+    "Electronic Components", "Medical/Dental Instruments",
+    "Commercial Banks", "Savings Institutions", "Clothing/Shoe/Accessory",
+    "Building Products", "Forest Products", "Environmental Services",
+]
+
+
+def industry_name_pool(count: int) -> List[str]:
+    """Return ``count`` distinct industry names in a deterministic order."""
+    names: List[str] = []
+    suffix = 0
+    while len(names) < count:
+        for stem in _INDUSTRY_STEMS:
+            label = stem if suffix == 0 else f"{stem} (Segment {suffix})"
+            names.append(label)
+            if len(names) == count:
+                return names
+        suffix += 1
+    return names
+
+
+def pair_ratio_of_sizes(sizes: Sequence[int], total: int) -> float:
+    """Same-group pair fraction: Σ s(s-1) / (n(n-1))."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if total < 2:
+        return 0.0
+    return float((sizes * (sizes - 1)).sum() / (total * (total - 1)))
+
+
+def allocate_group_sizes(num_items: int, num_groups: int,
+                         target_pair_ratio: float,
+                         max_iterations: int = 60) -> List[int]:
+    """Split ``num_items`` into ``num_groups`` Zipf-sized groups.
+
+    Bisection on the Zipf exponent finds sizes whose same-group pair ratio
+    approximates ``target_pair_ratio``.  Each group keeps at least one item.
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be >= 1")
+    if num_items < num_groups:
+        raise ValueError(f"cannot split {num_items} items into {num_groups} "
+                         "non-empty groups")
+
+    def sizes_for(alpha: float) -> List[int]:
+        weights = (np.arange(1, num_groups + 1, dtype=np.float64)) ** -alpha
+        raw = weights / weights.sum() * num_items
+        sizes = np.maximum(np.floor(raw).astype(int), 1)
+        # Distribute the rounding remainder to the largest groups first.
+        deficit = num_items - int(sizes.sum())
+        order = np.argsort(-raw)
+        idx = 0
+        while deficit != 0:
+            target = order[idx % num_groups]
+            if deficit > 0:
+                sizes[target] += 1
+                deficit -= 1
+            elif sizes[target] > 1:
+                sizes[target] -= 1
+                deficit += 1
+            idx += 1
+        return sizes.tolist()
+
+    low, high = 0.0, 4.0
+    best = sizes_for(low)
+    for _ in range(max_iterations):
+        mid = (low + high) / 2
+        candidate = sizes_for(mid)
+        ratio = pair_ratio_of_sizes(candidate, num_items)
+        best = candidate
+        if abs(ratio - target_pair_ratio) / max(target_pair_ratio, 1e-12) < 0.02:
+            break
+        if ratio < target_pair_ratio:
+            low = mid  # more skew -> bigger groups -> higher ratio
+        else:
+            high = mid
+    return best
+
+
+@dataclass(frozen=True)
+class Stock:
+    """A listed company in a universe."""
+
+    symbol: str
+    name: str
+    sector: str
+    industry: str
+    market_cap: float
+
+
+@dataclass
+class StockUniverse:
+    """An ordered collection of stocks with sector/industry structure."""
+
+    market: str
+    stocks: List[Stock] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.stocks)
+
+    def __getitem__(self, index: int) -> Stock:
+        return self.stocks[index]
+
+    @property
+    def symbols(self) -> List[str]:
+        return [s.symbol for s in self.stocks]
+
+    @property
+    def market_caps(self) -> np.ndarray:
+        return np.array([s.market_cap for s in self.stocks])
+
+    def industries(self) -> Dict[str, List[int]]:
+        """Map industry name → member stock indices."""
+        members: Dict[str, List[int]] = {}
+        for i, stock in enumerate(self.stocks):
+            members.setdefault(stock.industry, []).append(i)
+        return members
+
+    def industry_of(self, index: int) -> str:
+        return self.stocks[index].industry
+
+    def industry_pair_ratio(self) -> float:
+        """Fraction of stock pairs sharing an industry (Table III column)."""
+        sizes = [len(v) for v in self.industries().values()]
+        return pair_ratio_of_sizes(sizes, len(self.stocks))
+
+
+def generate_universe(market: str, num_stocks: int, num_industries: int,
+                      industry_pair_ratio: float,
+                      rng: Optional[np.random.Generator] = None
+                      ) -> StockUniverse:
+    """Create a synthetic universe matching the target industry statistics.
+
+    Parameters
+    ----------
+    market:
+        Label such as ``"NASDAQ"``; only used in symbols/metadata.
+    num_stocks, num_industries:
+        Universe size and number of industry relation types (Table III).
+    industry_pair_ratio:
+        Target fraction of same-industry pairs (Table III relation ratio).
+    """
+    gen = rng if rng is not None else np.random.default_rng()
+    sizes = allocate_group_sizes(num_stocks, num_industries,
+                                 industry_pair_ratio)
+    industry_names = industry_name_pool(num_industries)
+    sector_of = {name: _SECTORS[i % len(_SECTORS)]
+                 for i, name in enumerate(industry_names)}
+    stocks: List[Stock] = []
+    index = 0
+    prefix = "".join(ch for ch in market.upper() if ch.isalpha())[:3]
+    for industry, size in zip(industry_names, sizes):
+        for _ in range(size):
+            symbol = f"{prefix}{index:04d}"
+            # Log-normal market caps: a few giants, many small caps.
+            cap = float(np.exp(gen.normal(9.0, 1.4)))  # in millions
+            stocks.append(Stock(symbol=symbol,
+                                name=f"{industry.split(':')[0]} Corp {index}",
+                                sector=sector_of[industry],
+                                industry=industry,
+                                market_cap=cap))
+            index += 1
+    # Shuffle so industry members are not contiguous in index order.
+    order = gen.permutation(num_stocks)
+    stocks = [stocks[i] for i in order]
+    return StockUniverse(market=market, stocks=stocks)

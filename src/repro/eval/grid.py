@@ -1,0 +1,118 @@
+"""Grid search over training hyperparameters (paper §V-B-4).
+
+"The same tuning strategy and grid search are employed to select the
+optimal hyperparameters on all graph-based methods" — the paper tunes the
+window size T over {5, 10, 15, 20} and α over {0.01, 0.1, 0.2}.  This
+module provides that loop for any registry model or module factory, with
+the selection done on a *validation* tail of the training period so the
+test period stays untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.trainer import TrainConfig, Trainer
+from ..data import StockDataset
+from ..nn.module import Module
+from ..nn.random import fork_rng
+from .metrics import ranking_metrics
+
+#: the paper's §V-B-4 grids
+PAPER_WINDOW_GRID = (5, 10, 15, 20)
+PAPER_ALPHA_GRID = (0.01, 0.1, 0.2)
+
+
+@dataclass
+class GridPoint:
+    """One evaluated hyperparameter combination."""
+
+    params: Dict[str, object]
+    metrics: Dict[str, float]
+    score: float
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated points, sorted best-first."""
+
+    points: List[GridPoint]
+    metric: str
+
+    @property
+    def best(self) -> GridPoint:
+        return self.points[0]
+
+    def best_config(self, base: Optional[TrainConfig] = None) -> TrainConfig:
+        """The base config with the winning parameters substituted in."""
+        config = base if base is not None else TrainConfig()
+        return replace(config, **self.best.params)
+
+    def table(self) -> List[Dict[str, object]]:
+        return [{**p.params, "score": p.score} for p in self.points]
+
+
+def validation_split(dataset: StockDataset, window: int,
+                     validation_days: int) -> tuple:
+    """Carve a validation tail off the training period.
+
+    Returns ``(train_days, validation_days_list)``; the dataset's real test
+    period is never touched.
+    """
+    train_days, _ = dataset.split(window)
+    if validation_days >= len(train_days):
+        raise ValueError(f"validation_days={validation_days} exhausts the "
+                         f"{len(train_days)}-day training period")
+    return train_days[:-validation_days], train_days[-validation_days:]
+
+
+def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
+                dataset: StockDataset,
+                param_grid: Dict[str, Sequence],
+                base_config: Optional[TrainConfig] = None,
+                metric: str = "IRR-5",
+                validation_days: int = 30,
+                seed: int = 0) -> GridSearchResult:
+    """Exhaustive search over ``param_grid`` scored on a validation tail.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(rng, config)`` builds a fresh scoring model; it receives
+        the candidate config so models can depend on e.g.
+        ``config.num_features``.
+    param_grid:
+        Mapping of :class:`TrainConfig` field names to candidate values,
+        e.g. ``{"window": PAPER_WINDOW_GRID, "alpha": PAPER_ALPHA_GRID}``.
+    metric:
+        Ranking metric to maximize on the validation tail.
+    validation_days:
+        Length of the training tail held out for selection.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must contain at least one parameter")
+    base = base_config if base_config is not None else TrainConfig()
+    names = list(param_grid)
+    points: List[GridPoint] = []
+    for combo_index, values in enumerate(product(*(param_grid[n]
+                                                   for n in names))):
+        params = dict(zip(names, values))
+        config = replace(base, **params)
+        train_days, valid_days = validation_split(dataset, config.window,
+                                                  validation_days)
+        run_config = replace(config, seed=seed)
+        model = factory(fork_rng(seed * 10000 + combo_index), run_config)
+        trainer = Trainer(model, dataset, run_config,
+                          train_days=train_days)
+        trainer.train()
+        predictions = trainer.predict(valid_days)
+        actuals = np.stack([dataset.label(day) for day in valid_days])
+        metrics = ranking_metrics(predictions, actuals)
+        points.append(GridPoint(params=params, metrics=metrics,
+                                score=metrics[metric]))
+    points.sort(key=lambda p: -p.score)
+    return GridSearchResult(points=points, metric=metric)

@@ -1,0 +1,72 @@
+"""Market-index analogues of DJI / S&P 500 / CSI 300 (Figure 6).
+
+The paper compares its strategies' cumulative returns against the major
+index of each market.  With simulated markets, the natural analogue is a
+cap-weighted index of the simulated universe (like the S&P 500 / CSI 300)
+and a price-weighted index of the largest constituents (like the Dow Jones
+Industrial Average, which is price-weighted over 30 blue chips).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data import StockDataset
+
+
+def cap_weighted_index(prices: np.ndarray, market_caps: np.ndarray
+                       ) -> np.ndarray:
+    """S&P-style index level: cap-weighted average of normalized prices."""
+    prices = np.asarray(prices, dtype=np.float64)
+    caps = np.asarray(market_caps, dtype=np.float64)
+    if prices.shape[0] != caps.shape[0]:
+        raise ValueError(f"{prices.shape[0]} price rows vs {caps.shape[0]} "
+                         "caps")
+    weights = caps / caps.sum()
+    normalized = prices / prices[:, :1]
+    return normalized.T @ weights
+
+
+def price_weighted_index(prices: np.ndarray, num_constituents: int = 30
+                         ) -> np.ndarray:
+    """DJIA-style index level: plain average price of the priciest stocks."""
+    prices = np.asarray(prices, dtype=np.float64)
+    num_constituents = min(num_constituents, prices.shape[0])
+    chosen = np.argsort(-prices[:, 0])[:num_constituents]
+    return prices[chosen].mean(axis=0)
+
+
+def index_cumulative_returns(index_level: np.ndarray,
+                             days: Sequence[int]) -> np.ndarray:
+    """Cumulative day-over-day return of an index across test days.
+
+    Aligned with the strategies' IRR curves: entry ``d`` is the summed
+    daily return ratio of the index from the first test day through the
+    ``d``-th, using the same t → t+1 convention as the trading strategy.
+    """
+    index_level = np.asarray(index_level, dtype=np.float64)
+    days = list(days)
+    daily = [index_level[d + 1] / index_level[d] - 1.0 for d in days]
+    return np.cumsum(daily)
+
+
+def market_index_curves(dataset: StockDataset, days: Sequence[int]) -> dict:
+    """The Figure 6 reference curves for a dataset's market.
+
+    Returns a mapping of index name → cumulative return curve over the test
+    days.  US-style markets get both a cap-weighted ("S&P 500") and a
+    price-weighted ("DJI") analogue; the CSI market gets the cap-weighted
+    "CSI 300" analogue only, matching the figure.
+    """
+    caps = dataset.universe.market_caps
+    cap_level = cap_weighted_index(dataset.prices, caps)
+    curves = {}
+    if dataset.market.upper().startswith("CSI"):
+        curves["CSI 300"] = index_cumulative_returns(cap_level, days)
+    else:
+        curves["S&P 500"] = index_cumulative_returns(cap_level, days)
+        dji_level = price_weighted_index(dataset.prices)
+        curves["DJI"] = index_cumulative_returns(dji_level, days)
+    return curves

@@ -1,0 +1,144 @@
+"""Ranking metrics of the evaluation protocol (§V-B-3).
+
+- **MRR** — mean reciprocal rank: for each testing day, where does the
+  model's top-1 pick sit in the *true* return ordering?  Averaged over
+  days.
+- **IRR-N** — cumulative investment return ratio of the daily buy-sell
+  strategy: each day buy the top-``N`` scored stocks (equal weight), sell
+  the next day; sum the daily portfolio returns over the test period.
+
+Higher is better for both.  Inputs are matrices over the test period:
+``predictions[d, i]`` = model score of stock ``i`` on day ``d``;
+``actuals[d, i]`` = realized next-day return ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _validate(predictions: np.ndarray, actuals: np.ndarray) -> tuple:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    actuals = np.asarray(actuals, dtype=np.float64)
+    if predictions.ndim == 1:
+        predictions = predictions[None, :]
+        actuals = actuals[None, :]
+    if predictions.shape != actuals.shape:
+        raise ValueError(f"shape mismatch: predictions {predictions.shape} "
+                         f"vs actuals {actuals.shape}")
+    if predictions.ndim != 2:
+        raise ValueError("expected (days, stocks) matrices")
+    return predictions, actuals
+
+
+def reciprocal_rank_of_top1(scores: np.ndarray,
+                            returns: np.ndarray) -> float:
+    """1 / (true-rank of the predicted top-1 stock) for one day."""
+    top = int(np.argmax(scores))
+    # Rank 1 = highest true return; ties broken pessimistically (a tied
+    # stock counts at the bottom of its tie group) so the metric never
+    # benefits from degenerate constant predictions.
+    rank = int((returns > returns[top]).sum() + (returns == returns[top]).sum())
+    return 1.0 / rank
+
+
+def mrr(predictions: np.ndarray, actuals: np.ndarray) -> float:
+    """Mean reciprocal rank of the daily top-1 pick over the test period."""
+    predictions, actuals = _validate(predictions, actuals)
+    daily = [reciprocal_rank_of_top1(p, a)
+             for p, a in zip(predictions, actuals)]
+    return float(np.mean(daily))
+
+
+def daily_topn_returns(predictions: np.ndarray, actuals: np.ndarray,
+                       top_n: int) -> np.ndarray:
+    """Equal-weight daily return of the top-``N`` picks: ``(days,)``."""
+    predictions, actuals = _validate(predictions, actuals)
+    num_stocks = predictions.shape[1]
+    if not 1 <= top_n <= num_stocks:
+        raise ValueError(f"top_n must be in 1..{num_stocks}, got {top_n}")
+    # argpartition keeps it O(N) per day.
+    picks = np.argpartition(-predictions, top_n - 1, axis=1)[:, :top_n]
+    chosen = np.take_along_axis(actuals, picks, axis=1)
+    return chosen.mean(axis=1)
+
+
+def irr(predictions: np.ndarray, actuals: np.ndarray, top_n: int) -> float:
+    """Cumulative investment return ratio (IRR-N) over the test period."""
+    return float(daily_topn_returns(predictions, actuals, top_n).sum())
+
+
+def irr_curve(predictions: np.ndarray, actuals: np.ndarray,
+              top_n: int) -> np.ndarray:
+    """Cumulative IRR series over testing days (Figure 6's y-axis)."""
+    return np.cumsum(daily_topn_returns(predictions, actuals, top_n))
+
+
+def precision_at_n(predictions: np.ndarray, actuals: np.ndarray,
+                   top_n: int) -> float:
+    """Fraction of daily top-``N`` picks inside the true top-``N`` set."""
+    predictions, actuals = _validate(predictions, actuals)
+    num_stocks = predictions.shape[1]
+    if not 1 <= top_n <= num_stocks:
+        raise ValueError(f"top_n must be in 1..{num_stocks}, got {top_n}")
+    pred_picks = np.argpartition(-predictions, top_n - 1, axis=1)[:, :top_n]
+    true_picks = np.argpartition(-actuals, top_n - 1, axis=1)[:, :top_n]
+    hits = [len(set(p) & set(t)) for p, t in zip(pred_picks, true_picks)]
+    return float(np.mean(hits) / top_n)
+
+
+def ndcg_at_n(predictions: np.ndarray, actuals: np.ndarray,
+              top_n: int) -> float:
+    """Normalized discounted cumulative gain over the daily rankings.
+
+    Gains are the (shifted-positive) next-day returns; a model that puts
+    high-return stocks near the top of its list scores close to 1.  Not in
+    the paper's metric set, but standard for learning-to-rank evaluation
+    and useful to disambiguate IRR ties.
+    """
+    predictions, actuals = _validate(predictions, actuals)
+    num_stocks = predictions.shape[1]
+    if not 1 <= top_n <= num_stocks:
+        raise ValueError(f"top_n must be in 1..{num_stocks}, got {top_n}")
+    discounts = 1.0 / np.log2(np.arange(2, top_n + 2))
+    scores = []
+    for day_pred, day_act in zip(predictions, actuals):
+        gains = day_act - day_act.min()        # shift to non-negative
+        order = np.argsort(-day_pred)[:top_n]
+        ideal = np.sort(gains)[::-1][:top_n]
+        dcg = float((gains[order] * discounts).sum())
+        idcg = float((ideal * discounts).sum())
+        scores.append(dcg / idcg if idcg > 0 else 1.0)
+    return float(np.mean(scores))
+
+
+def kendall_tau(predictions: np.ndarray, actuals: np.ndarray) -> float:
+    """Mean daily Kendall rank correlation between scores and returns.
+
+    Computed pairwise in O(N²) per day (fine at evaluation scale); 1 means
+    the full predicted order matches the realized order.
+    """
+    predictions, actuals = _validate(predictions, actuals)
+    taus = []
+    for day_pred, day_act in zip(predictions, actuals):
+        pred_diff = np.sign(day_pred[:, None] - day_pred[None, :])
+        act_diff = np.sign(day_act[:, None] - day_act[None, :])
+        upper = np.triu_indices(len(day_pred), k=1)
+        concordance = pred_diff[upper] * act_diff[upper]
+        valid = concordance != 0
+        if valid.sum() == 0:
+            taus.append(0.0)
+        else:
+            taus.append(float(concordance[valid].mean()))
+    return float(np.mean(taus))
+
+
+def ranking_metrics(predictions: np.ndarray, actuals: np.ndarray,
+                    top_ns: Sequence[int] = (1, 5, 10)) -> Dict[str, float]:
+    """The paper's metric row: MRR plus IRR-1/5/10."""
+    result = {"MRR": mrr(predictions, actuals)}
+    for n in top_ns:
+        result[f"IRR-{n}"] = irr(predictions, actuals, n)
+    return result

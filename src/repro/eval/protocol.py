@@ -1,0 +1,133 @@
+"""Multi-run experiment protocol (§V-B-4 and §V-C-1).
+
+"To eliminate the randomness and have a statistically significant result,
+we run all models fifteen times and average the performance."  This module
+provides exactly that loop: a *model factory* is invoked once per run with
+a fresh seeded generator, trained through the shared
+:class:`~repro.core.trainer.Trainer`, scored with the ranking metrics, and
+the per-run metric dicts are aggregated and compared with the Wilcoxon
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.trainer import TrainConfig, Trainer, TrainResult
+from ..data import StockDataset
+from ..nn.module import Module
+from ..nn.random import fork_rng
+from ..stats import (RunSummary, WilcoxonResult, one_sample_wilcoxon,
+                     paired_wilcoxon, summarize_runs)
+from .metrics import ranking_metrics
+
+ModelFactory = Callable[[np.random.Generator], Module]
+
+
+@dataclass
+class ExperimentResult:
+    """All runs of one model on one dataset."""
+
+    name: str
+    runs: List[Dict[str, float]]
+    train_seconds: List[float]
+    test_seconds: List[float]
+    #: last run's raw result (TrainResult or PredictorResult — both expose
+    #: ``predictions``, ``actuals`` and ``test_days``)
+    last_result: Optional[object] = field(default=None, repr=False)
+
+    def summary(self) -> Dict[str, RunSummary]:
+        return summarize_runs(self.runs)
+
+    def metric_values(self, metric: str) -> List[float]:
+        return [run[metric] for run in self.runs]
+
+    def mean(self, metric: str) -> float:
+        return float(np.mean(self.metric_values(metric)))
+
+
+def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
+                   config: Optional[TrainConfig] = None, n_runs: int = 15,
+                   base_seed: int = 0,
+                   top_ns: Sequence[int] = (1, 5, 10)) -> ExperimentResult:
+    """Train/evaluate a model ``n_runs`` times with independent seeds."""
+    cfg = config if config is not None else TrainConfig()
+    runs: List[Dict[str, float]] = []
+    train_times: List[float] = []
+    test_times: List[float] = []
+    last: Optional[TrainResult] = None
+    for run_index in range(n_runs):
+        stream = base_seed * 1000 + run_index
+        model = factory(fork_rng(stream))
+        run_cfg = replace(cfg, seed=stream)
+        result = Trainer(model, dataset, run_cfg).run()
+        runs.append(ranking_metrics(result.predictions, result.actuals,
+                                    top_ns=top_ns))
+        train_times.append(result.train_seconds)
+        test_times.append(result.test_seconds)
+        last = result
+    return ExperimentResult(name=name, runs=runs,
+                            train_seconds=train_times,
+                            test_seconds=test_times, last_result=last)
+
+
+def run_named_experiment(name: str, dataset: StockDataset,
+                         config: Optional[TrainConfig] = None,
+                         n_runs: int = 15, base_seed: int = 0,
+                         top_ns: Sequence[int] = (1, 5, 10)
+                         ) -> ExperimentResult:
+    """Run a registry model (Table IV name) for ``n_runs`` seeded repeats.
+
+    Classification models (``can_rank=False``) report ``MRR = NaN``,
+    rendering as '-' in the printed tables, exactly like the paper.
+    """
+    from ..baselines.registry import get_spec, make_predictor
+
+    spec = get_spec(name)
+    cfg = spec.adapt_config(config if config is not None else TrainConfig())
+    runs: List[Dict[str, float]] = []
+    train_times: List[float] = []
+    test_times: List[float] = []
+    last = None
+    for run_index in range(n_runs):
+        seed = base_seed * 1000 + run_index
+        predictor = make_predictor(name, dataset, seed=seed)
+        run_cfg = replace(cfg, seed=seed)
+        result = predictor.fit_predict(dataset, run_cfg)
+        metrics = ranking_metrics(result.predictions, result.actuals,
+                                  top_ns=top_ns)
+        if not spec.can_rank:
+            metrics["MRR"] = float("nan")
+        runs.append(metrics)
+        train_times.append(result.train_seconds)
+        test_times.append(result.test_seconds)
+        last = result
+    return ExperimentResult(name=name, runs=runs,
+                            train_seconds=train_times,
+                            test_seconds=test_times, last_result=last)
+
+
+def compare_paired(ours: ExperimentResult, baseline: ExperimentResult,
+                   metric: str) -> WilcoxonResult:
+    """Table IV significance: paired Wilcoxon of per-run metric values."""
+    return paired_wilcoxon(ours.metric_values(metric),
+                           baseline.metric_values(metric),
+                           alternative="greater")
+
+
+def compare_to_published(ours: ExperimentResult, metric: str,
+                         published_value: float) -> WilcoxonResult:
+    """Table V significance: one-sample Wilcoxon vs a published number."""
+    return one_sample_wilcoxon(ours.metric_values(metric), published_value,
+                               alternative="greater")
+
+
+def strongest_baseline(results: Dict[str, ExperimentResult],
+                       metric: str) -> str:
+    """Name of the baseline with the best mean on ``metric``."""
+    if not results:
+        raise ValueError("no baseline results supplied")
+    return max(results, key=lambda name: results[name].mean(metric))

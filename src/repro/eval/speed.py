@@ -1,0 +1,75 @@
+"""Training/testing speed measurement (Figure 5).
+
+Figure 5 compares wall-clock training and testing time of the
+ranking-based models.  The measurement here is per-epoch training time and
+full-test-sweep inference time under identical data, so the paper's claim —
+pure convolution (RT-GCN, RT-GAT) is several times faster than the
+LSTM-based rankers (Rank_LSTM, RSR) — is attributable to the operator mix
+alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.trainer import TrainConfig, Trainer
+from ..data import StockDataset
+from ..nn.module import Module
+
+
+@dataclass(frozen=True)
+class SpeedMeasurement:
+    """Wall-clock cost of one model on one dataset."""
+
+    name: str
+    train_seconds_per_epoch: float
+    test_seconds: float
+
+    def speedup_over(self, other: "SpeedMeasurement") -> Dict[str, float]:
+        """How many times faster this model is than ``other``."""
+        return {
+            "train": other.train_seconds_per_epoch
+            / max(self.train_seconds_per_epoch, 1e-12),
+            "test": other.test_seconds / max(self.test_seconds, 1e-12),
+        }
+
+
+def measure_speed(name: str,
+                  factory: Callable[[np.random.Generator], Module],
+                  dataset: StockDataset,
+                  config: Optional[TrainConfig] = None,
+                  epochs: int = 1, seed: int = 0) -> SpeedMeasurement:
+    """Time ``epochs`` training epochs and one full test sweep."""
+    from dataclasses import replace
+
+    cfg = replace(config if config is not None else TrainConfig(),
+                  epochs=epochs)
+    model = factory(np.random.default_rng(seed))
+    trainer = Trainer(model, dataset, cfg)
+    _, test_days = dataset.split(cfg.window)
+
+    start = time.perf_counter()
+    trainer.train()
+    train_elapsed = (time.perf_counter() - start) / epochs
+
+    start = time.perf_counter()
+    trainer.predict(test_days)
+    test_elapsed = time.perf_counter() - start
+    return SpeedMeasurement(name=name,
+                            train_seconds_per_epoch=train_elapsed,
+                            test_seconds=test_elapsed)
+
+
+def speed_comparison(factories: Dict[str, Callable],
+                     dataset: StockDataset,
+                     config: Optional[TrainConfig] = None,
+                     epochs: int = 1,
+                     seed: int = 0) -> Dict[str, SpeedMeasurement]:
+    """Measure a set of models under identical conditions (Figure 5)."""
+    return {name: measure_speed(name, factory, dataset, config=config,
+                                epochs=epochs, seed=seed)
+            for name, factory in factories.items()}

@@ -1,0 +1,15 @@
+"""Graph machinery: relation matrices, normalization, G_RT, strategies."""
+
+from .adjacency import (add_self_loops, normalize_adjacency,
+                        normalize_weighted_adjacency)
+from .relations import RelationMatrix
+from .rtgraph import RelationTemporalGraph, RTGraphStats
+from .strategies import (RelationStrategy, TimeSensitiveStrategy,
+                         UniformStrategy, WeightStrategy, make_strategy)
+
+__all__ = [
+    "RelationMatrix", "RelationTemporalGraph", "RTGraphStats",
+    "add_self_loops", "normalize_adjacency", "normalize_weighted_adjacency",
+    "RelationStrategy", "UniformStrategy", "WeightStrategy",
+    "TimeSensitiveStrategy", "make_strategy",
+]

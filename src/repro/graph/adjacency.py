@@ -1,0 +1,84 @@
+"""Adjacency normalization for graph convolution (paper §III-C).
+
+Implements Kipf & Welling's renormalization trick
+``I + D^{-1/2} A D^{-1/2} → D̃^{-1/2} Ã D̃^{-1/2}`` with ``Ã = A + I``, in
+two flavours:
+
+- :func:`normalize_adjacency` for constant (binary/static) adjacencies,
+  returning a plain array;
+- :func:`normalize_weighted_adjacency` for *learnable* weighted adjacencies
+  produced by the weight/time-sensitive strategies, built from autograd ops
+  so gradients flow into the relation weights.  Degrees use absolute values
+  so the normalization stays defined when learned edge weights go negative
+  (a stability refinement over the paper's formula, documented in
+  DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..tensor import Tensor, ensure_tensor
+
+
+def add_self_loops(adjacency: np.ndarray) -> np.ndarray:
+    """Return ``A + I`` (the Ã of the renormalization trick)."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    n = adjacency.shape[-1]
+    return adjacency + np.eye(n)
+
+
+def normalize_adjacency(adjacency: np.ndarray,
+                        add_loops: bool = True) -> np.ndarray:
+    """Symmetric normalization ``D̃^{-1/2} Ã D̃^{-1/2}`` of a constant graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Non-negative array of shape ``(N, N)`` or batched ``(..., N, N)``.
+    add_loops:
+        Apply the renormalization trick (``Ã = A + I``).  Disable to obtain
+        the pre-trick propagation ``I + D^{-1/2} A D^{-1/2}`` used by the
+        extra normalization ablation.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.shape[-1] != adjacency.shape[-2]:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    if np.any(adjacency < 0):
+        raise ValueError("normalize_adjacency expects non-negative entries; "
+                         "use normalize_weighted_adjacency for learned "
+                         "weights")
+    n = adjacency.shape[-1]
+    if add_loops:
+        matrix = adjacency + np.eye(n)
+        degrees = matrix.sum(axis=-1)
+        inv_sqrt = np.where(degrees > 0,
+                            np.maximum(degrees, 1e-12) ** -0.5, 0.0)
+        return matrix * inv_sqrt[..., :, None] * inv_sqrt[..., None, :]
+    degrees = adjacency.sum(axis=-1)
+    inv_sqrt = np.where(degrees > 0,
+                        np.maximum(degrees, 1e-12) ** -0.5, 0.0)
+    normalized = adjacency * inv_sqrt[..., :, None] * inv_sqrt[..., None, :]
+    return normalized + np.eye(n)
+
+
+def normalize_weighted_adjacency(adjacency: Union[Tensor, np.ndarray],
+                                 eps: float = 1e-8) -> Tensor:
+    """Differentiable symmetric normalization for learned edge weights.
+
+    Computes ``Ã = A + I`` and ``Â = D̃^{-1/2} Ã D̃^{-1/2}`` with
+    ``D̃_ii = Σ_j |Ã_ij| + eps``.  The absolute value keeps the square root
+    real when the learnable relation weights (Eq. 4/5) are negative.
+
+    Works on ``(N, N)`` or batched ``(T, N, N)`` inputs.
+    """
+    adjacency = ensure_tensor(adjacency)
+    n = adjacency.shape[-1]
+    if adjacency.shape[-2] != n:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    matrix = adjacency + Tensor(np.eye(n))
+    degrees = matrix.abs().sum(axis=-1) + eps           # (..., N)
+    inv_sqrt = degrees ** -0.5
+    return matrix * inv_sqrt.unsqueeze(-1) * inv_sqrt.unsqueeze(-2)

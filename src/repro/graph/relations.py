@@ -1,0 +1,162 @@
+"""Multi-relational stock-relation matrices (paper §III-A).
+
+The paper encodes the pairwise relations between two stocks as a multi-hot
+binary vector over ``K`` relation types, giving a tensor
+``A ∈ {0,1}^{N×N×K}``.  :class:`RelationMatrix` wraps that tensor together
+with the relation-type names and provides the statistics reported in
+Table III (relation ratio, type counts) plus slicing by relation source
+(wiki vs industry) used in the Table VI ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class RelationMatrix:
+    """A multi-hot relation tensor with named relation types.
+
+    Attributes
+    ----------
+    tensor:
+        Array of shape ``(N, N, K)``; ``tensor[i, j, k] == 1`` when stocks
+        ``i`` and ``j`` are linked by relation type ``k``.  Relations are
+        undirected in the paper, so the tensor is kept symmetric in its
+        first two axes; the diagonal carries no self-relations.
+    type_names:
+        Length-``K`` list naming each relation type (e.g.
+        ``"industry:biotechnology"`` or ``"wiki:supplier_of"``).
+    """
+
+    tensor: np.ndarray
+    type_names: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.tensor = np.asarray(self.tensor, dtype=np.float64)
+        if self.tensor.ndim != 3:
+            raise ValueError(f"relation tensor must be (N, N, K), got shape "
+                             f"{self.tensor.shape}")
+        n, m, k = self.tensor.shape
+        if n != m:
+            raise ValueError(f"relation tensor must be square in its first "
+                             f"two axes, got {self.tensor.shape}")
+        if not self.type_names:
+            self.type_names = [f"relation_{i}" for i in range(k)]
+        if len(self.type_names) != k:
+            raise ValueError(f"{len(self.type_names)} names for {k} types")
+        if not np.allclose(self.tensor, self.tensor.transpose(1, 0, 2)):
+            raise ValueError("relation tensor must be symmetric (undirected)")
+        diag = self.tensor[np.arange(n), np.arange(n), :]
+        if np.any(diag != 0):
+            raise ValueError("self-relations on the diagonal are not allowed")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, num_stocks: int,
+              type_names: Sequence[str]) -> "RelationMatrix":
+        return cls(np.zeros((num_stocks, num_stocks, len(type_names))),
+                   list(type_names))
+
+    @classmethod
+    def from_edges(cls, num_stocks: int, type_names: Sequence[str],
+                   edges: Iterable[Tuple[int, int, int]]) -> "RelationMatrix":
+        """Build from ``(i, j, type_index)`` triples (symmetrized)."""
+        tensor = np.zeros((num_stocks, num_stocks, len(type_names)))
+        for i, j, k in edges:
+            if i == j:
+                raise ValueError(f"self-relation for stock {i}")
+            tensor[i, j, k] = 1.0
+            tensor[j, i, k] = 1.0
+        return cls(tensor, list(type_names))
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_stocks(self) -> int:
+        return self.tensor.shape[0]
+
+    @property
+    def num_types(self) -> int:
+        return self.tensor.shape[2]
+
+    def pair_vector(self, i: int, j: int) -> np.ndarray:
+        """The multi-hot relation vector ``a_ij ∈ {0,1}^K``."""
+        return self.tensor[i, j].copy()
+
+    def binary_adjacency(self) -> np.ndarray:
+        """Paper Eq. (3): ``A_ij = 1`` iff ``sum(a_ij) > 0`` (no diagonal)."""
+        return (self.tensor.sum(axis=2) > 0).astype(np.float64)
+
+    def relation_ratio(self) -> float:
+        """Fraction of (unordered) stock pairs linked by ≥ 1 relation.
+
+        This is the "relation ratio" statistic of Table III.
+        """
+        n = self.num_stocks
+        if n < 2:
+            return 0.0
+        adjacency = self.binary_adjacency()
+        linked_pairs = np.triu(adjacency, k=1).sum()
+        total_pairs = n * (n - 1) / 2
+        return float(linked_pairs / total_pairs)
+
+    def edge_count(self) -> int:
+        """Number of linked unordered pairs."""
+        return int(np.triu(self.binary_adjacency(), k=1).sum())
+
+    def degree(self) -> np.ndarray:
+        """Per-stock neighbor count under the binary adjacency."""
+        return self.binary_adjacency().sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # combination and slicing
+    # ------------------------------------------------------------------
+    def select_types(self, indices: Sequence[int]) -> "RelationMatrix":
+        """Restrict to a subset of relation types (e.g. industry-only)."""
+        indices = list(indices)
+        return RelationMatrix(self.tensor[:, :, indices].copy(),
+                              [self.type_names[i] for i in indices])
+
+    def select_prefix(self, prefix: str) -> "RelationMatrix":
+        """Restrict to types whose name starts with ``prefix`` (e.g. "wiki:")."""
+        indices = [i for i, name in enumerate(self.type_names)
+                   if name.startswith(prefix)]
+        if not indices:
+            raise KeyError(f"no relation types with prefix {prefix!r} among "
+                           f"{self.type_names[:5]}...")
+        return self.select_types(indices)
+
+    def merge(self, other: "RelationMatrix") -> "RelationMatrix":
+        """Concatenate relation types of two matrices over the same stocks."""
+        if other.num_stocks != self.num_stocks:
+            raise ValueError("cannot merge relation matrices over different "
+                             f"universes ({self.num_stocks} vs "
+                             f"{other.num_stocks} stocks)")
+        overlap = set(self.type_names) & set(other.type_names)
+        if overlap:
+            raise ValueError(f"duplicate relation types: {sorted(overlap)}")
+        tensor = np.concatenate([self.tensor, other.tensor], axis=2)
+        return RelationMatrix(tensor, self.type_names + other.type_names)
+
+    def subgraph(self, stock_indices: Sequence[int]) -> "RelationMatrix":
+        """Restrict to a subset of stocks (used by the Figure 8 case study)."""
+        idx = np.asarray(list(stock_indices))
+        return RelationMatrix(self.tensor[np.ix_(idx, idx)].copy(),
+                              list(self.type_names))
+
+    def type_usage(self) -> Dict[str, int]:
+        """Number of linked pairs carrying each relation type."""
+        counts = np.triu(self.tensor.transpose(2, 0, 1), k=1).sum(axis=(1, 2))
+        return {name: int(c) for name, c in zip(self.type_names, counts)}
+
+    def __repr__(self) -> str:
+        return (f"RelationMatrix(stocks={self.num_stocks}, "
+                f"types={self.num_types}, "
+                f"ratio={self.relation_ratio():.4f})")

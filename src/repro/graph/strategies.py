@@ -1,0 +1,156 @@
+"""The three relation-aware propagation strategies of paper §IV-B.
+
+Each strategy is a relation-aware function 𝓡 that turns the multi-hot
+relation tensor ``𝓐 ∈ {0,1}^{N×N×K}`` (and, for the time-sensitive variant,
+the node features) into a weighted adjacency used by the graph convolution:
+
+- :class:`UniformStrategy` — Eq. (3): every related pair gets weight 1.
+- :class:`WeightStrategy` — Eq. (4): ``A_ij = 𝓐_ijᵀ w + b`` with learnable
+  ``w ∈ R^K`` and scalar ``b``, shared across time-steps.
+- :class:`TimeSensitiveStrategy` — Eq. (5): the relation importance of
+  Eq. (4) scaled by the per-time-step feature correlation
+  ``X(t)_iᵀ X(t)_j / √n`` (scaled dot-product), yielding a distinct
+  adjacency for every relational graph in G_RT.
+
+Implementation notes
+--------------------
+- Following the released RT-GCN code's convention, learned weights are
+  restricted to *related* pairs: the ``+ b`` bias applies only where
+  ``sum(𝓐_ij) > 0``, otherwise the graph would become fully dense.
+- Every strategy returns the *normalized* adjacency
+  ``D̃^{-1/2} Ã D̃^{-1/2}`` ready for Eq. (2); normalization is
+  differentiable for the learnable strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import init
+from ..nn.module import Module, Parameter
+from ..nn.random import get_rng
+from ..tensor import Tensor, einsum, ensure_tensor
+from .adjacency import normalize_adjacency, normalize_weighted_adjacency
+from .relations import RelationMatrix
+
+
+class RelationStrategy(Module):
+    """Base class: maps relations (and features) to normalized adjacency."""
+
+    #: whether the produced adjacency differs per time-step
+    time_varying: bool = False
+
+    def __init__(self, relations: RelationMatrix):
+        super().__init__()
+        self.relations = relations
+        self._mask = relations.binary_adjacency()
+
+    @property
+    def num_types(self) -> int:
+        return self.relations.num_types
+
+    def forward(self, features: Optional[Tensor] = None) -> Tensor:
+        raise NotImplementedError
+
+
+class UniformStrategy(RelationStrategy):
+    """Eq. (3): binary adjacency, one shared weight for all relations.
+
+    The normalized adjacency is constant, so it is precomputed once.
+    ``renormalize=False`` switches to the pre-trick propagation
+    ``I + D^{-1/2} A D^{-1/2}`` of Eq. (1) — used by the normalization
+    ablation benchmark.
+    """
+
+    def __init__(self, relations: RelationMatrix, renormalize: bool = True):
+        super().__init__(relations)
+        self._normalized = Tensor(
+            normalize_adjacency(self._mask, add_loops=renormalize))
+
+    def forward(self, features: Optional[Tensor] = None) -> Tensor:
+        return self._normalized
+
+
+class WeightStrategy(RelationStrategy):
+    """Eq. (4): learnable per-relation-type weights, shared across time."""
+
+    def __init__(self, relations: RelationMatrix,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(relations)
+        gen = rng if rng is not None else get_rng()
+        self.weight = Parameter(np.empty(relations.num_types))
+        init.uniform_(self.weight, 0.5, 1.5, rng=gen)
+        self.bias = Parameter(np.zeros(1))
+        self._relation_tensor = Tensor(relations.tensor)
+        self._mask_tensor = Tensor(self._mask)
+
+    def raw_adjacency(self) -> Tensor:
+        """Un-normalized weighted adjacency (used by tests/case study)."""
+        scores = einsum("ijk,k->ij", self._relation_tensor, self.weight)
+        return (scores + self.bias) * self._mask_tensor
+
+    def forward(self, features: Optional[Tensor] = None) -> Tensor:
+        return normalize_weighted_adjacency(self.raw_adjacency())
+
+
+class TimeSensitiveStrategy(RelationStrategy):
+    """Eq. (5): feature correlation × relation importance, per time-step.
+
+    ``forward(features)`` expects ``features`` of shape ``(T, N, D)`` and
+    returns a ``(T, N, N)`` stack of normalized adjacencies, one per
+    relational graph in G_RT.
+    """
+
+    time_varying = True
+
+    def __init__(self, relations: RelationMatrix,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(relations)
+        gen = rng if rng is not None else get_rng()
+        self.weight = Parameter(np.empty(relations.num_types))
+        init.uniform_(self.weight, 0.5, 1.5, rng=gen)
+        self.bias = Parameter(np.zeros(1))
+        self._relation_tensor = Tensor(relations.tensor)
+        self._mask_tensor = Tensor(self._mask)
+
+    def relation_importance(self) -> Tensor:
+        """The Eq. (4) term ``𝓐_ijᵀ w + b`` masked to related pairs."""
+        scores = einsum("ijk,k->ij", self._relation_tensor, self.weight)
+        return (scores + self.bias) * self._mask_tensor
+
+    def forward(self, features: Optional[Tensor] = None) -> Tensor:
+        if features is None:
+            raise ValueError("TimeSensitiveStrategy requires node features "
+                             "of shape (T, N, D)")
+        features = ensure_tensor(features)
+        if features.ndim != 3:
+            raise ValueError(f"expected (T, N, D) features, got "
+                             f"{features.shape}")
+        if features.shape[1] != self.relations.num_stocks:
+            raise ValueError(f"feature node count {features.shape[1]} does "
+                             f"not match {self.relations.num_stocks} stocks")
+        dim = features.shape[2]
+        # time-correlation: scaled dot-product X(t) X(t)^T / sqrt(n)
+        correlation = (features @ features.swapaxes(-1, -2)) * (dim ** -0.5)
+        weighted = correlation * self.relation_importance() * self._mask_tensor
+        return normalize_weighted_adjacency(weighted)
+
+
+def make_strategy(name: str, relations: RelationMatrix,
+                  rng: Optional[np.random.Generator] = None
+                  ) -> RelationStrategy:
+    """Factory used by models and benchmarks: ``'uniform'|'weight'|'time'``.
+
+    Also accepts the paper's single-letter labels ``'U'``, ``'W'``, ``'T'``.
+    """
+    key = name.lower()
+    if key in ("uniform", "u"):
+        return UniformStrategy(relations)
+    if key in ("weight", "weighted", "w"):
+        return WeightStrategy(relations, rng=rng)
+    if key in ("time", "time-sensitive", "time_sensitive", "t"):
+        return TimeSensitiveStrategy(relations, rng=rng)
+    raise ValueError(f"unknown strategy {name!r}; expected uniform/weight/"
+                     "time")

@@ -1,0 +1,77 @@
+"""Model checkpointing: save/load parameter state as ``.npz`` archives.
+
+Keeps the reproduction usable as a library: train once, persist, reload
+for later scoring.  Only parameter arrays are stored (the architecture is
+reconstructed from code), plus a small metadata record validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .nn.module import Module
+
+_META_KEY = "__checkpoint_meta__"
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(model: Module, path: Union[str, Path],
+                    metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Write a model's ``state_dict`` (plus metadata) to ``path``.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.Module`.
+    path:
+        Target filename; ``.npz`` is appended when missing.
+    metadata:
+        JSON-serializable extras (market name, config, metrics, ...).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    state = model.state_dict()
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "model_class": type(model).__name__,
+        "num_parameters": int(model.num_parameters()),
+        "user": metadata or {},
+    }
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_checkpoint(model: Module, path: Union[str, Path],
+                    strict: bool = True) -> Dict[str, object]:
+    """Restore parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the checkpoint's metadata dict.  Raises if the stored model
+    class does not match (pass ``strict=False`` to skip that check and
+    tolerate missing/extra parameters).
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version "
+                         f"{meta.get('format_version')}")
+    if strict and meta["model_class"] != type(model).__name__:
+        raise ValueError(f"checkpoint holds a {meta['model_class']}, "
+                         f"model is a {type(model).__name__}")
+    model.load_state_dict(state, strict=strict)
+    return meta

@@ -1,0 +1,6 @@
+"""Classical ML substrate: regression trees and gradient boosting."""
+
+from .boosting import GradientBoostingRegressor
+from .trees import RegressionTree
+
+__all__ = ["RegressionTree", "GradientBoostingRegressor"]

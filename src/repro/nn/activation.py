@@ -1,0 +1,54 @@
+"""Module wrappers around the functional activations (for ``Sequential``)."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, ensure_tensor
+from .module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).leaky_relu(self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class ELU(Module):
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ensure_tensor(x).elu(self.alpha)
+
+    def __repr__(self) -> str:
+        return f"ELU(alpha={self.alpha})"

@@ -1,0 +1,64 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from .module import Module
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output to the next layer's input."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, layer in enumerate(layers):
+            self.add_module(str(index), layer)
+            self._layers.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.add_module(str(len(self._layers)), layer)
+        self._layers.append(layer)
+        return self
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+
+class ModuleList(Module):
+    """A list of sub-modules that registers its items for parameter walks."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

@@ -1,0 +1,141 @@
+"""Graph neural-network layers: spectral graph convolution and attention.
+
+:class:`GraphConv` implements Kipf & Welling's first-order convolution
+(paper Eq. 2): ``Z = Â X Θ`` for a pre-normalized adjacency ``Â``.  The
+adjacency is an input of ``forward`` rather than a constructor argument
+because the paper's time-sensitive strategy (Eq. 5) supplies a *different*
+adjacency at every time-step.
+
+:class:`GraphAttention` is the GAT layer (Veličković et al., 2018) used by
+the RT-GAT baseline of Table IV.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, concat, ensure_tensor, linear, softmax
+from . import init
+from .module import Module, Parameter
+from .random import get_rng
+
+
+class GraphConv(Module):
+    """First-order spectral graph convolution ``Z = Â X Θ (+ b)``.
+
+    ``forward(x, adj)`` accepts ``x`` of shape ``(..., N, C_in)`` and ``adj``
+    of shape ``(N, N)`` or batched ``(..., N, N)``; broadcasting follows
+    NumPy matmul rules, so a single adjacency can drive every time-step or a
+    per-step stack of adjacencies can be supplied.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = rng if rng is not None else get_rng()
+        self.weight = Parameter(np.empty((out_features, in_features)))
+        init.xavier_uniform_(self.weight, rng=gen)
+        if bias:
+            self.bias = Parameter(np.zeros(out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor, adj: Tensor) -> Tensor:
+        x = ensure_tensor(x)
+        adj = ensure_tensor(adj)
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"expected {self.in_features} input features, "
+                             f"got {x.shape[-1]}")
+        if adj.shape[-1] != x.shape[-2]:
+            raise ValueError(f"adjacency size {adj.shape[-1]} does not match "
+                             f"node count {x.shape[-2]}")
+        support = linear(x, self.weight)      # (..., N, C_out)
+        out = adj @ support                   # (..., N, C_out)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (f"GraphConv(in_features={self.in_features}, "
+                f"out_features={self.out_features})")
+
+
+class GraphAttention(Module):
+    """Single-layer multi-head graph attention (GAT).
+
+    Attention coefficients ``e_ij = LeakyReLU(aᵀ[W h_i ‖ W h_j])`` are
+    masked to the 1-hop neighborhood (plus self-loops) and normalized with a
+    softmax.  Heads are concatenated (or averaged when ``concat_heads`` is
+    false, as for an output layer).
+    """
+
+    def __init__(self, in_features: int, out_features: int, n_heads: int = 1,
+                 concat_heads: bool = True, negative_slope: float = 0.2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if concat_heads and out_features % n_heads != 0:
+            raise ValueError(f"out_features={out_features} not divisible by "
+                             f"n_heads={n_heads}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.n_heads = n_heads
+        self.concat_heads = concat_heads
+        self.negative_slope = negative_slope
+        head_dim = out_features // n_heads if concat_heads else out_features
+        self.head_dim = head_dim
+        gen = rng if rng is not None else get_rng()
+        self.weight = Parameter(np.empty((n_heads, head_dim, in_features)))
+        self.attn_src = Parameter(np.empty((n_heads, head_dim)))
+        self.attn_dst = Parameter(np.empty((n_heads, head_dim)))
+        for h in range(n_heads):
+            bound = np.sqrt(6.0 / (in_features + head_dim))
+            self.weight.data[h] = gen.uniform(-bound, bound,
+                                              size=(head_dim, in_features))
+        init.xavier_uniform_(self.attn_src, rng=gen)
+        init.xavier_uniform_(self.attn_dst, rng=gen)
+        self.bias = Parameter(np.zeros(out_features if concat_heads
+                                       else out_features))
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        """Apply attention over nodes.
+
+        Parameters
+        ----------
+        x:
+            Node features ``(..., N, C_in)``.
+        mask:
+            Boolean/0-1 array ``(N, N)``; entry ``(i, j)`` true when node
+            ``j`` may send messages to node ``i``.  Self-loops are added
+            automatically.
+        """
+        x = ensure_tensor(x)
+        n = x.shape[-2]
+        mask = np.asarray(ensure_tensor(mask).data, dtype=bool) | np.eye(n, dtype=bool)
+        neg_inf = np.where(mask, 0.0, -1e9)
+        head_outputs = []
+        for h in range(self.n_heads):
+            # Per-head projection: slice the registered parameter so
+            # gradients route back through the shared tensor.
+            proj = x @ self.weight[h].swapaxes(-1, -2)      # (..., N, d)
+            src_score = (proj * self.attn_src[h]).sum(axis=-1)  # (..., N)
+            dst_score = (proj * self.attn_dst[h]).sum(axis=-1)  # (..., N)
+            logits = (src_score.unsqueeze(-1) + dst_score.unsqueeze(-2))
+            logits = logits.leaky_relu(self.negative_slope) + Tensor(neg_inf)
+            alpha = softmax(logits, axis=-1)                # (..., N, N)
+            head_outputs.append(alpha @ proj)               # (..., N, d)
+        if self.concat_heads:
+            out = concat(head_outputs, axis=-1)
+        else:
+            out = head_outputs[0]
+            for extra in head_outputs[1:]:
+                out = out + extra
+            out = out * (1.0 / self.n_heads)
+        return out + self.bias
+
+    def __repr__(self) -> str:
+        return (f"GraphAttention(in_features={self.in_features}, "
+                f"out_features={self.out_features}, n_heads={self.n_heads})")

@@ -1,0 +1,94 @@
+"""Parameter initialization schemes.
+
+Provides the standard fan-based initializers (Glorot/Xavier, He/Kaiming) the
+paper's layers use, plus simple constant fills.  All functions mutate the
+tensor's array in place and return the tensor for chaining.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+from .random import get_rng
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans for a scalar parameter")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    tensor.data[...] = 0.0
+    return tensor
+
+
+def ones_(tensor: Tensor) -> Tensor:
+    tensor.data[...] = 1.0
+    return tensor
+
+
+def constant_(tensor: Tensor, value: float) -> Tensor:
+    tensor.data[...] = value
+    return tensor
+
+
+def uniform_(tensor: Tensor, low: float = 0.0, high: float = 1.0,
+             rng: Optional[np.random.Generator] = None) -> Tensor:
+    gen = rng if rng is not None else get_rng()
+    tensor.data[...] = gen.uniform(low, high, size=tensor.shape)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    gen = rng if rng is not None else get_rng()
+    tensor.data[...] = gen.normal(mean, std, size=tensor.shape)
+    return tensor
+
+
+def xavier_uniform_(tensor: Tensor, gain: float = 1.0,
+                    rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Glorot & Bengio (2010) uniform init: U(-a, a), a = gain·√(6/(fi+fo))."""
+    fan_in, fan_out = _fan_in_fan_out(tensor.shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform_(tensor, -bound, bound, rng=rng)
+
+
+def xavier_normal_(tensor: Tensor, gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> Tensor:
+    fan_in, fan_out = _fan_in_fan_out(tensor.shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return normal_(tensor, 0.0, std, rng=rng)
+
+
+def kaiming_uniform_(tensor: Tensor, a: float = math.sqrt(5),
+                     rng: Optional[np.random.Generator] = None) -> Tensor:
+    """He et al. (2015) uniform init with leaky-ReLU gain (PyTorch default)."""
+    fan_in, _ = _fan_in_fan_out(tensor.shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return uniform_(tensor, -bound, bound, rng=rng)
+
+
+def kaiming_normal_(tensor: Tensor, a: float = 0.0,
+                    rng: Optional[np.random.Generator] = None) -> Tensor:
+    fan_in, _ = _fan_in_fan_out(tensor.shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    return normal_(tensor, 0.0, gain / math.sqrt(fan_in), rng=rng)
+
+
+def bias_uniform_(tensor: Tensor, fan_in: int,
+                  rng: Optional[np.random.Generator] = None) -> Tensor:
+    """PyTorch-style bias init: U(-1/√fan_in, 1/√fan_in)."""
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return uniform_(tensor, -bound, bound, rng=rng)

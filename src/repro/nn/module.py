@@ -1,0 +1,143 @@
+"""Module/Parameter system: the layer-composition backbone.
+
+Follows the familiar PyTorch contract: a :class:`Module` auto-registers any
+:class:`Parameter` or sub-``Module`` assigned as an attribute, exposes
+recursive iteration over parameters, a train/eval switch, and a flat
+``state_dict`` for checkpointing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a learnable leaf of a :class:`Module`."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network layers and models.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it.
+    Parameters and sub-modules are registered automatically on attribute
+    assignment, so ``self.weight = Parameter(...)`` is all a layer needs.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, param: Optional[Parameter]) -> None:
+        if param is not None:
+            setattr(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar learnable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", bool(mode))
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter names to copies of their arrays."""
+        return {name: param.data.copy()
+                for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray],
+                        strict: bool = True) -> None:
+        """Copy arrays from ``state`` into this module's parameters."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state_dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, array in state.items():
+            if name not in own:
+                continue
+            param = own[name]
+            if param.data.shape != array.shape:
+                raise ValueError(f"shape mismatch for {name!r}: parameter is "
+                                 f"{param.data.shape}, state is {array.shape}")
+            param.data[...] = array
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [type(self).__name__ + "("]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else (
+            f"{type(self).__name__}()")

@@ -1,0 +1,103 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from ..tensor import Tensor, ensure_tensor
+from .module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Layer normalization (Ba et al., 2016) over the trailing dimensions."""
+
+    def __init__(self, normalized_shape: Union[int, Sequence[int]],
+                 eps: float = 1e-5, elementwise_affine: bool = True):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape: Tuple[int, ...] = tuple(normalized_shape)
+        self.eps = eps
+        if elementwise_affine:
+            self.weight = Parameter(np.ones(self.normalized_shape))
+            self.bias = Parameter(np.zeros(self.normalized_shape))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ensure_tensor(x)
+        ndim = len(self.normalized_shape)
+        if x.shape[-ndim:] != self.normalized_shape:
+            raise ValueError(f"expected trailing shape {self.normalized_shape}"
+                             f", got {x.shape}")
+        axes = tuple(range(x.ndim - ndim, x.ndim))
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        if self.weight is not None:
+            normalized = normalized * self.weight + self.bias
+        return normalized
+
+    def __repr__(self) -> str:
+        return (f"LayerNorm({self.normalized_shape}, eps={self.eps}, "
+                f"affine={self.weight is not None})")
+
+
+class BatchNorm1d(Module):
+    """Batch normalization for ``(batch, features)`` or ``(batch, C, L)``.
+
+    Keeps exponential running statistics for evaluation mode.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1, affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        else:
+            self.weight = None
+            self.bias = None
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = ensure_tensor(x)
+        if x.ndim == 2:
+            axes: Tuple[int, ...] = (0,)
+            view = (1, -1)
+        elif x.ndim == 3:
+            axes = (0, 2)
+            view = (1, -1, 1)
+        else:
+            raise ValueError(f"BatchNorm1d expects 2-D or 3-D input, got "
+                             f"{x.ndim}-D")
+        feature_axis = 1
+        if x.shape[feature_axis] != self.num_features:
+            raise ValueError(f"expected {self.num_features} features, got "
+                             f"{x.shape[feature_axis]}")
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self.running_mean = ((1 - m) * self.running_mean
+                                 + m * mean.data.reshape(-1))
+            self.running_var = ((1 - m) * self.running_var
+                                + m * var.data.reshape(-1))
+        else:
+            mean = Tensor(self.running_mean.reshape(view))
+            var = Tensor(self.running_var.reshape(view))
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        if self.weight is not None:
+            normalized = (normalized * self.weight.reshape(*view)
+                          + self.bias.reshape(*view))
+        return normalized
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.num_features}, eps={self.eps})"

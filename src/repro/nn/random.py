@@ -1,0 +1,33 @@
+"""Seedable randomness shared by layers that need it (init, dropout).
+
+``manual_seed`` resets the library-wide generator so experiments are exactly
+repeatable — the evaluation protocol of the paper (15 repeated runs) relies
+on distinct seeds per run, which :func:`fork_rng` provides deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_generator: np.random.Generator = np.random.default_rng()
+
+
+def manual_seed(seed: int) -> None:
+    """Seed the global generator used for parameter init and dropout."""
+    global _generator
+    _generator = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the library-wide random generator."""
+    return _generator
+
+
+def fork_rng(stream: int) -> np.random.Generator:
+    """Derive an independent generator for run ``stream``.
+
+    Uses ``numpy``'s ``spawn``-style seeding so streams do not overlap;
+    the experiment protocol uses one stream per repeated run.
+    """
+    seed_seq = np.random.SeedSequence(entropy=stream)
+    return np.random.default_rng(seed_seq)

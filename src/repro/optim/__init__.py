@@ -1,0 +1,13 @@
+"""Optimizers and learning-rate schedulers for the autograd engine."""
+
+from .optimizer import (Adam, AdamW, Optimizer, RMSprop, SGD,
+                        clip_grad_norm_, clip_grad_value_)
+from .scheduler import (CosineAnnealingLR, ExponentialLR, LRScheduler,
+                        ReduceLROnPlateau, StepLR)
+
+__all__ = [
+    "Optimizer", "SGD", "Adam", "AdamW", "RMSprop",
+    "clip_grad_norm_", "clip_grad_value_",
+    "LRScheduler", "StepLR", "ExponentialLR", "CosineAnnealingLR",
+    "ReduceLROnPlateau",
+]

@@ -1,0 +1,182 @@
+"""Gradient-descent optimizers.
+
+The paper trains every model with Adam (lr = 0.001, §V-B-4); SGD and RMSprop
+are provided for the baselines and the test-suite's convergence checks.
+All optimizers operate on the ``grad`` arrays produced by
+``Tensor.backward`` and support decoupled or coupled weight decay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding the parameter list and per-parameter state."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _state_for(self, index: int) -> Dict[str, np.ndarray]:
+        return self.state.setdefault(index, {})
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, nesterov: bool = False,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self._step_count += 1
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                state = self._state_for(i)
+                buf = state.get("momentum")
+                if buf is None:
+                    buf = grad.copy()
+                else:
+                    buf = self.momentum * buf + grad
+                state["momentum"] = buf
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction.
+
+    ``weight_decay`` here is the classic L2-coupled form (added to the
+    gradient), matching the paper's λ‖β‖² regularization when used together
+    with an explicit loss term of zero — the trainer instead keeps λ in the
+    loss (Eq. 9) and leaves this at 0 by default.
+    """
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _decay(self, param: Tensor, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = self._decay(param, param.grad)
+            state = self._state_for(i)
+            m = state.get("m")
+            v = state.get("v")
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            state["m"], state["v"] = m, v
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _decay(self, param: Tensor, grad: np.ndarray) -> np.ndarray:
+        return grad  # decay applied directly to weights in step()
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for param in self.params:
+                if param.grad is not None:
+                    param.data -= self.lr * self.weight_decay * param.data
+        super().step()
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton), used by the RL baselines' critics."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-2,
+                 alpha: float = 0.99, eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self._step_count += 1
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            state = self._state_for(i)
+            avg = state.get("square_avg")
+            if avg is None:
+                avg = np.zeros_like(param.data)
+            avg = self.alpha * avg + (1 - self.alpha) * grad * grad
+            state["square_avg"] = avg
+            param.data -= self.lr * grad / (np.sqrt(avg) + self.eps)
+
+
+def clip_grad_norm_(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is ≤ ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging divergence).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+def clip_grad_value_(params: Iterable[Tensor], clip_value: float) -> None:
+    """Clamp every gradient element into ``[-clip_value, clip_value]``."""
+    for p in params:
+        if p.grad is not None:
+            np.clip(p.grad, -clip_value, clip_value, out=p.grad)

@@ -1,0 +1,98 @@
+"""Learning-rate schedulers that wrap an :class:`~repro.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base scheduler; subclasses define the rate at a given epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """LR decays by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** self.last_epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return (self.eta_min + (self.base_lr - self.eta_min)
+                * (1 + math.cos(math.pi * progress)) / 2)
+
+
+class ReduceLROnPlateau:
+    """Halve (by ``factor``) the LR when a monitored metric stops improving."""
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5,
+                 patience: int = 5, min_lr: float = 1e-6,
+                 mode: str = "min"):
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.mode = mode
+        self.best: Optional[float] = None
+        self.bad_epochs = 0
+
+    def step(self, metric: float) -> None:
+        improved = (self.best is None
+                    or (self.mode == "min" and metric < self.best)
+                    or (self.mode == "max" and metric > self.best))
+        if improved:
+            self.best = metric
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs > self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.factor,
+                                        self.min_lr)
+                self.bad_epochs = 0

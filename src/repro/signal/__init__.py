@@ -1,0 +1,9 @@
+"""Signal processing substrate: Haar wavelets and denoising."""
+
+from .wavelet import (denoise, haar_dwt, haar_idwt, multiscale_features,
+                      soft_threshold, wavedec, waverec)
+
+__all__ = [
+    "haar_dwt", "haar_idwt", "wavedec", "waverec", "soft_threshold",
+    "denoise", "multiscale_features",
+]

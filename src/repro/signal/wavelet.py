@@ -1,0 +1,128 @@
+"""Haar wavelet transforms and denoising.
+
+The paper's LSTM baseline [16] (Bao, Yue & Rao, 2017) denoises price
+series with a wavelet transform before encoding; the related-work MTDNN
+[2] builds multi-scale features the same way.  This module provides the
+Haar discrete wavelet transform, its inverse, multilevel decomposition,
+and soft-threshold denoising — enough to reproduce those front-ends from
+scratch.
+
+Conventions: transforms operate on the last axis; odd-length signals are
+extended by repeating the final sample (symmetric-ish padding) and the
+inverse trims back to the original length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def haar_dwt(signal: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """One-level Haar DWT: returns (approximation, detail) coefficients.
+
+    For input length ``n`` both outputs have length ``ceil(n / 2)``.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.shape[-1] < 2:
+        raise ValueError("signal must have at least 2 samples")
+    if signal.shape[-1] % 2 == 1:
+        signal = np.concatenate([signal, signal[..., -1:]], axis=-1)
+    even = signal[..., 0::2]
+    odd = signal[..., 1::2]
+    approx = (even + odd) / _SQRT2
+    detail = (even - odd) / _SQRT2
+    return approx, detail
+
+
+def haar_idwt(approx: np.ndarray, detail: np.ndarray,
+              length: int = 0) -> np.ndarray:
+    """Inverse of :func:`haar_dwt`; ``length`` trims padding if given."""
+    approx = np.asarray(approx, dtype=np.float64)
+    detail = np.asarray(detail, dtype=np.float64)
+    if approx.shape != detail.shape:
+        raise ValueError(f"approx {approx.shape} and detail {detail.shape} "
+                         "must match")
+    even = (approx + detail) / _SQRT2
+    odd = (approx - detail) / _SQRT2
+    out = np.empty(approx.shape[:-1] + (approx.shape[-1] * 2,))
+    out[..., 0::2] = even
+    out[..., 1::2] = odd
+    if length:
+        out = out[..., :length]
+    return out
+
+
+def wavedec(signal: np.ndarray, levels: int) -> List[np.ndarray]:
+    """Multilevel decomposition: ``[approx_L, detail_L, ..., detail_1]``."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    max_levels = int(np.floor(np.log2(max(signal.shape[-1], 1))))
+    if levels > max_levels:
+        raise ValueError(f"{levels} levels exceed the maximum "
+                         f"{max_levels} for length {signal.shape[-1]}")
+    details: List[np.ndarray] = []
+    current = signal
+    for _ in range(levels):
+        current, detail = haar_dwt(current)
+        details.append(detail)
+    return [current] + details[::-1]
+
+
+def waverec(coefficients: List[np.ndarray], length: int) -> np.ndarray:
+    """Reconstruct a signal of ``length`` from :func:`wavedec` output."""
+    if len(coefficients) < 2:
+        raise ValueError("need at least [approx, detail]")
+    lengths = [length]
+    for _ in range(len(coefficients) - 2):
+        lengths.append((lengths[-1] + 1) // 2)
+    current = coefficients[0]
+    for detail, target in zip(coefficients[1:], lengths[::-1]):
+        current = haar_idwt(current, detail, length=target)
+    return current
+
+
+def soft_threshold(values: np.ndarray, threshold: float) -> np.ndarray:
+    """Shrink coefficients toward zero: ``sign(v)·max(|v|−t, 0)``."""
+    values = np.asarray(values, dtype=np.float64)
+    return np.sign(values) * np.maximum(np.abs(values) - threshold, 0.0)
+
+
+def denoise(signal: np.ndarray, levels: int = 2,
+            threshold_scale: float = 1.0) -> np.ndarray:
+    """Wavelet denoising à la Bao et al. [16].
+
+    Detail coefficients are soft-thresholded with the universal threshold
+    ``σ √(2 ln n)`` where σ is the robust (MAD) noise estimate from the
+    finest-level details; the approximation band is kept intact.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    n = signal.shape[-1]
+    coefficients = wavedec(signal, levels)
+    finest = coefficients[-1]
+    sigma = np.median(np.abs(finest), axis=-1, keepdims=True) / 0.6745
+    threshold = threshold_scale * sigma * np.sqrt(2.0 * np.log(max(n, 2)))
+    denoised = [coefficients[0]]
+    for detail in coefficients[1:]:
+        denoised.append(soft_threshold(detail, threshold))
+    return waverec(denoised, n)
+
+
+def multiscale_features(signal: np.ndarray, levels: int = 2
+                        ) -> List[np.ndarray]:
+    """Approximation bands at every scale (the MTDNN-style pyramid).
+
+    Returns ``[signal, approx_1, approx_2, ...]`` — each subsequent array
+    halves the temporal resolution.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    outputs = [signal]
+    current = signal
+    for _ in range(levels):
+        current, _ = haar_dwt(current)
+        outputs.append(current)
+    return outputs

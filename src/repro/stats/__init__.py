@@ -1,0 +1,11 @@
+"""Statistics: Wilcoxon signed-rank tests and run summaries."""
+
+from .summary import RunSummary, improvement_percent, summarize_runs
+from .wilcoxon import (WilcoxonResult, one_sample_wilcoxon, paired_wilcoxon,
+                       wilcoxon_signed_rank)
+
+__all__ = [
+    "WilcoxonResult", "wilcoxon_signed_rank", "paired_wilcoxon",
+    "one_sample_wilcoxon",
+    "RunSummary", "summarize_runs", "improvement_percent",
+]

@@ -1,0 +1,51 @@
+"""Summaries of repeated experiment runs (the paper averages 15 runs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Mean/std/extremes of one metric over repeated runs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n_runs: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "RunSummary":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot summarize an empty run list")
+        return cls(mean=float(arr.mean()),
+                   std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+                   minimum=float(arr.min()), maximum=float(arr.max()),
+                   n_runs=int(arr.size))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.n_runs})"
+
+
+def summarize_runs(runs: List[Dict[str, float]]) -> Dict[str, RunSummary]:
+    """Aggregate a list of per-run metric dicts into per-metric summaries."""
+    if not runs:
+        raise ValueError("no runs to summarize")
+    keys = runs[0].keys()
+    for run in runs:
+        if run.keys() != keys:
+            raise ValueError("runs report inconsistent metric sets")
+    return {key: RunSummary.from_values([run[key] for run in runs])
+            for key in keys}
+
+
+def improvement_percent(ours: float, baseline: float) -> float:
+    """Relative improvement reported in Table IV's last rows."""
+    if baseline == 0:
+        raise ValueError("baseline metric is zero; improvement undefined")
+    return (ours - baseline) / abs(baseline) * 100.0

@@ -1,0 +1,25 @@
+"""NumPy-backed reverse-mode autodiff engine.
+
+This package replaces PyTorch's autograd for the reproduction: it provides
+the :class:`Tensor` type with a dynamic computation graph, a functional ops
+layer (:mod:`repro.tensor.ops`), gradient-mode switches, and numerical
+gradient checking used to validate every model component.
+"""
+
+from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .gradcheck import gradcheck, numerical_gradient
+from .ops import (binary_cross_entropy, conv1d, cross_entropy, dropout, elu,
+                  huber_loss, l1_loss, leaky_relu, linear, log_softmax,
+                  mse_loss, one_hot, relu, sigmoid, softmax, tanh)
+from .tensor import (Tensor, concat, einsum, ensure_tensor, maximum, stack,
+                     where)
+
+__all__ = [
+    "Tensor", "concat", "stack", "where", "maximum", "einsum", "ensure_tensor",
+    "no_grad", "enable_grad", "is_grad_enabled", "set_grad_enabled",
+    "gradcheck", "numerical_gradient",
+    "softmax", "log_softmax", "relu", "sigmoid", "tanh", "leaky_relu", "elu",
+    "dropout", "conv1d", "linear", "one_hot",
+    "mse_loss", "l1_loss", "huber_loss", "binary_cross_entropy",
+    "cross_entropy",
+]

@@ -1,0 +1,59 @@
+"""Global gradient-mode switches for the autograd engine.
+
+Mirrors the semantics of ``torch.no_grad`` / ``torch.enable_grad``: inside a
+``no_grad()`` block, newly created tensors never record history even if their
+inputs require gradients.  The switch is a simple module-level flag because
+the reproduction is single-threaded by design.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_grad_enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether autograd history is currently being recorded."""
+    return _grad_enabled
+
+
+def set_grad_enabled(mode: bool) -> None:
+    """Globally enable or disable autograd recording."""
+    global _grad_enabled
+    _grad_enabled = bool(mode)
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables gradient recording.
+
+    Example
+    -------
+    >>> from repro.tensor import Tensor, no_grad
+    >>> x = Tensor([1.0], requires_grad=True)
+    >>> with no_grad():
+    ...     y = x * 2
+    >>> y.requires_grad
+    False
+    """
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+@contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables gradient recording inside ``no_grad``."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = True
+    try:
+        yield
+    finally:
+        _grad_enabled = previous

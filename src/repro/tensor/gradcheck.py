@@ -1,0 +1,68 @@
+"""Numerical gradient checking for the autograd engine.
+
+``gradcheck`` compares analytic gradients produced by ``Tensor.backward``
+against central finite differences.  It is used throughout the test-suite to
+validate every layer and loss the reproduction defines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn().item()
+        flat[i] = original - eps
+        minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(fn: Callable[[], Tensor], inputs: Sequence[Tensor],
+              eps: float = 1e-6, atol: float = 1e-5,
+              rtol: float = 1e-4) -> bool:
+    """Verify analytic gradients of scalar ``fn()`` against finite differences.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable returning a scalar :class:`Tensor`; it must
+        read the current data of ``inputs`` each time it is called.
+    inputs:
+        Leaf tensors with ``requires_grad=True`` to check.
+
+    Raises
+    ------
+    AssertionError
+        If any analytic gradient deviates beyond the tolerances.
+    """
+    for t in inputs:
+        if not t.requires_grad:
+            raise ValueError("all checked inputs must require grad")
+        t.zero_grad()
+    out = fn()
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar output")
+    out.backward()
+    for idx, t in enumerate(inputs):
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, t, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {idx}: max abs err {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}")
+    return True

@@ -1,0 +1,25 @@
+"""Shared fixtures: seeded RNGs and cached mini datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_market
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def nasdaq_mini():
+    """One NASDAQ-like mini dataset shared across the whole session."""
+    return load_market("nasdaq-mini", seed=7)
+
+
+@pytest.fixture(scope="session")
+def csi_mini():
+    """A CSI-like mini dataset (no wiki relations)."""
+    return load_market("csi-mini", seed=7)

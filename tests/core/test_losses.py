@@ -1,0 +1,132 @@
+"""The paper's loss functions (Eqs. 7–9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import combined_loss, l2_penalty, ranking_loss, regression_loss
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, gradcheck
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad)
+
+
+class TestRegressionLoss:
+    def test_zero_at_perfect_prediction(self):
+        y = t([0.1, -0.2, 0.3], grad=False)
+        assert regression_loss(y, y).item() == 0.0
+
+    def test_known_value(self):
+        loss = regression_loss(t([1.0, 2.0]), t([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.5)
+
+    def test_gradcheck(self, rng):
+        pred = t(rng.standard_normal(6))
+        actual = Tensor(rng.standard_normal(6))
+        gradcheck(lambda: regression_loss(pred, actual), [pred])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            regression_loss(t([1.0]), t([1.0, 2.0]))
+
+
+class TestRankingLoss:
+    def test_zero_for_perfectly_ordered(self):
+        # Predictions in the same order as ground truth: every pairwise
+        # product is positive -> ReLU(-x) = 0.
+        pred = t([3.0, 2.0, 1.0])
+        actual = t([0.3, 0.2, 0.1], grad=False)
+        assert ranking_loss(pred, actual).item() == 0.0
+
+    def test_positive_for_inverted_order(self):
+        pred = t([1.0, 2.0, 3.0])
+        actual = t([0.3, 0.2, 0.1], grad=False)
+        assert ranking_loss(pred, actual).item() > 0.0
+
+    def test_penalty_scales_with_margin(self):
+        actual = t([0.2, 0.1], grad=False)
+        mild = ranking_loss(t([0.0, 0.01]), actual).item()
+        severe = ranking_loss(t([0.0, 1.0]), actual).item()
+        assert severe > mild
+
+    def test_single_stock_is_zero(self):
+        assert ranking_loss(t([1.0]), t([0.5], grad=False)).item() == 0.0
+
+    def test_gradcheck(self, rng):
+        pred = t(rng.standard_normal(5))
+        actual = Tensor(rng.standard_normal(5))
+        gradcheck(lambda: ranking_loss(pred, actual), [pred])
+
+    def test_requires_vectors(self):
+        with pytest.raises(ValueError):
+            ranking_loss(t(np.ones((2, 2))), t(np.ones((2, 2))))
+
+    def test_invariant_to_common_shift(self, rng):
+        """Adding a constant to all predictions keeps pairwise diffs."""
+        actual = Tensor(rng.standard_normal(6))
+        pred = rng.standard_normal(6)
+        a = ranking_loss(t(pred), actual).item()
+        b = ranking_loss(t(pred + 5.0), actual).item()
+        assert np.isclose(a, b)
+
+
+class TestCombinedLoss:
+    def test_alpha_zero_equals_regression(self, rng):
+        pred = t(rng.standard_normal(5))
+        actual = Tensor(rng.standard_normal(5))
+        assert np.isclose(combined_loss(pred, actual, alpha=0.0).item(),
+                          regression_loss(pred, actual).item())
+
+    def test_alpha_adds_ranking_term(self, rng):
+        pred = t(rng.standard_normal(5))
+        actual = Tensor(rng.standard_normal(5))
+        base = combined_loss(pred, actual, alpha=0.0).item()
+        with_rank = combined_loss(pred, actual, alpha=0.5).item()
+        rank = ranking_loss(pred, actual).item()
+        assert np.isclose(with_rank, base + 0.5 * rank)
+
+    def test_weight_decay_term(self, rng):
+        pred = t(rng.standard_normal(4))
+        actual = Tensor(rng.standard_normal(4))
+        params = [Parameter(np.array([2.0, 1.0]))]
+        plain = combined_loss(pred, actual, alpha=0.0).item()
+        decayed = combined_loss(pred, actual, alpha=0.0, parameters=params,
+                                weight_decay=0.1).item()
+        assert np.isclose(decayed, plain + 0.1 * 5.0)
+
+    def test_gradcheck_full(self, rng):
+        pred = t(rng.standard_normal(4))
+        actual = Tensor(rng.standard_normal(4))
+        param = Parameter(rng.standard_normal(3))
+        gradcheck(lambda: combined_loss(pred, actual, alpha=0.2,
+                                        parameters=[param],
+                                        weight_decay=0.05), [pred, param])
+
+
+class TestL2Penalty:
+    def test_value(self):
+        params = [Parameter(np.array([3.0])), Parameter(np.array([4.0]))]
+        assert np.isclose(l2_penalty(params).item(), 25.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            l2_penalty([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=10),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_ranking_loss_nonnegative_and_zero_iff_concordant(n, seed):
+    rng = np.random.default_rng(seed)
+    actual = rng.standard_normal(n)
+    pred_concordant = actual * 2.0 + 1.0     # strictly monotone transform
+    loss = ranking_loss(Tensor(pred_concordant, requires_grad=True),
+                        Tensor(actual))
+    assert loss.item() <= 1e-12
+    pred_random = rng.standard_normal(n)
+    loss2 = ranking_loss(Tensor(pred_random, requires_grad=True),
+                         Tensor(actual))
+    assert loss2.item() >= 0.0

@@ -1,0 +1,147 @@
+"""The factor-model market simulator: structure of the generated returns."""
+
+import numpy as np
+import pytest
+
+from repro.data import (CrashEvent, DirectedInfluence, SimulationConfig,
+                        build_wiki_relations, generate_universe,
+                        simulate_market)
+
+
+def small_universe(seed=0):
+    return generate_universe("X", 40, 5, 0.15, rng=np.random.default_rng(seed))
+
+
+def simulate(seed=0, influences=(), config=None):
+    return simulate_market(small_universe(seed), list(influences),
+                           config=config, rng=np.random.default_rng(seed))
+
+
+class TestBasics:
+    def test_shapes(self):
+        cfg = SimulationConfig(num_days=100)
+        market = simulate(config=cfg)
+        assert market.prices.shape == (40, 100)
+        assert market.returns.shape == (40, 100)
+        assert market.market_factor.shape == (100,)
+
+    def test_prices_positive(self):
+        market = simulate(config=SimulationConfig(num_days=300))
+        assert np.all(market.prices > 0)
+
+    def test_prices_consistent_with_returns(self):
+        market = simulate(config=SimulationConfig(num_days=50))
+        recon = market.prices[:, 0:1] * np.exp(
+            np.cumsum(market.returns[:, 1:], axis=1))
+        assert np.allclose(recon, market.prices[:, 1:])
+
+    def test_deterministic_given_seed(self):
+        a = simulate(seed=3, config=SimulationConfig(num_days=60))
+        b = simulate(seed=3, config=SimulationConfig(num_days=60))
+        assert np.allclose(a.prices, b.prices)
+
+    def test_different_seeds_differ(self):
+        a = simulate(seed=1, config=SimulationConfig(num_days=60))
+        b = simulate(seed=2, config=SimulationConfig(num_days=60))
+        assert not np.allclose(a.prices, b.prices)
+
+    def test_daily_volatility_reasonable(self):
+        market = simulate(config=SimulationConfig(num_days=800))
+        vol = market.returns[:, 1:].std()
+        assert 0.005 < vol < 0.05    # ~0.5%–5% daily, equity-like
+
+    def test_too_few_days_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(config=SimulationConfig(num_days=1))
+
+
+class TestFactorStructure:
+    def test_same_industry_stocks_correlate_more(self):
+        market = simulate(config=SimulationConfig(num_days=1000))
+        universe = small_universe()
+        industries = universe.industries()
+        corr = np.corrcoef(market.returns[:, 1:])
+        same, diff = [], []
+        labels = [s.industry for s in universe.stocks]
+        n = len(universe)
+        for i in range(n):
+            for j in range(i + 1, n):
+                (same if labels[i] == labels[j] else diff).append(corr[i, j])
+        assert np.mean(same) > np.mean(diff) + 0.05
+
+    def test_market_factor_moves_everything(self):
+        market = simulate(config=SimulationConfig(num_days=1000))
+        corr_with_market = [
+            np.corrcoef(market.returns[i, 1:],
+                        market.market_factor[1:])[0, 1]
+            for i in range(market.num_stocks)]
+        assert np.mean(corr_with_market) > 0.2
+
+    def test_industry_factor_autocorrelated(self):
+        market = simulate(config=SimulationConfig(num_days=2000))
+        factor = market.industry_factors[0]
+        auto = np.corrcoef(factor[:-1], factor[1:])[0, 1]
+        assert auto > 0.1   # AR(1) with φ=0.3
+
+
+class TestSpillovers:
+    def test_lead_lag_effect_present(self):
+        influences = [DirectedInfluence(source=0, target=1, strength=0.4)]
+        market = simulate(influences=influences,
+                          config=SimulationConfig(num_days=3000))
+        lagged = np.corrcoef(market.returns[0, 1:-1],
+                             market.returns[1, 2:])[0, 1]
+        reverse = np.corrcoef(market.returns[1, 1:-1],
+                              market.returns[0, 2:])[0, 1]
+        assert lagged > reverse + 0.05   # direction matters
+
+    def test_no_spillover_without_influences(self):
+        market = simulate(config=SimulationConfig(num_days=3000))
+        lagged = np.corrcoef(market.returns[0, 1:-1],
+                             market.returns[1, 2:])[0, 1]
+        assert abs(lagged) < 0.1
+
+
+class TestCrash:
+    def test_crash_depresses_market(self):
+        crash = CrashEvent(start=200, crash_days=20, recovery_days=40)
+        cfg = SimulationConfig(num_days=300, crash=crash)
+        market = simulate(config=cfg)
+        crash_mean = market.market_factor[200:220].mean()
+        normal_mean = market.market_factor[50:190].mean()
+        assert crash_mean < normal_mean - 0.005
+
+    def test_recovery_lifts_market(self):
+        crash = CrashEvent(start=100, crash_days=15, recovery_days=60)
+        cfg = SimulationConfig(num_days=250, crash=crash)
+        market = simulate(config=cfg)
+        recovery = market.market_factor[115:175].mean()
+        assert recovery > 0.0
+
+    def test_crash_raises_volatility(self):
+        crash = CrashEvent(start=300, crash_days=40, recovery_days=0,
+                           vol_multiplier=3.0)
+        cfg = SimulationConfig(num_days=400, crash=crash)
+        market = simulate(config=cfg)
+        crash_vol = market.market_factor[300:340].std()
+        normal_vol = market.market_factor[50:290].std()
+        assert crash_vol > normal_vol * 1.5
+
+    def test_drift_and_vol_outside_windows_is_none(self):
+        crash = CrashEvent(start=10, crash_days=5, recovery_days=5)
+        assert crash.drift_and_vol(0) is None
+        assert crash.drift_and_vol(12) is not None
+        assert crash.drift_and_vol(17) is not None
+        assert crash.drift_and_vol(25) is None
+
+
+class TestWithWikiInfluences:
+    def test_integrates_with_relation_builder(self):
+        universe = small_universe(7)
+        wiki = build_wiki_relations(universe, 4, 0.03,
+                                    rng=np.random.default_rng(8))
+        market = simulate_market(universe, wiki.influences,
+                                 config=SimulationConfig(num_days=120),
+                                 rng=np.random.default_rng(9))
+        assert market.prices.shape == (40, 120)
+        assert np.isfinite(market.prices).all()

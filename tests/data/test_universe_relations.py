@@ -1,0 +1,165 @@
+"""Universe generation and relation builders (Table III statistics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (allocate_group_sizes, build_industry_relations,
+                        build_wiki_relations, generate_universe,
+                        industry_name_pool, pair_ratio_of_sizes,
+                        wiki_type_pool)
+
+
+class TestGroupAllocation:
+    def test_sizes_sum_to_total(self):
+        sizes = allocate_group_sizes(100, 12, 0.08)
+        assert sum(sizes) == 100
+        assert len(sizes) == 12
+
+    def test_all_groups_non_empty(self):
+        sizes = allocate_group_sizes(50, 20, 0.05)
+        assert min(sizes) >= 1
+
+    def test_hits_target_ratio_approximately(self):
+        for n, k, target in [(854, 97, 0.054), (1405, 108, 0.069),
+                             (242, 24, 0.067)]:
+            sizes = allocate_group_sizes(n, k, target)
+            ratio = pair_ratio_of_sizes(sizes, n)
+            assert abs(ratio - target) / target < 0.15, (n, k, ratio)
+
+    def test_impossible_split_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_group_sizes(5, 10, 0.1)
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_group_sizes(5, 0, 0.1)
+
+    def test_pair_ratio_extremes(self):
+        assert pair_ratio_of_sizes([10], 10) == 1.0
+        assert pair_ratio_of_sizes([1] * 10, 10) == 0.0
+
+
+class TestNamePools:
+    def test_industry_pool_unique(self):
+        names = industry_name_pool(120)
+        assert len(names) == len(set(names)) == 120
+
+    def test_wiki_pool_unique_and_prefixed(self):
+        names = wiki_type_pool(41)
+        assert len(set(names)) == 41
+        assert all(n.startswith("wiki:") for n in names)
+
+
+class TestUniverse:
+    def test_basic_shape(self):
+        u = generate_universe("NASDAQ", 60, 8, 0.07,
+                              rng=np.random.default_rng(0))
+        assert len(u) == 60
+        assert len(set(u.symbols)) == 60
+        assert len(u.industries()) == 8
+
+    def test_industry_pair_ratio_near_target(self):
+        u = generate_universe("NYSE", 200, 20, 0.06,
+                              rng=np.random.default_rng(1))
+        assert abs(u.industry_pair_ratio() - 0.06) < 0.02
+
+    def test_market_caps_positive(self):
+        u = generate_universe("CSI", 30, 5, 0.08,
+                              rng=np.random.default_rng(2))
+        assert np.all(u.market_caps > 0)
+
+    def test_members_shuffled(self):
+        u = generate_universe("X", 50, 5, 0.1, rng=np.random.default_rng(3))
+        first_industry = u[0].industry
+        # With shuffling, the first 10 stocks should not all share one
+        # industry (probability of that is negligible).
+        assert len({u[i].industry for i in range(10)}) > 1
+
+    def test_deterministic_given_seed(self):
+        a = generate_universe("X", 40, 6, 0.08, rng=np.random.default_rng(9))
+        b = generate_universe("X", 40, 6, 0.08, rng=np.random.default_rng(9))
+        assert a.symbols == b.symbols
+        assert [s.industry for s in a.stocks] == [s.industry for s in b.stocks]
+
+
+class TestIndustryRelations:
+    def test_same_industry_connected(self):
+        u = generate_universe("X", 30, 4, 0.2, rng=np.random.default_rng(0))
+        rel = build_industry_relations(u)
+        members = next(iter(u.industries().values()))
+        if len(members) >= 2:
+            i, j = members[0], members[1]
+            assert rel.binary_adjacency()[i, j] == 1.0
+
+    def test_different_industries_not_connected(self):
+        u = generate_universe("X", 30, 4, 0.2, rng=np.random.default_rng(0))
+        rel = build_industry_relations(u)
+        industries = u.industries()
+        names = list(industries)
+        i = industries[names[0]][0]
+        j = industries[names[1]][0]
+        assert rel.binary_adjacency()[i, j] == 0.0
+
+    def test_one_type_per_industry(self):
+        u = generate_universe("X", 30, 6, 0.15, rng=np.random.default_rng(1))
+        rel = build_industry_relations(u)
+        assert rel.num_types == 6
+        assert all(name.startswith("industry:") for name in rel.type_names)
+
+    def test_ratio_matches_universe(self):
+        u = generate_universe("X", 80, 10, 0.07, rng=np.random.default_rng(2))
+        rel = build_industry_relations(u)
+        assert np.isclose(rel.relation_ratio(), u.industry_pair_ratio())
+
+
+class TestWikiRelations:
+    def test_type_count_and_ratio(self):
+        u = generate_universe("X", 120, 10, 0.06,
+                              rng=np.random.default_rng(0))
+        wiki = build_wiki_relations(u, 12, 0.01,
+                                    rng=np.random.default_rng(1))
+        assert wiki.matrix.num_types == 12
+        assert abs(wiki.matrix.relation_ratio() - 0.01) < 0.005
+
+    def test_every_type_used(self):
+        u = generate_universe("X", 100, 8, 0.05, rng=np.random.default_rng(2))
+        wiki = build_wiki_relations(u, 10, 0.02,
+                                    rng=np.random.default_rng(3))
+        usage = wiki.matrix.type_usage()
+        assert all(count >= 1 for count in usage.values())
+
+    def test_influences_reference_valid_stocks(self):
+        u = generate_universe("X", 50, 6, 0.06, rng=np.random.default_rng(4))
+        wiki = build_wiki_relations(u, 5, 0.02, rng=np.random.default_rng(5))
+        for inf in wiki.influences:
+            assert 0 <= inf.source < 50
+            assert 0 <= inf.target < 50
+            assert inf.source != inf.target
+            assert 0.25 <= inf.strength <= 0.60
+
+    def test_influences_follow_matrix_edges(self):
+        u = generate_universe("X", 40, 5, 0.08, rng=np.random.default_rng(6))
+        wiki = build_wiki_relations(u, 4, 0.03, rng=np.random.default_rng(7))
+        adj = wiki.matrix.binary_adjacency()
+        for inf in wiki.influences:
+            assert adj[inf.source, inf.target] == 1.0
+
+    def test_invalid_type_count(self):
+        u = generate_universe("X", 10, 2, 0.3, rng=np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            build_wiki_relations(u, 0, 0.01)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=20, max_value=120),
+       st.integers(min_value=2, max_value=10),
+       st.floats(min_value=0.02, max_value=0.3))
+def test_group_allocation_is_feasible_and_exact(n, k, target):
+    if n < k:
+        n = k
+    sizes = allocate_group_sizes(n, k, target)
+    assert sum(sizes) == n
+    assert len(sizes) == k
+    assert min(sizes) >= 1

@@ -1,0 +1,165 @@
+"""Ranking metrics (MRR, IRR-N) and the backtester."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (daily_topn_returns, irr, irr_curve, mrr,
+                        oracle_backtest, precision_at_n, random_backtest,
+                        ranking_metrics, reciprocal_rank_of_top1,
+                        run_backtest)
+
+
+class TestMRR:
+    def test_perfect_prediction_gives_one(self, rng):
+        actuals = rng.standard_normal((10, 20))
+        assert mrr(actuals, actuals) == 1.0
+
+    def test_top1_in_second_place(self):
+        scores = np.array([[10.0, 1.0, 0.0]])
+        returns = np.array([[0.05, 0.10, -0.01]])   # predicted top is rank 2
+        assert mrr(scores, returns) == 0.5
+
+    def test_averages_over_days(self):
+        scores = np.array([[10.0, 0.0], [10.0, 0.0]])
+        returns = np.array([[1.0, 0.0], [0.0, 1.0]])   # rank 1, rank 2
+        assert np.isclose(mrr(scores, returns), (1.0 + 0.5) / 2)
+
+    def test_constant_predictions_score_like_fixed_pick(self, rng):
+        """A degenerate constant predictor just always picks stock 0."""
+        returns = rng.standard_normal((5, 30))
+        constant = np.zeros_like(returns)
+        expected = np.mean([1.0 / (1 + (day > day[0]).sum())
+                            for day in returns])
+        assert np.isclose(mrr(constant, returns), expected)
+
+    def test_tied_returns_rank_pessimistically(self):
+        """If the picked stock ties others on true return, it counts at the
+        bottom of its tie group."""
+        scores = np.array([[10.0, 0.0, 0.0]])
+        returns = np.array([[0.05, 0.05, 0.01]])
+        assert mrr(scores, returns) == 0.5
+
+    def test_reciprocal_rank_bottom(self):
+        scores = np.array([10.0, 0.0, 0.0])
+        returns = np.array([-0.5, 0.1, 0.2])
+        assert reciprocal_rank_of_top1(scores, returns) == 1 / 3
+
+
+class TestIRR:
+    def test_oracle_is_best_possible(self, rng):
+        actuals = rng.standard_normal((30, 25)) * 0.02
+        oracle = irr(actuals, actuals, 5)
+        for _ in range(5):
+            noisy = actuals + rng.standard_normal(actuals.shape)
+            assert irr(noisy, actuals, 5) <= oracle + 1e-12
+
+    def test_daily_returns_are_topn_mean(self):
+        scores = np.array([[3.0, 2.0, 1.0, 0.0]])
+        actuals = np.array([[0.04, 0.02, -0.1, -0.2]])
+        daily = daily_topn_returns(scores, actuals, 2)
+        assert np.isclose(daily[0], 0.03)
+
+    def test_irr_sums_days(self):
+        scores = np.tile(np.array([[2.0, 1.0]]), (3, 1))
+        actuals = np.array([[0.01, 0.0], [0.02, 0.0], [0.03, 0.0]])
+        assert np.isclose(irr(scores, actuals, 1), 0.06)
+
+    def test_curve_monotone_relation_to_total(self, rng):
+        scores = rng.standard_normal((12, 8))
+        actuals = rng.standard_normal((12, 8)) * 0.01
+        curve = irr_curve(scores, actuals, 3)
+        assert curve.shape == (12,)
+        assert np.isclose(curve[-1], irr(scores, actuals, 3))
+
+    def test_topn_bounds_validated(self, rng):
+        scores = rng.standard_normal((3, 5))
+        with pytest.raises(ValueError):
+            irr(scores, scores, 6)
+        with pytest.raises(ValueError):
+            irr(scores, scores, 0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mrr(rng.standard_normal((3, 4)), rng.standard_normal((3, 5)))
+
+    def test_1d_inputs_promoted(self):
+        scores = np.array([2.0, 1.0])
+        actuals = np.array([0.05, 0.01])
+        assert np.isclose(irr(scores, actuals, 1), 0.05)
+
+
+class TestPrecisionAndBundle:
+    def test_precision_perfect(self, rng):
+        actuals = rng.standard_normal((6, 10))
+        assert precision_at_n(actuals, actuals, 3) == 1.0
+
+    def test_ranking_metrics_keys(self, rng):
+        m = ranking_metrics(rng.standard_normal((4, 12)),
+                            rng.standard_normal((4, 12)))
+        assert set(m) == {"MRR", "IRR-1", "IRR-5", "IRR-10"}
+
+
+class TestBacktest:
+    def test_summary_fields(self, rng):
+        scores = rng.standard_normal((40, 15))
+        actuals = rng.standard_normal((40, 15)) * 0.02
+        result = run_backtest(scores, actuals, 5)
+        summary = result.summary()
+        assert summary["days"] == 40
+        assert np.isclose(summary["irr"], result.cumulative_return)
+        assert 0.0 <= summary["hit_rate"] <= 1.0
+        assert summary["max_drawdown"] >= 0.0
+
+    def test_cumulative_matches_curve(self, rng):
+        scores = rng.standard_normal((10, 6))
+        actuals = rng.standard_normal((10, 6)) * 0.01
+        result = run_backtest(scores, actuals, 2)
+        assert np.isclose(result.curve[-1], result.cumulative_return)
+
+    def test_compounded_differs_from_sum(self, rng):
+        actuals = np.full((10, 4), 0.01)
+        result = run_backtest(actuals, actuals, 2)
+        assert result.compounded_return > result.cumulative_return - 1e-12
+
+    def test_oracle_beats_random(self, rng):
+        actuals = rng.standard_normal((60, 30)) * 0.02
+        oracle = oracle_backtest(actuals, 5)
+        rand = random_backtest(actuals, 5, rng=rng)
+        assert oracle.cumulative_return > rand.cumulative_return
+
+    def test_max_drawdown_known_case(self):
+        daily = np.array([0.1, -0.05, -0.05, 0.2])
+        from repro.eval.backtest import BacktestResult
+        result = BacktestResult(daily_returns=daily, top_n=1)
+        assert np.isclose(result.max_drawdown, 0.10)
+
+    def test_sharpe_sign_follows_mean(self):
+        from repro.eval.backtest import BacktestResult
+        up = BacktestResult(np.array([0.01, 0.02, 0.01]), 1)
+        down = BacktestResult(np.array([-0.01, -0.02, -0.01]), 1)
+        assert up.sharpe > 0 > down.sharpe
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=10),
+       st.integers(min_value=2, max_value=20),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_irr_bounded_by_oracle_property(days, stocks, seed):
+    rng = np.random.default_rng(seed)
+    actuals = rng.standard_normal((days, stocks)) * 0.02
+    scores = rng.standard_normal((days, stocks))
+    top_n = min(5, stocks)
+    assert irr(scores, actuals, top_n) <= irr(actuals, actuals, top_n) + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=15),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_mrr_always_in_unit_interval(stocks, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal((6, stocks))
+    actuals = rng.standard_normal((6, stocks))
+    value = mrr(scores, actuals)
+    assert 1.0 / stocks <= value <= 1.0

@@ -1,0 +1,163 @@
+"""Experiment protocol, market indices, speed harness, case study."""
+
+import numpy as np
+import pytest
+
+from repro.core import RTGCN, TrainConfig
+from repro.eval import (cap_weighted_index, compare_paired,
+                        compare_to_published, find_connected_clique,
+                        index_cumulative_returns, market_index_curves,
+                        measure_speed, price_weighted_index, run_case_study,
+                        run_experiment, run_named_experiment,
+                        strongest_baseline)
+from repro.eval.protocol import ExperimentResult
+
+
+def quick_config(**overrides):
+    defaults = dict(window=6, epochs=1, max_train_days=8, seed=0)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+class TestIndices:
+    def test_cap_weighted_starts_at_one(self, rng):
+        prices = rng.uniform(10, 100, size=(5, 30))
+        caps = rng.uniform(1, 10, size=5)
+        level = cap_weighted_index(prices, caps)
+        assert np.isclose(level[0], 1.0)
+        assert level.shape == (30,)
+
+    def test_cap_weighting_tilts_to_giants(self):
+        prices = np.ones((2, 10))
+        prices[0] *= np.linspace(1, 2, 10)      # stock 0 doubles
+        caps = np.array([1000.0, 1.0])           # stock 0 dominates
+        level = cap_weighted_index(prices, caps)
+        assert level[-1] > 1.9
+
+    def test_price_weighted_picks_priciest(self):
+        prices = np.ones((5, 10))
+        prices[2] *= 100.0
+        level = price_weighted_index(prices, num_constituents=1)
+        assert np.allclose(level, 100.0)
+
+    def test_index_cumulative_returns_alignment(self):
+        level = np.array([100.0, 110.0, 99.0, 99.0])
+        curve = index_cumulative_returns(level, [0, 1, 2])
+        assert np.isclose(curve[0], 0.10)
+        assert np.isclose(curve[1], 0.10 - 0.10)
+
+    def test_market_curves_for_us_market(self, nasdaq_mini):
+        _, test_days = nasdaq_mini.split(6)
+        curves = market_index_curves(nasdaq_mini, test_days)
+        assert set(curves) == {"S&P 500", "DJI"}
+        assert all(len(v) == len(test_days) for v in curves.values())
+
+    def test_market_curves_for_csi(self, csi_mini):
+        _, test_days = csi_mini.split(6)
+        curves = market_index_curves(csi_mini, test_days)
+        assert set(curves) == {"CSI 300"}
+
+    def test_caps_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cap_weighted_index(rng.uniform(1, 2, (3, 5)), np.ones(4))
+
+
+class TestProtocol:
+    def test_run_experiment_aggregates(self, nasdaq_mini):
+        result = run_experiment(
+            "rtgcn-u",
+            lambda gen: RTGCN(nasdaq_mini.relations, strategy="uniform",
+                              relational_filters=4, rng=gen),
+            nasdaq_mini, quick_config(), n_runs=2)
+        assert len(result.runs) == 2
+        assert result.summary()["MRR"].n_runs == 2
+        assert len(result.train_seconds) == 2
+
+    def test_runs_use_different_seeds(self, nasdaq_mini):
+        result = run_experiment(
+            "rtgcn-u",
+            lambda gen: RTGCN(nasdaq_mini.relations, strategy="uniform",
+                              relational_filters=4, rng=gen),
+            nasdaq_mini, quick_config(), n_runs=2)
+        # Different init seeds -> different predictions (almost surely).
+        assert result.runs[0]["MRR"] != result.runs[1]["MRR"]
+
+    def test_run_named_experiment_classifier_mrr_nan(self, nasdaq_mini):
+        result = run_named_experiment("ARIMA", nasdaq_mini, quick_config(),
+                                      n_runs=1)
+        assert np.isnan(result.runs[0]["MRR"])
+        assert np.isfinite(result.runs[0]["IRR-5"])
+
+    def test_run_named_experiment_ranker(self, nasdaq_mini):
+        result = run_named_experiment("Rank_LSTM", nasdaq_mini,
+                                      quick_config(), n_runs=1)
+        assert np.isfinite(result.runs[0]["MRR"])
+
+    def test_compare_paired_detects_dominance(self):
+        ours = ExperimentResult("ours", [{"IRR-5": 1.0 + 0.01 * i}
+                                         for i in range(10)], [], [])
+        base = ExperimentResult("base", [{"IRR-5": 0.5 + 0.01 * i}
+                                         for i in range(10)], [], [])
+        outcome = compare_paired(ours, base, "IRR-5")
+        assert outcome.p_value < 0.05
+
+    def test_compare_to_published(self):
+        ours = ExperimentResult("ours", [{"MRR": 0.5 + 0.01 * i}
+                                         for i in range(10)], [], [])
+        outcome = compare_to_published(ours, "MRR", 0.3)
+        assert outcome.p_value < 0.05
+        weak = compare_to_published(ours, "MRR", 0.56)
+        assert weak.p_value > 0.05
+
+    def test_strongest_baseline(self):
+        results = {
+            "a": ExperimentResult("a", [{"IRR-5": 0.1}], [], []),
+            "b": ExperimentResult("b", [{"IRR-5": 0.9}], [], []),
+        }
+        assert strongest_baseline(results, "IRR-5") == "b"
+
+    def test_strongest_baseline_empty_rejected(self):
+        with pytest.raises(ValueError):
+            strongest_baseline({}, "MRR")
+
+
+class TestSpeed:
+    def test_measure_speed_fields(self, nasdaq_mini):
+        m = measure_speed(
+            "rtgcn", lambda gen: RTGCN(nasdaq_mini.relations,
+                                       relational_filters=4, rng=gen),
+            nasdaq_mini, quick_config(max_train_days=5), epochs=1)
+        assert m.train_seconds_per_epoch > 0
+        assert m.test_seconds > 0
+
+    def test_speedup_over(self, nasdaq_mini):
+        from repro.eval import SpeedMeasurement
+        fast = SpeedMeasurement("fast", 1.0, 0.5)
+        slow = SpeedMeasurement("slow", 4.0, 1.0)
+        ratio = fast.speedup_over(slow)
+        assert np.isclose(ratio["train"], 4.0)
+        assert np.isclose(ratio["test"], 2.0)
+
+
+class TestCaseStudy:
+    def test_clique_is_connected(self, nasdaq_mini):
+        clique = find_connected_clique(nasdaq_mini, 5)
+        assert len(set(clique)) == 5
+        adj = nasdaq_mini.relations.binary_adjacency()
+        sub = adj[np.ix_(clique, clique)]
+        assert sub.sum() > 0
+
+    def test_clique_size_validated(self, csi_mini):
+        with pytest.raises(ValueError):
+            find_connected_clique(csi_mini, 100)
+
+    def test_case_study_artifacts(self, nasdaq_mini):
+        study = run_case_study(nasdaq_mini, config=quick_config(),
+                               num_days=6)
+        assert len(study.symbols) == 5
+        assert study.predicted_heatmap.shape == (5, 6)
+        assert study.actual_heatmap.shape == (5, 6)
+        assert study.edge_weights.shape == (5, 5)
+        assert study.normalized_prices.shape[0] == 5
+        assert np.allclose(study.normalized_prices[:, 0], 1.0)
+        assert len(study.days) == 6

@@ -1,0 +1,182 @@
+"""Module/Parameter registration, modes, state dicts, containers, init."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(3, 4)
+        self.second = nn.Linear(4, 2)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        model = TwoLayer()
+        names = dict(model.named_parameters())
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+        assert len(list(model.parameters())) == 5
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2) + 1
+
+    def test_modules_iteration(self):
+        model = TwoLayer()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds == ["TwoLayer", "Linear", "Linear"]
+
+    def test_children_are_direct_only(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.Linear(2, 2)))
+        assert len(list(model.children())) == 2
+
+    def test_reassignment_replaces_parameter(self):
+        model = TwoLayer()
+        model.scale = Parameter(np.zeros(1))
+        assert np.allclose(dict(model.named_parameters())["scale"].data, 0.0)
+        assert len(list(model.parameters())) == 5
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.training
+        assert not model.first.training
+        model.train()
+        assert model.second.training
+
+    def test_zero_grad_clears_all(self, rng):
+        model = TwoLayer()
+        x = Tensor(rng.standard_normal((5, 3)))
+        model(x).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a, b = TwoLayer(), TwoLayer()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(rng.standard_normal((4, 3)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"][...] = 99.0
+        assert not np.allclose(model.scale.data, 99.0)
+
+    def test_strict_missing_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_ignores_extra(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["ghost"] = np.zeros(3)
+        model.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        model = nn.Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 2))
+        out = model(Tensor(rng.standard_normal((4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_sequential_indexing_and_len(self):
+        model = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.Tanh)
+
+    def test_sequential_append(self, rng):
+        model = nn.Sequential(nn.Linear(3, 3))
+        model.append(nn.Linear(3, 1))
+        assert model(Tensor(rng.standard_normal((2, 3)))).shape == (2, 1)
+
+    def test_module_list_registers_params(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(ml.parameters())) == 4
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList([nn.ReLU()])(1)
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self):
+        p = Parameter(np.empty((50, 30)))
+        init.xavier_uniform_(p, rng=np.random.default_rng(0))
+        bound = math.sqrt(6.0 / 80)
+        assert np.abs(p.data).max() <= bound
+
+    def test_xavier_normal_std(self):
+        p = Parameter(np.empty((400, 400)))
+        init.xavier_normal_(p, rng=np.random.default_rng(0))
+        assert abs(p.data.std() - math.sqrt(2.0 / 800)) < 5e-4
+
+    def test_kaiming_respects_fan_in(self):
+        p = Parameter(np.empty((10, 1000)))
+        init.kaiming_uniform_(p, rng=np.random.default_rng(0))
+        assert np.abs(p.data).max() < 0.15   # bound ~ sqrt(3/fan_in)*gain
+
+    def test_conv_fans_include_kernel(self):
+        fan_in, fan_out = init._fan_in_fan_out((8, 4, 3))
+        assert fan_in == 12 and fan_out == 24
+
+    def test_constant_fills(self):
+        p = Parameter(np.empty(5))
+        init.zeros_(p)
+        assert np.allclose(p.data, 0)
+        init.ones_(p)
+        assert np.allclose(p.data, 1)
+        init.constant_(p, 2.5)
+        assert np.allclose(p.data, 2.5)
+
+    def test_scalar_fan_rejected(self):
+        with pytest.raises(ValueError):
+            init._fan_in_fan_out(())
+
+    def test_manual_seed_reproducible(self):
+        nn.manual_seed(7)
+        a = nn.Linear(4, 4)
+        nn.manual_seed(7)
+        b = nn.Linear(4, 4)
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_fork_rng_streams_differ(self):
+        g1, g2 = nn.fork_rng(1), nn.fork_rng(2)
+        assert not np.allclose(g1.standard_normal(5), g2.standard_normal(5))
+
+    def test_fork_rng_deterministic(self):
+        assert np.allclose(nn.fork_rng(3).standard_normal(5),
+                           nn.fork_rng(3).standard_normal(5))

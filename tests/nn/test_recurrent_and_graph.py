@@ -1,0 +1,192 @@
+"""Recurrent cells (LSTM/GRU/SFM) and graph layers (GCN/GAT)."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.tensor import Tensor, gradcheck
+
+
+class TestLSTM:
+    def test_output_shapes(self, rng):
+        lstm = nn.LSTM(3, 5)
+        out, (h, c) = lstm(Tensor(rng.standard_normal((4, 7, 3))))
+        assert out.shape == (4, 7, 5)
+        assert h.shape == (4, 5) and c.shape == (4, 5)
+
+    def test_last_output_equals_final_hidden(self, rng):
+        lstm = nn.LSTM(3, 4)
+        out, (h, _) = lstm(Tensor(rng.standard_normal((2, 5, 3))))
+        assert np.allclose(out.data[:, -1, :], h.data)
+
+    def test_stacked_layers(self, rng):
+        lstm = nn.LSTM(3, 4, num_layers=2)
+        out, _ = lstm(Tensor(rng.standard_normal((2, 5, 3))))
+        assert out.shape == (2, 5, 4)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = nn.LSTMCell(3, 4)
+        assert np.allclose(cell.bias.data[4:8], 1.0)
+
+    def test_gradient_reaches_early_timesteps(self, rng):
+        lstm = nn.LSTM(2, 3)
+        x = Tensor(rng.standard_normal((1, 6, 2)), requires_grad=True)
+        _, (h, _) = lstm(x)
+        h.sum().backward()
+        assert np.abs(x.grad[:, 0, :]).max() > 0   # BPTT reaches step 0
+
+    def test_gradcheck_small(self, rng):
+        lstm = nn.LSTM(2, 2)
+        x = Tensor(rng.standard_normal((1, 3, 2)), requires_grad=True)
+        gradcheck(lambda: lstm(x)[0].sum(), [x])
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        lstm = nn.LSTM(2, 4)
+        out, _ = lstm(Tensor(rng.standard_normal((3, 20, 2)) * 10))
+        assert np.abs(out.data).max() <= 1.0
+
+    def test_rejects_2d_input(self, rng):
+        with pytest.raises(ValueError):
+            nn.LSTM(2, 3)(Tensor(rng.standard_normal((4, 2))))
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            nn.LSTM(2, 3, num_layers=0)
+
+
+class TestGRU:
+    def test_output_shapes(self, rng):
+        gru = nn.GRU(3, 5)
+        out, h = gru(Tensor(rng.standard_normal((4, 7, 3))))
+        assert out.shape == (4, 7, 5) and h.shape == (4, 5)
+
+    def test_gradcheck_small(self, rng):
+        gru = nn.GRU(2, 2)
+        x = Tensor(rng.standard_normal((1, 3, 2)), requires_grad=True)
+        gradcheck(lambda: gru(x)[1].sum(), [x])
+
+    def test_zero_update_gate_keeps_state(self):
+        # With z ≈ 1 the GRU keeps h_prev: force via huge bias.
+        cell = nn.GRUCell(2, 3)
+        cell.bias_ih.data[3:6] = 100.0   # update gate z -> 1
+        h0 = Tensor(np.ones((1, 3)) * 0.7)
+        h1 = cell(Tensor(np.zeros((1, 2))), h0)
+        assert np.allclose(h1.data, 0.7, atol=1e-6)
+
+    def test_two_layer_stack(self, rng):
+        gru = nn.GRU(3, 4, num_layers=2)
+        out, _ = gru(Tensor(rng.standard_normal((2, 5, 3))))
+        assert out.shape == (2, 5, 4)
+
+
+class TestSFM:
+    def test_output_shapes(self, rng):
+        sfm = nn.SFM(3, 5, n_freq=4)
+        out, h = sfm(Tensor(rng.standard_normal((2, 6, 3))))
+        assert out.shape == (2, 6, 5) and h.shape == (2, 5)
+
+    def test_state_shapes(self):
+        cell = nn.SFMCell(3, 4, n_freq=5)
+        h, re, im = cell.initial_state(2)
+        assert h.shape == (2, 4)
+        assert re.shape == (2, 4, 5) and im.shape == (2, 4, 5)
+
+    def test_frequencies_distinct(self):
+        cell = nn.SFMCell(2, 2, n_freq=4)
+        assert len(np.unique(cell.omegas)) == 4
+
+    def test_gradcheck_small(self, rng):
+        sfm = nn.SFM(2, 2, n_freq=2)
+        x = Tensor(rng.standard_normal((1, 3, 2)), requires_grad=True)
+        gradcheck(lambda: sfm(x)[1].sum(), [x])
+
+    def test_invalid_n_freq(self):
+        with pytest.raises(ValueError):
+            nn.SFMCell(2, 2, n_freq=0)
+
+    def test_rejects_2d_input(self, rng):
+        with pytest.raises(ValueError):
+            nn.SFM(2, 3)(Tensor(rng.standard_normal((4, 2))))
+
+
+class TestGraphConv:
+    def test_identity_adjacency_is_linear_map(self, rng):
+        gc = nn.GraphConv(3, 4)
+        x = Tensor(rng.standard_normal((5, 3)))
+        out = gc(x, Tensor(np.eye(5)))
+        manual = x.data @ gc.weight.data.T + gc.bias.data
+        assert np.allclose(out.data, manual)
+
+    def test_aggregation_mixes_neighbors(self, rng):
+        gc = nn.GraphConv(2, 2, bias=False)
+        x = Tensor(rng.standard_normal((3, 2)))
+        adj = np.zeros((3, 3))
+        adj[0, 1] = 1.0   # node 0 reads node 1 only
+        out = gc(x, Tensor(adj))
+        assert np.allclose(out.data[0], x.data[1] @ gc.weight.data.T)
+        assert np.allclose(out.data[2], 0.0)
+
+    def test_batched_adjacency(self, rng):
+        gc = nn.GraphConv(3, 4)
+        x = Tensor(rng.standard_normal((6, 5, 3)))
+        adj = Tensor(rng.uniform(size=(6, 5, 5)))
+        assert gc(x, adj).shape == (6, 5, 4)
+
+    def test_shared_adjacency_broadcasts_over_time(self, rng):
+        gc = nn.GraphConv(3, 4)
+        x = Tensor(rng.standard_normal((6, 5, 3)))
+        adj = Tensor(rng.uniform(size=(5, 5)))
+        assert gc(x, adj).shape == (6, 5, 4)
+
+    def test_gradcheck(self, rng):
+        gc = nn.GraphConv(2, 3)
+        x = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        adj = Tensor(rng.uniform(size=(4, 4)), requires_grad=True)
+        gradcheck(lambda: gc(x, adj).sum(), [x, adj, gc.weight, gc.bias])
+
+    def test_dimension_validation(self, rng):
+        gc = nn.GraphConv(3, 2)
+        with pytest.raises(ValueError):
+            gc(Tensor(rng.standard_normal((4, 5))), Tensor(np.eye(4)))
+        with pytest.raises(ValueError):
+            gc(Tensor(rng.standard_normal((4, 3))), Tensor(np.eye(3)))
+
+
+class TestGraphAttention:
+    def test_output_shape_multihead(self, rng):
+        gat = nn.GraphAttention(3, 8, n_heads=2)
+        x = Tensor(rng.standard_normal((6, 3)))
+        mask = rng.uniform(size=(6, 6)) > 0.5
+        assert gat(x, mask).shape == (6, 8)
+
+    def test_averaged_heads_output_shape(self, rng):
+        gat = nn.GraphAttention(3, 4, n_heads=3, concat_heads=False)
+        x = Tensor(rng.standard_normal((5, 3)))
+        assert gat(x, np.ones((5, 5))).shape == (5, 4)
+
+    def test_masked_nodes_do_not_influence(self, rng):
+        gat = nn.GraphAttention(2, 4, n_heads=1)
+        x = rng.standard_normal((4, 2))
+        mask = np.zeros((4, 4), dtype=bool)     # only self-loops
+        base = gat(Tensor(x), mask).data.copy()
+        x2 = x.copy()
+        x2[3] += 100.0                            # perturb an unrelated node
+        out = gat(Tensor(x2), mask).data
+        assert np.allclose(out[:3], base[:3])
+
+    def test_attention_time_batched(self, rng):
+        gat = nn.GraphAttention(3, 6, n_heads=2)
+        x = Tensor(rng.standard_normal((7, 5, 3)))   # (T, N, D)
+        mask = rng.uniform(size=(5, 5)) > 0.3
+        assert gat(x, mask).shape == (7, 5, 6)
+
+    def test_gradcheck(self, rng):
+        gat = nn.GraphAttention(2, 4, n_heads=2)
+        x = Tensor(rng.standard_normal((4, 2)), requires_grad=True)
+        mask = rng.uniform(size=(4, 4)) > 0.4
+        gradcheck(lambda: gat(x, mask).sum(),
+                  [x, gat.weight, gat.attn_src, gat.attn_dst])
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            nn.GraphAttention(3, 5, n_heads=2)

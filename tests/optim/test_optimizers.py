@@ -1,0 +1,211 @@
+"""Optimizers: update rules, convergence, clipping, schedulers."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.nn.module import Parameter
+from repro.optim import (Adam, AdamW, CosineAnnealingLR, ExponentialLR,
+                         ReduceLROnPlateau, RMSprop, SGD, StepLR,
+                         clip_grad_norm_, clip_grad_value_)
+from repro.tensor import Tensor, mse_loss
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+def step_once(optimizer, param):
+    optimizer.zero_grad()
+    loss = (param * param).sum()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_plain_update_rule(self):
+        p = quadratic_param(3.0)
+        SGD([p], lr=0.1).step_count = None
+        opt = SGD([p], lr=0.1)
+        step_once(opt, p)
+        # grad of x^2 at 3 is 6 -> 3 - 0.1*6 = 2.4
+        assert np.isclose(p.data[0], 2.4)
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain, momentum = SGD([p1], lr=0.01), SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(10):
+            step_once(plain, p1)
+            step_once(momentum, p2)
+        assert abs(p2.data[0]) < abs(p1.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_converges_to_minimum(self):
+        p = quadratic_param(4.0)
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            step_once(opt, p)
+        assert abs(p.data[0]) < 1e-4
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # Bias correction makes the first Adam step ≈ lr in magnitude.
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.05)
+        step_once(opt, p)
+        assert np.isclose(p.data[0], 1.0 - 0.05, atol=1e-6)
+
+    def test_converges_quadratic(self):
+        p = quadratic_param(3.0)
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            step_once(opt, p)
+        assert abs(p.data[0]) < 1e-3
+
+    def test_skips_parameters_without_grad(self):
+        p, q = quadratic_param(1.0), quadratic_param(2.0)
+        opt = Adam([p, q], lr=0.1)
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+        assert q.data[0] == 2.0
+
+    def test_trains_real_model(self, rng):
+        nn.manual_seed(0)
+        model = nn.Sequential(nn.Linear(2, 8), nn.Tanh(), nn.Linear(8, 1))
+        X = rng.standard_normal((64, 2))
+        y = (X[:, :1] * 2 - X[:, 1:] * 0.5)
+        opt = Adam(model.parameters(), lr=0.02)
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(X)), Tensor(y))
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < first * 0.05
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.9))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)
+
+
+class TestAdamWAndRMSprop:
+    def test_adamw_decays_even_with_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert np.isclose(p.data[0], 1.0 - 0.1 * 0.5)
+
+    def test_rmsprop_converges(self):
+        p = quadratic_param(2.0)
+        opt = RMSprop([p], lr=0.05)
+        for _ in range(200):
+            step_once(opt, p)
+        assert abs(p.data[0]) < 1e-2
+
+
+class TestClipping:
+    def test_clip_norm_scales_down(self):
+        p = Parameter(np.array([1.0, 1.0]))
+        p.grad = np.array([3.0, 4.0])
+        total = clip_grad_norm_([p], max_norm=1.0)
+        assert np.isclose(total, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_clip_norm_no_change_below_threshold(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        clip_grad_norm_([p], max_norm=10.0)
+        assert np.isclose(p.grad[0], 0.5)
+
+    def test_clip_value(self):
+        p = Parameter(np.array([1.0, 1.0]))
+        p.grad = np.array([-7.0, 0.2])
+        clip_grad_value_([p], 0.5)
+        assert np.allclose(p.grad, [-0.5, 0.2])
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert np.isclose(opt.lr, 0.25)
+
+    def test_cosine_reaches_eta_min(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.05)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.05)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=8)
+        values = []
+        for _ in range(8):
+            sched.step()
+            values.append(opt.lr)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_plateau_reduces_after_patience(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        sched.step(1.0)
+        sched.step(1.0)   # bad epoch 1
+        sched.step(1.0)   # bad epoch 2 -> reduce
+        assert np.isclose(opt.lr, 0.5)
+
+    def test_plateau_resets_on_improvement(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        sched.step(1.0)
+        sched.step(1.1)
+        sched.step(0.5)   # improvement resets counter
+        sched.step(0.6)
+        assert opt.lr == 1.0
+
+    def test_plateau_max_mode(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.1, patience=0, mode="max")
+        sched.step(1.0)
+        sched.step(0.9)   # worse in max mode -> reduce immediately
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_plateau_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ReduceLROnPlateau(Adam([quadratic_param()]), mode="sideways")

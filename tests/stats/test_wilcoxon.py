@@ -1,0 +1,154 @@
+"""Wilcoxon signed-rank tests, cross-validated against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.stats import (RunSummary, improvement_percent,
+                         one_sample_wilcoxon, paired_wilcoxon,
+                         summarize_runs, wilcoxon_signed_rank)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("alternative", ["two-sided", "greater", "less"])
+    def test_exact_matches_scipy(self, alternative, rng):
+        for _ in range(8):
+            diffs = rng.standard_normal(15) + 0.3
+            ours = wilcoxon_signed_rank(diffs, alternative=alternative)
+            ref = sps.wilcoxon(diffs, alternative=alternative, mode="exact")
+            assert np.isclose(ours.p_value, ref.pvalue, atol=1e-10), \
+                (alternative, ours.p_value, ref.pvalue)
+
+    def test_normal_approx_matches_scipy(self, rng):
+        diffs = rng.standard_normal(60) + 0.2
+        ours = wilcoxon_signed_rank(diffs, alternative="greater")
+        ref = sps.wilcoxon(diffs, alternative="greater", mode="approx",
+                           correction=True)
+        assert np.isclose(ours.p_value, ref.pvalue, atol=5e-3)
+
+    def test_statistic_is_w_plus(self, rng):
+        diffs = rng.standard_normal(12)
+        ours = wilcoxon_signed_rank(diffs)
+        # scipy returns min(W+, W-) by default; reconstruct W+ by ranks.
+        from scipy.stats import rankdata
+        ranks = rankdata(np.abs(diffs))
+        w_plus = ranks[diffs > 0].sum()
+        assert np.isclose(ours.statistic, w_plus)
+
+
+class TestBehaviour:
+    def test_strong_positive_shift_significant(self, rng):
+        diffs = np.abs(rng.standard_normal(15)) + 0.1
+        result = wilcoxon_signed_rank(diffs, alternative="greater")
+        assert result.p_value < 0.001
+        assert result.significant()
+
+    def test_symmetric_sample_not_significant(self, rng):
+        diffs = np.concatenate([rng.standard_normal(10),
+                                -rng.standard_normal(10)])
+        result = wilcoxon_signed_rank(diffs, alternative="greater")
+        assert result.p_value > 0.05
+
+    def test_zeros_dropped(self):
+        result = wilcoxon_signed_rank([0.0, 0.0, 1.0, 2.0, 3.0],
+                                      alternative="greater")
+        assert result.n_used == 3
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([0.0, 0.0])
+
+    def test_too_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0])
+
+    def test_unknown_alternative_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0, 2.0], alternative="different")
+
+    def test_ties_use_normal_path(self, rng):
+        diffs = np.array([1.0, 1.0, -1.0, 2.0, 2.0, 3.0, 0.5, -0.5])
+        result = wilcoxon_signed_rank(diffs)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestPairedAndOneSample:
+    def test_paired_on_15_runs_mirrors_paper(self, rng):
+        """Table IV setting: 15 paired runs, ours shifted above baseline."""
+        baseline = rng.normal(0.5, 0.05, 15)
+        ours = baseline + rng.uniform(0.02, 0.08, 15)
+        result = paired_wilcoxon(ours, baseline, alternative="greater")
+        assert result.p_value < 0.001
+        assert result.n_used == 15
+
+    def test_paired_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_wilcoxon([1.0, 2.0], [1.0])
+
+    def test_one_sample_mirrors_table_v(self, rng):
+        """Table V setting: 15 runs vs a fixed published value."""
+        runs = rng.normal(0.48, 0.02, 15)
+        strong = one_sample_wilcoxon(runs, 0.44, alternative="greater")
+        weak = one_sample_wilcoxon(runs, 0.60, alternative="greater")
+        assert strong.p_value < 0.05 < weak.p_value
+
+    def test_paired_direction(self, rng):
+        a = rng.normal(0.0, 1.0, 15)
+        b = a + 1.0
+        worse = paired_wilcoxon(a, b, alternative="greater")
+        better = paired_wilcoxon(b, a, alternative="greater")
+        assert better.p_value < 0.05 < worse.p_value
+
+
+class TestSummaries:
+    def test_run_summary_statistics(self):
+        summary = RunSummary.from_values([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert np.isclose(summary.std, 1.0)
+        assert summary.n_runs == 3
+
+    def test_single_run_std_zero(self):
+        assert RunSummary.from_values([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunSummary.from_values([])
+
+    def test_summarize_runs(self):
+        runs = [{"MRR": 0.1, "IRR-5": 1.0}, {"MRR": 0.3, "IRR-5": 2.0}]
+        summary = summarize_runs(runs)
+        assert np.isclose(summary["MRR"].mean, 0.2)
+        assert np.isclose(summary["IRR-5"].mean, 1.5)
+
+    def test_inconsistent_runs_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([{"MRR": 0.1}, {"IRR-5": 1.0}])
+
+    def test_improvement_percent(self):
+        assert np.isclose(improvement_percent(1.25, 1.0), 25.0)
+        assert np.isclose(improvement_percent(0.9, 1.0), -10.0)
+
+    def test_improvement_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_percent(1.0, 0.0)
+
+    def test_str_format(self):
+        text = str(RunSummary.from_values([1.0, 2.0]))
+        assert "n=2" in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=5, max_value=24),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_exact_p_matches_scipy_property(n, seed):
+    rng = np.random.default_rng(seed)
+    diffs = rng.standard_normal(n)
+    diffs = diffs[diffs != 0]
+    if len(np.unique(np.abs(diffs))) != len(diffs) or len(diffs) < 2:
+        return
+    ours = wilcoxon_signed_rank(diffs, alternative="two-sided")
+    ref = sps.wilcoxon(diffs, alternative="two-sided", mode="exact")
+    assert np.isclose(ours.p_value, ref.pvalue, atol=1e-10)

@@ -1,0 +1,146 @@
+"""Elementwise arithmetic, broadcasting and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad)
+
+
+class TestForwardValues:
+    def test_add(self):
+        assert np.allclose((t([1, 2]) + t([3, 4])).data, [4, 6])
+
+    def test_add_scalar(self):
+        assert np.allclose((t([1, 2]) + 10).data, [11, 12])
+
+    def test_radd(self):
+        assert np.allclose((10 + t([1, 2])).data, [11, 12])
+
+    def test_sub(self):
+        assert np.allclose((t([5, 7]) - t([1, 2])).data, [4, 5])
+
+    def test_rsub(self):
+        assert np.allclose((1 - t([5.0])).data, [-4.0])
+
+    def test_mul(self):
+        assert np.allclose((t([2, 3]) * t([4, 5])).data, [8, 15])
+
+    def test_div(self):
+        assert np.allclose((t([8, 9]) / t([2, 3])).data, [4, 3])
+
+    def test_rdiv(self):
+        assert np.allclose((12 / t([3, 4])).data, [4, 3])
+
+    def test_neg(self):
+        assert np.allclose((-t([1, -2])).data, [-1, 2])
+
+    def test_pow(self):
+        assert np.allclose((t([2, 3]) ** 2).data, [4, 9])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            t([2.0]) ** t([2.0])
+
+    def test_abs(self):
+        assert np.allclose(t([-2, 3]).abs().data, [2, 3])
+
+
+class TestGradients:
+    def test_add_grad(self, rng):
+        a, b = t(rng.standard_normal(4)), t(rng.standard_normal(4))
+        gradcheck(lambda: (a + b).sum(), [a, b])
+
+    def test_mul_grad(self, rng):
+        a, b = t(rng.standard_normal(4)), t(rng.standard_normal(4))
+        gradcheck(lambda: (a * b).sum(), [a, b])
+
+    def test_div_grad(self, rng):
+        a = t(rng.standard_normal(4))
+        b = t(rng.uniform(0.5, 2.0, 4))
+        gradcheck(lambda: (a / b).sum(), [a, b])
+
+    def test_pow_grad(self, rng):
+        a = t(rng.uniform(0.5, 2.0, 5))
+        gradcheck(lambda: (a ** 3).sum(), [a])
+
+    def test_chain_rule_through_composite(self, rng):
+        a = t(rng.standard_normal((3, 3)))
+        gradcheck(lambda: ((a * 2 + 1) ** 2 / 3).sum(), [a])
+
+    def test_same_tensor_used_twice_accumulates(self):
+        a = t([3.0])
+        out = a * a
+        out.backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        a = t([2.0])
+        (a * 3).backward()
+        (a * 4).backward()
+        assert np.allclose(a.grad, [7.0])
+
+    def test_zero_grad_resets(self):
+        a = t([2.0])
+        (a * 3).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestBroadcasting:
+    def test_row_plus_column(self, rng):
+        a = t(rng.standard_normal((3, 1)))
+        b = t(rng.standard_normal((1, 4)))
+        out = a + b
+        assert out.shape == (3, 4)
+        gradcheck(lambda: (a + b).sum(), [a, b])
+
+    def test_scalar_broadcast_grad(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        s = t(np.array(2.0))
+        gradcheck(lambda: (a * s).sum(), [a, s])
+
+    def test_leading_axis_broadcast(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        b = t(rng.standard_normal((3, 4)))
+        gradcheck(lambda: (a * b).sum(), [a, b])
+
+    def test_broadcast_grad_shape_matches_input(self):
+        a = t(np.ones((3, 1)))
+        b = t(np.ones((1, 4)))
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 1)
+        assert b.grad.shape == (1, 4)
+        assert np.allclose(a.grad, 4.0)
+        assert np.allclose(b.grad, 3.0)
+
+
+class TestBackwardValidation:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_seed(self):
+        a = t([1.0, 2.0])
+        (a * 2).backward(np.array([1.0, 0.5]))
+        assert np.allclose(a.grad, [2.0, 1.0])
+
+    def test_retain_graph_allows_second_backward(self):
+        a = t([2.0])
+        out = (a * a).sum()
+        out.backward(retain_graph=True)
+        out.backward()
+        assert np.allclose(a.grad, [8.0])
+
+    def test_no_grad_through_detach(self):
+        a = t([2.0])
+        b = a.detach() * 3
+        assert not b.requires_grad

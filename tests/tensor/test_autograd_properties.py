@@ -1,0 +1,121 @@
+"""Property-based tests of the autograd engine (hypothesis).
+
+These pin down the algebraic identities every correct reverse-mode
+implementation must satisfy: linearity of the gradient operator, agreement
+with finite differences on random programs, and exactness of known closed
+forms.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, gradcheck
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0,
+                          allow_nan=False, allow_infinity=False, width=64)
+
+
+def small_arrays(max_dims=2, max_side=4):
+    return arrays(np.float64,
+                  array_shapes(min_dims=1, max_dims=max_dims,
+                               max_side=max_side),
+                  elements=finite_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(data):
+    a = Tensor(data, requires_grad=True)
+    a.sum().backward()
+    assert np.allclose(a.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-2, max_value=2,
+                                 allow_nan=False))
+def test_scale_gradient_is_constant(data, scale):
+    a = Tensor(data, requires_grad=True)
+    (a * scale).sum().backward()
+    assert np.allclose(a.grad, scale)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_square_gradient_closed_form(data):
+    a = Tensor(data, requires_grad=True)
+    (a * a).sum().backward()
+    assert np.allclose(a.grad, 2 * data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_tanh_gradient_matches_numeric(data):
+    a = Tensor(data, requires_grad=True)
+    gradcheck(lambda: a.tanh().sum(), [a], atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2, max_side=3),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_addition_gradient_linearity(x_data, seed):
+    """grad of (f+g) equals grad f plus grad g for independent inputs."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(x_data, requires_grad=True)
+    y = Tensor(rng.standard_normal(x_data.shape), requires_grad=True)
+    ((x * x) + (y * 3)).sum().backward()
+    assert np.allclose(x.grad, 2 * x.data)
+    assert np.allclose(y.grad, 3.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_matmul_gradient_random_shapes(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal((n, k)), requires_grad=True)
+    b = Tensor(rng.standard_normal((k, m)), requires_grad=True)
+    gradcheck(lambda: ((a @ b) ** 2).sum(), [a, b], atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=2, max_value=6))
+def test_softmax_rows_always_sum_to_one(seed, rows, cols):
+    from repro.tensor import softmax
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((rows, cols)) * 10)
+    out = softmax(x, axis=-1)
+    assert np.allclose(out.data.sum(axis=-1), 1.0)
+    assert np.all(out.data >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_reshape_transpose_chain_preserves_gradient_flow(seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+    gradcheck(lambda: (a.transpose(2, 0, 1).reshape(4, 6) ** 2).sum(), [a],
+              atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=2, max_value=5),
+       st.integers(min_value=1, max_value=3))
+def test_conv1d_gradient_random_configs(seed, channels, length, kernel):
+    from repro.tensor import conv1d
+    if kernel > length:
+        kernel = length
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((1, channels, length)),
+               requires_grad=True)
+    w = Tensor(rng.standard_normal((2, channels, kernel)),
+               requires_grad=True)
+    gradcheck(lambda: conv1d(x, w, padding=(kernel - 1, 0)).sum(), [x, w],
+              atol=1e-4, rtol=1e-3)

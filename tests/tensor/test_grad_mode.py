@@ -1,0 +1,88 @@
+"""Gradient-mode switches and graph-recording behavior."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (Tensor, enable_grad, is_grad_enabled, no_grad,
+                          set_grad_enabled)
+
+
+class TestNoGrad:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_blocks_recording(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+
+    def test_no_grad_restores_on_exit(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_enable_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                b = a * 2
+            c = a * 3
+        assert b.requires_grad
+        assert not c.requires_grad
+
+    def test_set_grad_enabled(self):
+        set_grad_enabled(False)
+        try:
+            a = Tensor([1.0], requires_grad=True)
+            assert not (a * 2).requires_grad
+        finally:
+            set_grad_enabled(True)
+
+
+class TestGraphLifecycle:
+    def test_interior_grads_freed_after_backward(self):
+        a = Tensor([2.0], requires_grad=True)
+        mid = a * 3
+        out = (mid * mid).sum()
+        out.backward()
+        assert mid.grad is None       # interior freed
+        assert a.grad is not None     # leaf kept
+
+    def test_graph_freed_after_backward(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (a * 3).sum()
+        out.backward()
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_constant_inputs_get_no_grad(self):
+        a = Tensor([1.0])
+        b = Tensor([2.0], requires_grad=True)
+        out = (a * b).sum()
+        out.backward()
+        assert a.grad is None
+        assert np.allclose(b.grad, [1.0])
+
+    def test_diamond_graph_gradients(self):
+        # a feeds two paths that rejoin: grads must accumulate once each.
+        a = Tensor([3.0], requires_grad=True)
+        left = a * 2
+        right = a * 5
+        out = (left + right).sum()
+        out.backward()
+        assert np.allclose(a.grad, [7.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x + 1.0
+        x.sum().backward()
+        assert np.allclose(a.grad, [1.0])

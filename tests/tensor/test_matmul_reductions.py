@@ -1,0 +1,169 @@
+"""Matrix products, reductions and shape ops with gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad)
+
+
+class TestMatmul:
+    def test_2d_value(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        assert np.allclose((t(a) @ t(b)).data, a @ b)
+
+    def test_2d_grad(self, rng):
+        a, b = t(rng.standard_normal((3, 4))), t(rng.standard_normal((4, 5)))
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched_grad(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        b = t(rng.standard_normal((2, 4, 5)))
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_broadcast_batched_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))        # shared across batch
+        b = t(rng.standard_normal((5, 4, 2)))
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_matrix_vector_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        v = t(rng.standard_normal(4))
+        gradcheck(lambda: (a @ v).sum(), [a, v])
+
+    def test_vector_matrix_grad(self, rng):
+        v = t(rng.standard_normal(3))
+        a = t(rng.standard_normal((3, 4)))
+        gradcheck(lambda: (v @ a).sum(), [v, a])
+
+    def test_batched_matrix_vector_grad(self, rng):
+        a = t(rng.standard_normal((5, 3, 4)))
+        v = t(rng.standard_normal(4))
+        gradcheck(lambda: (a @ v).sum(), [a, v])
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        gradcheck(lambda: a.sum(), [a])
+
+    def test_sum_axis_keepdims(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        gradcheck(lambda: a.sum(axis=1, keepdims=True).sum(), [a])
+
+    def test_sum_multiple_axes(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        gradcheck(lambda: (a.sum(axis=(0, 2)) ** 2).sum(), [a])
+
+    def test_mean_matches_numpy(self, rng):
+        data = rng.standard_normal((3, 5))
+        assert np.allclose(t(data).mean(axis=0).data, data.mean(axis=0))
+
+    def test_mean_grad(self, rng):
+        a = t(rng.standard_normal((3, 5)))
+        gradcheck(lambda: (a.mean(axis=1) ** 2).sum(), [a])
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.standard_normal((4, 6))
+        assert np.allclose(t(data).var(axis=1).data, data.var(axis=1))
+
+    def test_std_grad(self, rng):
+        a = t(rng.standard_normal((4, 6)))
+        gradcheck(lambda: a.std(axis=1, eps=1e-8).sum(), [a])
+
+    def test_max_value_and_grad(self, rng):
+        a = t(rng.standard_normal((3, 5)))
+        assert np.allclose(a.max(axis=1).data, a.data.max(axis=1))
+        gradcheck(lambda: a.max(axis=1).sum(), [a])
+
+    def test_min_matches_numpy(self, rng):
+        a = t(rng.standard_normal((3, 5)))
+        assert np.allclose(a.min(axis=0).data, a.data.min(axis=0))
+
+    def test_max_tie_splits_gradient(self):
+        a = t([[2.0, 2.0, 1.0]])
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeOps:
+    def test_reshape_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        gradcheck(lambda: (a.reshape(2, 6) ** 2).sum(), [a])
+
+    def test_transpose_roundtrip(self, rng):
+        data = rng.standard_normal((2, 3, 4))
+        out = t(data).transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        assert np.allclose(out.data, data.transpose(2, 0, 1))
+
+    def test_transpose_grad(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        gradcheck(lambda: (a.transpose(1, 2, 0) ** 2).sum(), [a])
+
+    def test_default_transpose_reverses(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        assert a.T.shape == (3, 2)
+
+    def test_swapaxes_grad(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        gradcheck(lambda: (a.swapaxes(0, 2) ** 2).sum(), [a])
+
+    def test_squeeze_unsqueeze(self, rng):
+        a = t(rng.standard_normal((3, 1, 4)))
+        assert a.squeeze(1).shape == (3, 4)
+        assert a.unsqueeze(0).shape == (1, 3, 1, 4)
+        gradcheck(lambda: a.squeeze(1).sum(), [a])
+        gradcheck(lambda: a.unsqueeze(-1).sum(), [a])
+
+    def test_getitem_slice_grad(self, rng):
+        a = t(rng.standard_normal((4, 5)))
+        gradcheck(lambda: (a[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_fancy_index_grad(self, rng):
+        a = t(rng.standard_normal((6, 3)))
+        idx = np.array([0, 2, 2, 5])
+        gradcheck(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = t([1.0, 2.0, 3.0])
+        a[np.array([1, 1])].sum().backward()
+        assert np.allclose(a.grad, [0.0, 2.0, 0.0])
+
+    def test_pad_value_and_grad(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        out = a.pad(((1, 0), (0, 2)), value=7.0)
+        assert out.shape == (3, 5)
+        assert np.allclose(out.data[0], 7.0)
+        gradcheck(lambda: (a.pad(((1, 1), (2, 0))) ** 2).sum(), [a])
+
+    def test_broadcast_to_grad(self, rng):
+        a = t(rng.standard_normal((1, 4)))
+        gradcheck(lambda: (a.broadcast_to((3, 4)) ** 2).sum(), [a])
+
+
+class TestConstructors:
+    def test_zeros_ones_eye_full(self):
+        assert np.allclose(Tensor.zeros(2, 3).data, 0.0)
+        assert np.allclose(Tensor.ones(2).data, 1.0)
+        assert np.allclose(Tensor.eye(3).data, np.eye(3))
+        assert np.allclose(Tensor.full((2, 2), 5.0).data, 5.0)
+
+    def test_randn_seeded(self):
+        g1 = np.random.default_rng(0)
+        g2 = np.random.default_rng(0)
+        assert np.allclose(Tensor.randn(3, rng=g1).data,
+                           Tensor.randn(3, rng=g2).data)
+
+    def test_item_and_len(self):
+        assert Tensor([42.0]).item() == 42.0
+        assert len(Tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_item_rejects_vector(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()

@@ -1,0 +1,60 @@
+"""Public-API hygiene: exports resolve, are documented, and stay stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.tensor",
+    "repro.nn",
+    "repro.optim",
+    "repro.graph",
+    "repro.data",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.stats",
+    "repro.signal",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), \
+            f"{module_name}.__all__ lists missing symbol {name!r}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (inspect.getdoc(obj) or "").strip():
+                undocumented.append(name)
+    assert not undocumented, \
+        f"{module_name} exports undocumented symbols: {undocumented}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_docstrings_present(module_name):
+    module = importlib.import_module(module_name)
+    assert (module.__doc__ or "").strip(), f"{module_name} has no docstring"
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__.count(".") == 2
+
+
+def test_key_paper_symbols_reachable_from_top_level():
+    import repro
+    for symbol in ["RTGCN", "Trainer", "TrainConfig", "load_market",
+                   "RelationMatrix", "RelationTemporalGraph"]:
+        assert hasattr(repro, symbol)

@@ -1,0 +1,30 @@
+"""The example scripts must at least import and expose a main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_imports_cleanly(script):
+    """Importing an example must not execute its workload (main guard)."""
+    path = EXAMPLES_DIR / script
+    spec = importlib.util.spec_from_file_location(f"example_{script[:-3]}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), \
+        f"{script} must define main()"
+
+
+def test_expected_examples_present():
+    names = set(EXAMPLES)
+    for expected in ["quickstart.py", "strategy_comparison.py",
+                     "portfolio_backtest.py", "market_anatomy.py",
+                     "hyperparameter_search.py"]:
+        assert expected in names

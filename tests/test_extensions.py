@@ -1,0 +1,139 @@
+"""Extended features: DA-RNN, NDCG/Kendall metrics, transaction costs."""
+
+import numpy as np
+import pytest
+from scipy.stats import kendalltau as scipy_kendalltau
+
+from repro.baselines import DARNN, EXTRA_MODELS, TABLE_IV_MODELS, get_spec
+from repro.eval import kendall_tau, ndcg_at_n, run_backtest
+from repro.tensor import Tensor, no_grad
+
+
+class TestDARNN:
+    def test_scores_shape(self, rng):
+        model = DARNN(num_features=4, hidden_size=8,
+                      rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((6, 5, 4)))
+        assert model(x).shape == (5,)
+
+    def test_stocks_independent(self, rng):
+        model = DARNN(num_features=4, hidden_size=8,
+                      rng=np.random.default_rng(0))
+        x = rng.standard_normal((6, 5, 4))
+        with no_grad():
+            base = model(Tensor(x)).data.copy()
+            bumped = x.copy()
+            bumped[:, 2, :] += 4.0
+            out = model(Tensor(bumped)).data
+        others = [0, 1, 3, 4]
+        assert np.allclose(out[others], base[others])
+
+    def test_gradients_flow_to_both_attention_stages(self, rng):
+        model = DARNN(num_features=3, hidden_size=6,
+                      rng=np.random.default_rng(1))
+        x = Tensor(rng.standard_normal((5, 4, 3)))
+        (model(x) ** 2).sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+    def test_input_rank_validated(self, rng):
+        with pytest.raises(ValueError):
+            DARNN()(Tensor(rng.standard_normal((5, 4))))
+
+    def test_registered_as_extra_not_table_iv(self):
+        assert "DA-RNN" in EXTRA_MODELS
+        assert "DA-RNN" not in TABLE_IV_MODELS
+        assert get_spec("DA-RNN").category == "REG"
+        # Regression family: no ranking loss.
+        from repro.core import TrainConfig
+        assert get_spec("DA-RNN").adapt_config(TrainConfig(alpha=0.2)).alpha \
+            == 0.0
+
+    def test_trains_on_mini_market(self, csi_mini):
+        from repro.baselines import make_predictor
+        from repro.core import TrainConfig
+        predictor = make_predictor("DA-RNN", csi_mini, seed=0)
+        result = predictor.fit_predict(
+            csi_mini, TrainConfig(window=6, epochs=1, max_train_days=5,
+                                  alpha=0.0))
+        assert np.isfinite(result.predictions).all()
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self, rng):
+        actuals = rng.standard_normal((8, 12))
+        assert np.isclose(ndcg_at_n(actuals, actuals, 5), 1.0)
+
+    def test_worse_ranking_scores_lower(self, rng):
+        actuals = rng.standard_normal((20, 15))
+        inverted = -actuals
+        assert ndcg_at_n(actuals, actuals, 5) > \
+            ndcg_at_n(inverted, actuals, 5)
+
+    def test_bounded_in_unit_interval(self, rng):
+        scores = rng.standard_normal((10, 9))
+        actuals = rng.standard_normal((10, 9))
+        value = ndcg_at_n(scores, actuals, 4)
+        assert 0.0 <= value <= 1.0
+
+    def test_topn_validated(self, rng):
+        scores = rng.standard_normal((2, 5))
+        with pytest.raises(ValueError):
+            ndcg_at_n(scores, scores, 9)
+
+
+class TestKendallTau:
+    def test_perfect_correlation(self, rng):
+        actuals = rng.standard_normal((5, 10))
+        assert np.isclose(kendall_tau(actuals * 3 + 1, actuals), 1.0)
+
+    def test_perfect_anticorrelation(self, rng):
+        actuals = rng.standard_normal((5, 10))
+        assert np.isclose(kendall_tau(-actuals, actuals), -1.0)
+
+    def test_matches_scipy(self, rng):
+        scores = rng.standard_normal((1, 20))
+        actuals = rng.standard_normal((1, 20))
+        ours = kendall_tau(scores, actuals)
+        ref = scipy_kendalltau(scores[0], actuals[0]).statistic
+        assert np.isclose(ours, ref, atol=1e-12)
+
+
+class TestTransactionCosts:
+    def test_zero_cost_unchanged(self, rng):
+        scores = rng.standard_normal((10, 8))
+        actuals = rng.standard_normal((10, 8)) * 0.01
+        free = run_backtest(scores, actuals, 3)
+        priced = run_backtest(scores, actuals, 3, cost_bps=0.0)
+        assert np.allclose(free.daily_returns, priced.daily_returns)
+
+    def test_costs_reduce_returns(self, rng):
+        scores = rng.standard_normal((30, 10))
+        actuals = rng.standard_normal((30, 10)) * 0.01
+        free = run_backtest(scores, actuals, 3)
+        priced = run_backtest(scores, actuals, 3, cost_bps=20)
+        assert priced.cumulative_return < free.cumulative_return
+
+    def test_static_portfolio_pays_only_entry(self):
+        scores = np.tile(np.array([[3.0, 2.0, 1.0, 0.0]]), (5, 1))
+        actuals = np.zeros((5, 4))
+        result = run_backtest(scores, actuals, 2, cost_bps=100)
+        # Day 0 pays the full 1% buy-in; later days have zero turnover.
+        assert np.isclose(result.daily_returns[0], -0.01)
+        assert np.allclose(result.daily_returns[1:], 0.0)
+
+    def test_full_turnover_pays_every_day(self, rng):
+        # Alternate between two disjoint portfolios -> 100% turnover.
+        scores = np.zeros((4, 4))
+        scores[0, [0, 1]] = 1.0
+        scores[1, [2, 3]] = 1.0
+        scores[2, [0, 1]] = 1.0
+        scores[3, [2, 3]] = 1.0
+        actuals = np.zeros((4, 4))
+        result = run_backtest(scores, actuals, 2, cost_bps=50)
+        assert np.allclose(result.daily_returns, -0.005)
+
+    def test_negative_cost_rejected(self, rng):
+        scores = rng.standard_normal((3, 4))
+        with pytest.raises(ValueError):
+            run_backtest(scores, scores, 2, cost_bps=-1)

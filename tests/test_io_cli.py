@@ -1,0 +1,93 @@
+"""Checkpoint round-trips and the command-line interface."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.cli import build_parser, main
+from repro.core import RTGCN
+from repro.io import load_checkpoint, save_checkpoint
+from repro.tensor import Tensor
+
+
+class TestCheckpoints:
+    def test_roundtrip_restores_outputs(self, tmp_path, rng):
+        model = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 2))
+        path = save_checkpoint(model, tmp_path / "model",
+                               metadata={"note": "hello"})
+        assert path.suffix == ".npz"
+
+        clone = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 2))
+        meta = load_checkpoint(clone, path)
+        assert meta["user"]["note"] == "hello"
+        assert meta["num_parameters"] == model.num_parameters()
+        x = Tensor(rng.standard_normal((3, 4)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_rtgcn_checkpoint(self, tmp_path, nasdaq_mini, rng):
+        model = RTGCN(nasdaq_mini.relations, strategy="weight",
+                      relational_filters=8, rng=rng)
+        path = save_checkpoint(model, tmp_path / "rtgcn.npz")
+        clone = RTGCN(nasdaq_mini.relations, strategy="weight",
+                      relational_filters=8,
+                      rng=np.random.default_rng(999))
+        load_checkpoint(clone, path)
+        feats = Tensor(np.random.default_rng(0).standard_normal((6, 48, 4)))
+        model.eval()
+        clone.eval()
+        assert np.allclose(model(feats).data, clone(feats).data)
+
+    def test_class_mismatch_rejected(self, tmp_path):
+        model = nn.Linear(3, 2)
+        path = save_checkpoint(model, tmp_path / "linear.npz")
+        other = nn.Sequential(nn.Linear(3, 2))
+        with pytest.raises(ValueError, match="Linear"):
+            load_checkpoint(other, path)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, data=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_checkpoint(nn.Linear(2, 2), bogus)
+
+    def test_suffix_added_automatically(self, tmp_path):
+        model = nn.Linear(2, 2)
+        path = save_checkpoint(model, tmp_path / "plain")
+        assert path.name == "plain.npz"
+        load_checkpoint(nn.Linear(2, 2), tmp_path / "plain")
+
+
+class TestCLI:
+    def test_markets_command(self, capsys):
+        assert main(["markets"]) == 0
+        out = capsys.readouterr().out
+        assert "nasdaq" in out and "854" in out
+
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "RT-GCN (T)" in out and "STHAN-SR" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_command_quick(self, capsys):
+        code = main(["train", "--market", "csi-mini", "--model", "LSTM",
+                     "--epochs", "1", "--window", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IRR-5" in out
+
+    def test_train_checkpoint_only_for_rtgcn(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "LSTM", "--checkpoint", "/tmp/x",
+                  "--market", "csi-mini", "--epochs", "1"])
+
+    def test_compare_command_quick(self, capsys):
+        code = main(["compare", "--market", "csi-mini",
+                     "--models", "LSTM", "--runs", "1", "--epochs", "1",
+                     "--window", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LSTM" in out

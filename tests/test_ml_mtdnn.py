@@ -1,0 +1,157 @@
+"""Classical-ML substrate (trees, boosting) and the MTDNN extra baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EXTRA_MODELS, MTDNN, multiscale_design_row
+from repro.ml import GradientBoostingRegressor, RegressionTree
+
+
+def stepwise_data(rng, rows=300):
+    """Piecewise-constant target: trees should fit this near-perfectly."""
+    features = rng.uniform(-1, 1, size=(rows, 3))
+    targets = np.where(features[:, 0] > 0.2, 1.0, -1.0) \
+        + np.where(features[:, 1] > 0.0, 0.5, 0.0)
+    return features, targets
+
+
+class TestRegressionTree:
+    def test_fits_piecewise_constant(self, rng):
+        features, targets = stepwise_data(rng)
+        tree = RegressionTree(max_depth=3, min_samples_leaf=5).fit(
+            features, targets)
+        mse = ((tree.predict(features) - targets) ** 2).mean()
+        assert mse < 0.02
+
+    def test_depth_zero_predicts_mean(self, rng):
+        features, targets = stepwise_data(rng)
+        tree = RegressionTree(max_depth=0).fit(features, targets)
+        assert np.allclose(tree.predict(features), targets.mean())
+
+    def test_depth_bounded(self, rng):
+        features, targets = stepwise_data(rng)
+        tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(
+            features, targets)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf_respected(self, rng):
+        features = rng.uniform(size=(12, 1))
+        targets = rng.standard_normal(12)
+        tree = RegressionTree(max_depth=5, min_samples_leaf=6).fit(
+            features, targets)
+        assert tree.depth <= 1   # only one split can satisfy 6+6
+
+    def test_constant_target_single_leaf(self, rng):
+        features = rng.uniform(size=(40, 2))
+        tree = RegressionTree(max_depth=3).fit(features, np.full(40, 2.5))
+        assert tree.depth == 0
+        assert np.allclose(tree.predict(features), 2.5)
+
+    def test_unfitted_predict_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(rng.uniform(size=(3, 2)))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(rng.uniform(size=10), rng.uniform(size=10))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(rng.uniform(size=(10, 2)),
+                                 rng.uniform(size=9))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=-1)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+
+class TestGradientBoosting:
+    def test_improves_over_single_tree(self, rng):
+        features = rng.uniform(-1, 1, size=(400, 2))
+        targets = np.sin(3 * features[:, 0]) + 0.5 * features[:, 1]
+        tree = RegressionTree(max_depth=2, min_samples_leaf=10).fit(
+            features, targets)
+        booster = GradientBoostingRegressor(
+            n_estimators=60, max_depth=2, learning_rate=0.2).fit(
+            features, targets)
+        tree_mse = ((tree.predict(features) - targets) ** 2).mean()
+        boost_mse = ((booster.predict(features) - targets) ** 2).mean()
+        assert boost_mse < tree_mse * 0.5
+
+    def test_staged_predictions_monotone_on_train(self, rng):
+        features = rng.uniform(-1, 1, size=(300, 2))
+        targets = features[:, 0] ** 2
+        booster = GradientBoostingRegressor(
+            n_estimators=30, max_depth=2).fit(features, targets)
+        stages = booster.staged_predict(features)
+        errors = [((s - targets) ** 2).mean() for s in stages]
+        assert errors[-1] < errors[0]
+        assert len(stages) == 30
+
+    def test_subsampling_reproducible(self, rng):
+        features, targets = stepwise_data(rng)
+        a = GradientBoostingRegressor(n_estimators=10, subsample=0.5,
+                                      seed=3).fit(features, targets)
+        b = GradientBoostingRegressor(n_estimators=10, subsample=0.5,
+                                      seed=3).fit(features, targets)
+        assert np.allclose(a.predict(features), b.predict(features))
+
+    def test_generalizes_to_holdout(self, rng):
+        features = rng.uniform(-1, 1, size=(500, 2))
+        targets = np.where(features[:, 0] > 0, 1.0, -1.0) \
+            + rng.normal(0, 0.1, 500)
+        booster = GradientBoostingRegressor(
+            n_estimators=40, max_depth=2).fit(features[:400], targets[:400])
+        holdout_mse = ((booster.predict(features[400:])
+                        - targets[400:]) ** 2).mean()
+        assert holdout_mse < 0.1
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(rng.uniform(size=(3, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+
+class TestMTDNN:
+    def test_multiscale_row_length(self, rng):
+        window = rng.standard_normal((10, 4))
+        row = multiscale_design_row(window, levels=2)
+        # raw 40 + level-1 approx 4*5 + level-2 approx 4*3 + downsample 4*5
+        assert row.shape == (40 + 20 + 12 + 20,)
+
+    def test_registered_as_extra(self):
+        assert "MTDNN" in EXTRA_MODELS
+
+    def test_fit_predict_shapes(self, csi_mini):
+        from repro.core import TrainConfig
+        predictor = MTDNN(n_estimators=10, max_boost_days=8, seed=0)
+        config = TrainConfig(window=6, epochs=1, max_train_days=8)
+        result = predictor.fit_predict(csi_mini, config)
+        _, test_days = csi_mini.split(6)
+        assert result.predictions.shape == (len(test_days),
+                                            csi_mini.num_stocks)
+        assert np.isfinite(result.predictions).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_tree_prediction_bounded_by_target_range(seed):
+    """Tree leaf values are means of targets, so predictions stay in the
+    convex hull of the training targets."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(size=(60, 2))
+    targets = rng.uniform(-2, 5, size=60)
+    tree = RegressionTree(max_depth=4, min_samples_leaf=3).fit(features,
+                                                               targets)
+    predictions = tree.predict(rng.uniform(size=(30, 2)))
+    assert predictions.min() >= targets.min() - 1e-12
+    assert predictions.max() <= targets.max() + 1e-12

@@ -1,0 +1,131 @@
+"""Haar wavelet substrate and the WSAE-LSTM extra baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import WSAELSTM, EXTRA_MODELS
+from repro.signal import (denoise, haar_dwt, haar_idwt, multiscale_features,
+                          soft_threshold, wavedec, waverec)
+from repro.tensor import Tensor
+
+
+class TestHaarTransform:
+    def test_constant_signal_has_zero_detail(self):
+        approx, detail = haar_dwt(np.full(8, 3.0))
+        assert np.allclose(detail, 0.0)
+        assert np.allclose(approx, 3.0 * np.sqrt(2.0))
+
+    def test_perfect_reconstruction_even_length(self, rng):
+        signal = rng.standard_normal(16)
+        approx, detail = haar_dwt(signal)
+        assert np.allclose(haar_idwt(approx, detail, 16), signal)
+
+    def test_perfect_reconstruction_odd_length(self, rng):
+        signal = rng.standard_normal(9)
+        approx, detail = haar_dwt(signal)
+        assert np.allclose(haar_idwt(approx, detail, 9), signal)
+
+    def test_energy_preserved(self, rng):
+        signal = rng.standard_normal(32)
+        approx, detail = haar_dwt(signal)
+        assert np.isclose((signal ** 2).sum(),
+                          (approx ** 2).sum() + (detail ** 2).sum())
+
+    def test_batched_transform(self, rng):
+        signal = rng.standard_normal((3, 4, 10))
+        approx, detail = haar_dwt(signal)
+        assert approx.shape == (3, 4, 5)
+        assert np.allclose(haar_idwt(approx, detail, 10), signal)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            haar_dwt(np.array([1.0]))
+
+    def test_mismatched_bands_rejected(self, rng):
+        with pytest.raises(ValueError):
+            haar_idwt(rng.standard_normal(4), rng.standard_normal(5))
+
+
+class TestMultilevel:
+    def test_wavedec_structure(self, rng):
+        signal = rng.standard_normal(16)
+        coefficients = wavedec(signal, 3)
+        assert len(coefficients) == 4
+        assert coefficients[0].shape == (2,)     # approx at level 3
+        assert coefficients[-1].shape == (8,)    # finest detail
+
+    def test_roundtrip(self, rng):
+        signal = rng.standard_normal(20)
+        coefficients = wavedec(signal, 2)
+        assert np.allclose(waverec(coefficients, 20), signal)
+
+    def test_too_many_levels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            wavedec(rng.standard_normal(8), 10)
+
+    def test_multiscale_pyramid(self, rng):
+        signal = rng.standard_normal((2, 12))
+        pyramid = multiscale_features(signal, levels=2)
+        assert len(pyramid) == 3
+        assert pyramid[0].shape == (2, 12)
+        assert pyramid[1].shape == (2, 6)
+        assert pyramid[2].shape == (2, 3)
+
+
+class TestDenoising:
+    def test_soft_threshold(self):
+        out = soft_threshold(np.array([-3.0, -0.5, 0.5, 3.0]), 1.0)
+        assert np.allclose(out, [-2.0, 0.0, 0.0, 2.0])
+
+    def test_denoise_reduces_noise_energy(self, rng):
+        clean = np.sin(np.linspace(0, 4 * np.pi, 64))
+        noisy = clean + rng.normal(0, 0.3, 64)
+        cleaned = denoise(noisy, levels=2)
+        assert ((cleaned - clean) ** 2).mean() < \
+            ((noisy - clean) ** 2).mean()
+
+    def test_denoise_preserves_shape(self, rng):
+        signal = rng.standard_normal((4, 3, 20))
+        assert denoise(signal, levels=2).shape == (4, 3, 20)
+
+    def test_zero_threshold_scale_is_identity(self, rng):
+        signal = rng.standard_normal(16)
+        assert np.allclose(denoise(signal, levels=2, threshold_scale=0.0),
+                           signal)
+
+
+class TestWSAELSTM:
+    def test_scores_shape(self, rng):
+        model = WSAELSTM(num_features=4, bottleneck=4, hidden_size=8,
+                         rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((8, 5, 4)))
+        assert model(x).shape == (5,)
+
+    def test_gradients_flow(self, rng):
+        model = WSAELSTM(num_features=3, bottleneck=4, hidden_size=6,
+                         rng=np.random.default_rng(1))
+        x = Tensor(rng.standard_normal((6, 4, 3)))
+        (model(x) ** 2).sum().backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+    def test_registered_as_extra(self):
+        assert "WSAE-LSTM" in EXTRA_MODELS
+
+    def test_short_windows_handled(self, rng):
+        model = WSAELSTM(num_features=2, bottleneck=3, hidden_size=4,
+                         rng=np.random.default_rng(2))
+        x = Tensor(rng.standard_normal((3, 4, 2)))
+        assert model(x).shape == (4,)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=64),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_haar_roundtrip_property(length, seed):
+    rng = np.random.default_rng(seed)
+    signal = rng.standard_normal(length)
+    approx, detail = haar_dwt(signal)
+    assert np.allclose(haar_idwt(approx, detail, length), signal)
