@@ -15,7 +15,9 @@ Each bench prints the paper-style table and writes it under
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -23,6 +25,7 @@ import numpy as np
 
 from repro.core import TrainConfig
 from repro.data import StockDataset, load_market
+from repro.obs import SCHEMA_VERSION
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -97,6 +100,28 @@ def publish(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print("\n" + text + "\n")
+    return path
+
+
+def publish_json(name: str, payload: dict) -> Path:
+    """Persist machine-readable telemetry as ``results/<name>.json``.
+
+    Wraps ``payload`` in the :mod:`repro.obs` schema envelope
+    (``schema_version``, ``benchmark``, ``created_at``, bench-scale
+    settings) so future PRs can regress against these artifacts without
+    parsing the text tables.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    envelope = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "settings": {"epochs": BENCH_EPOCHS, "runs": BENCH_RUNS,
+                     "window": BENCH_WINDOW, "seed": BENCH_SEED},
+        **payload,
+    }
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
     return path
 
 

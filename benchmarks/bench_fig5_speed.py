@@ -14,9 +14,10 @@ Paper shape targets:
 import pytest
 
 from repro.baselines import RANKING_MODELS, make_predictor
+from repro.obs import Tracer, use_tracer
 
 from _harness import (BENCH_MARKETS, bench_config, bench_dataset,
-                      format_table, publish)
+                      format_table, publish, publish_json)
 
 MARKET = BENCH_MARKETS[0]
 
@@ -31,16 +32,18 @@ def measure_all():
     measurements = {}
     for name in RANKING_MODELS:
         predictor = make_predictor(name, dataset, seed=0)
-        result = predictor.fit_predict(dataset, config)
-        measurements[name] = (result.train_seconds, result.test_seconds)
+        with use_tracer(Tracer()) as tracer:
+            result = predictor.fit_predict(dataset, config)
+        measurements[name] = (result.train_seconds, result.test_seconds,
+                              tracer.snapshot())
     return measurements
 
 
 def test_fig5_speed_comparison(benchmark):
     measurements = benchmark.pedantic(measure_all, rounds=1, iterations=1)
-    ours_train, ours_test = measurements["RT-GCN (T)"]
+    ours_train, ours_test, _ = measurements["RT-GCN (T)"]
     rows = []
-    for name, (train_s, test_s) in measurements.items():
+    for name, (train_s, test_s, _phases) in measurements.items():
         rows.append([name, f"{train_s:.2f}s", f"{test_s:.3f}s",
                      f"{train_s / ours_train:.1f}x",
                      f"{test_s / ours_test:.1f}x"])
@@ -52,6 +55,14 @@ def test_fig5_speed_comparison(benchmark):
               "faster than RSR\nin training on NASDAQ; the convolution-vs-"
               "recurrence gap is the mechanism."))
     publish("fig5_speed", text)
+    publish_json("fig5_speed", {
+        "market": MARKET,
+        "models": {name: {"train_seconds": train_s,
+                          "test_seconds": test_s,
+                          "phases": phases}
+                   for name, (train_s, test_s, phases)
+                   in measurements.items()},
+    })
 
     # Shape targets: convolutional models beat the LSTM-based rankers.
     assert measurements["Rank_LSTM"][0] > ours_train

@@ -10,7 +10,15 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import RTGCN, TrainConfig, Trainer, load_market
+from repro.core import TrainerCallback
 from repro.eval import ranking_metrics, run_backtest
+
+
+class PrintProgress(TrainerCallback):
+    """Log each epoch's mean loss as it completes."""
+
+    def on_epoch_end(self, trainer, epoch, mean_loss):
+        print(f"  epoch {epoch + 1}: loss {mean_loss:.5f}")
 
 
 def main() -> None:
@@ -31,8 +39,7 @@ def main() -> None:
     trainer = Trainer(model, dataset, config)
 
     print("\nTraining ...")
-    result = trainer.run(progress=lambda e, loss:
-                         print(f"  epoch {e + 1}: loss {loss:.5f}"))
+    result = trainer.run(callbacks=[PrintProgress()])
     print(f"  trained in {result.train_seconds:.1f}s, "
           f"scored test period in {result.test_seconds:.2f}s")
 

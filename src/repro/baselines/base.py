@@ -77,7 +77,8 @@ class ModulePredictor(StockPredictor):
                                test_seconds=result.test_seconds,
                                test_days=result.test_days,
                                predictions=result.predictions,
-                               actuals=result.actuals)
+                               actuals=result.actuals,
+                               extras={"epoch_losses": result.epoch_losses})
 
 
 def regression_config(config: TrainConfig) -> TrainConfig:

@@ -11,6 +11,14 @@ train
 compare
     Run several models under the shared protocol and print a Table-IV
     style comparison.
+profile
+    Train briefly under the op profiler and print per-op / per-phase
+    cost tables, writing a JSON report (see ``docs/observability.md``).
+
+Every field of :class:`repro.core.TrainConfig` is exposed as a flag on the
+training commands (``--learning-rate``, ``--weight-decay``, ...); the flag
+set is generated from the dataclass so new hyperparameters appear here
+automatically.
 
 Examples
 --------
@@ -19,12 +27,15 @@ Examples
         --epochs 8 --checkpoint /tmp/rtgcn.npz
     python -m repro.cli compare --market csi-mini \
         --models "Rank_LSTM,RSR_E,RT-GCN (T)" --runs 3
+    python -m repro.cli profile --market nasdaq-mini --model "RT-GCN (T)"
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -34,24 +45,59 @@ from .core import TrainConfig
 from .data import MARKET_SPECS, available_markets, load_market
 from .eval import ranking_metrics, run_named_experiment
 
+#: CLI defaults that intentionally differ from the TrainConfig defaults
+#: (quick runs suit the command line; the dataclass keeps paper values).
+_CLI_DEFAULTS = {"window": 10, "epochs": 8}
 
-def _config_from_args(args: argparse.Namespace) -> TrainConfig:
-    return TrainConfig(window=args.window, num_features=args.features,
-                       alpha=args.alpha, epochs=args.epochs,
-                       seed=args.seed)
+#: flag spellings that differ from the mechanical --field-name form
+_FIELD_FLAGS = {"num_features": ("--features", "--num-features")}
+
+#: element type for Optional[...] fields (dataclass annotations are
+#: strings under ``from __future__ import annotations``)
+_OPTIONAL_TYPES = {"max_train_days": int, "early_stopping_patience": int}
+
+_FIELD_HELP = {
+    "window": "input window T",
+    "num_features": "feature count D (1..4, Table VIII)",
+    "alpha": "ranking-loss balance (Eq. 9)",
+    "weight_decay": "L2 penalty coefficient (λ of Eq. 9)",
+    "learning_rate": "Adam learning rate",
+    "epochs": "training epochs",
+    "grad_clip": "max gradient norm (0 disables clipping)",
+    "shuffle": "shuffle training days each epoch",
+    "seed": "RNG seed for shuffling and model init",
+    "max_train_days": "subsample the training period to its last N days",
+    "early_stopping_patience": "stop after N epochs without val improvement",
+    "validation_days": "held-out tail length for early stopping",
+}
 
 
 def _add_train_options(parser: argparse.ArgumentParser) -> None:
+    """Add ``--market`` plus one flag per :class:`TrainConfig` field."""
     parser.add_argument("--market", default="nasdaq-mini",
                         help="market preset (see `markets`)")
-    parser.add_argument("--window", type=int, default=10,
-                        help="input window T")
-    parser.add_argument("--features", type=int, default=4,
-                        help="feature count D (1..4, Table VIII)")
-    parser.add_argument("--alpha", type=float, default=0.1,
-                        help="ranking-loss balance (Eq. 9)")
-    parser.add_argument("--epochs", type=int, default=8)
-    parser.add_argument("--seed", type=int, default=0)
+    for spec in dataclasses.fields(TrainConfig):
+        flags = _FIELD_FLAGS.get(spec.name,
+                                 ("--" + spec.name.replace("_", "-"),))
+        default = _CLI_DEFAULTS.get(spec.name, spec.default)
+        help_text = _FIELD_HELP.get(spec.name, spec.name)
+        if isinstance(spec.default, bool):
+            parser.add_argument(*flags, dest=spec.name,
+                                action=argparse.BooleanOptionalAction,
+                                default=default, help=help_text)
+        else:
+            arg_type = (_OPTIONAL_TYPES.get(spec.name)
+                        or type(spec.default))
+            parser.add_argument(*flags, dest=spec.name, type=arg_type,
+                                default=default,
+                                help=f"{help_text} (default: {default})")
+
+
+def _config_from_args(args: argparse.Namespace) -> TrainConfig:
+    """Build a TrainConfig from the generated flags — every field, not a
+    hand-copied subset."""
+    return TrainConfig(**{spec.name: getattr(args, spec.name)
+                          for spec in dataclasses.fields(TrainConfig)})
 
 
 def cmd_markets(_: argparse.Namespace) -> int:
@@ -141,6 +187,59 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Train briefly with full observability and report where time goes."""
+    from dataclasses import asdict
+
+    from .obs import (MetricsSink, OpProfiler, RunReport, Tracer,
+                      new_run_id, use_tracer)
+
+    dataset = load_market(args.market, seed=args.seed)
+    print(f"dataset: {dataset}")
+    config = get_spec(args.model).adapt_config(_config_from_args(args))
+    print(f"profiling {args.model} ({config.epochs} epochs, "
+          f"window {config.window}) ...")
+
+    profiler = OpProfiler()
+    tracer = Tracer()
+    with use_tracer(tracer), profiler:
+        predictor = make_predictor(args.model, dataset, seed=args.seed)
+        result = predictor.fit_predict(dataset, config)
+
+    print(f"\ntrain {result.train_seconds:.1f}s, "
+          f"test {result.test_seconds:.2f}s")
+    print(f"\nTop {args.top} ops by wall-clock "
+          f"(total {profiler.total_seconds():.2f}s attributed)")
+    print(profiler.table(top=args.top))
+
+    phases = tracer.snapshot()
+    print(f"\n{'phase':16s} {'count':>9s} {'seconds':>10s}")
+    print("-" * 37)
+    for name, stat in sorted(phases.items(),
+                             key=lambda kv: -kv[1]["seconds"]):
+        print(f"{name:16s} {stat['count']:9d} {stat['seconds']:10.4f}")
+
+    report = RunReport(
+        run_id=new_run_id("profile"), kind="profile",
+        config={"market": args.market, "model": args.model,
+                **asdict(config)},
+        epoch_losses=[float(x) for x
+                      in result.extras.get("epoch_losses", [])],
+        phases=phases, ops=profiler.as_rows(),
+        metrics={"train_seconds": result.train_seconds,
+                 "test_seconds": result.test_seconds})
+    if args.json_path is not None:
+        import json
+        path = Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_dict(), indent=2,
+                                   sort_keys=True) + "\n")
+    else:
+        path = MetricsSink(Path.cwd()).write(report)
+    print(f"\nJSON report written to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RT-GCN reproduction command line")
@@ -163,6 +262,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated model names")
     compare.add_argument("--runs", type=int, default=3,
                          help="repeated runs per model")
+
+    profile = sub.add_parser(
+        "profile", help="profile per-op and per-phase cost of a short run")
+    _add_train_options(profile)
+    profile.add_argument("--model", default="RT-GCN (T)",
+                         help="model name (see `models`)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows of the op table to print")
+    profile.add_argument("--json", dest="json_path", default=None,
+                         help="write the JSON report here "
+                              "(default: ./<run_id>.json)")
+    # A profile wants a quick, representative run, not a converged model.
+    profile.set_defaults(epochs=2, max_train_days=40)
     return parser
 
 
@@ -173,6 +285,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "models": cmd_models,
         "train": cmd_train,
         "compare": cmd_compare,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

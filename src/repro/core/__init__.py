@@ -1,5 +1,6 @@
 """The paper's primary contribution: RT-GCN, its losses and trainer."""
 
+from .callbacks import CallbackList, ProgressCallback, TrainerCallback
 from .losses import combined_loss, l2_penalty, ranking_loss, regression_loss
 from .model import RTGCN, RTGCNLayer
 from .relational import RelationalGraphConvolution
@@ -11,4 +12,5 @@ __all__ = [
     "TemporalConvolution",
     "regression_loss", "ranking_loss", "combined_loss", "l2_penalty",
     "Trainer", "TrainConfig", "TrainResult",
+    "TrainerCallback", "CallbackList", "ProgressCallback",
 ]

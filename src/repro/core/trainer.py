@@ -11,15 +11,18 @@ apples-to-apples.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..data import StockDataset
 from ..nn.module import Module
+from ..obs.tracer import trace
 from ..optim import Adam, clip_grad_norm_
 from ..tensor import Tensor, no_grad
+from .callbacks import CallbackList, ProgressCallback, TrainerCallback
 from .losses import combined_loss
 
 
@@ -83,10 +86,18 @@ class Trainer:
                               lr=self.config.learning_rate)
 
     # ------------------------------------------------------------------
-    def train(self, progress: Optional[Callable[[int, float], None]] = None
-              ) -> List[float]:
-        """Run the training epochs; returns the per-epoch mean loss."""
+    def fit(self, callbacks: Optional[Sequence[TrainerCallback]] = None
+            ) -> List[float]:
+        """Run the training epochs; returns the per-epoch mean loss.
+
+        ``callbacks`` receive the :class:`TrainerCallback` events in order:
+        ``on_epoch_start``, ``on_batch_end`` per training day,
+        ``on_epoch_end``, and a final ``on_fit_end``.  Each phase of the
+        inner loop is traced (:mod:`repro.obs`) under ``data_prep`` /
+        ``forward`` / ``backward`` / ``optimizer_step`` spans.
+        """
         cfg = self.config
+        events = CallbackList(callbacks or ())
         if self.train_days_override is not None:
             train_days = list(self.train_days_override)
         else:
@@ -112,31 +123,41 @@ class Trainer:
         self.model.train()
         params = list(self.model.parameters())
         for epoch in range(cfg.epochs):
+            events.on_epoch_start(self, epoch)
             order = np.array(train_days)
             if cfg.shuffle:
                 rng.shuffle(order)
             epoch_loss = 0.0
-            for day in order:
-                features = self.dataset.features(int(day), cfg.window,
-                                                 cfg.num_features)
-                label = self.dataset.label(int(day))
-                self.optimizer.zero_grad()
-                scores = self.model(Tensor(features))
-                if self.loss_fn is not None:
-                    loss = self.loss_fn(scores, Tensor(label), params)
-                else:
-                    loss = combined_loss(scores, Tensor(label), cfg.alpha,
-                                         parameters=params,
-                                         weight_decay=cfg.weight_decay)
-                loss.backward()
-                if cfg.grad_clip:
-                    clip_grad_norm_(params, cfg.grad_clip)
-                self.optimizer.step()
-                epoch_loss += loss.item()
+            with trace("epoch"):
+                for day in order:
+                    with trace("data_prep"):
+                        features = self.dataset.features(int(day),
+                                                         cfg.window,
+                                                         cfg.num_features)
+                        label = self.dataset.label(int(day))
+                    self.optimizer.zero_grad()
+                    with trace("forward"):
+                        scores = self.model(Tensor(features))
+                        if self.loss_fn is not None:
+                            loss = self.loss_fn(scores, Tensor(label),
+                                                params)
+                        else:
+                            loss = combined_loss(
+                                scores, Tensor(label), cfg.alpha,
+                                parameters=params,
+                                weight_decay=cfg.weight_decay)
+                    with trace("backward"):
+                        loss.backward()
+                    with trace("optimizer_step"):
+                        if cfg.grad_clip:
+                            clip_grad_norm_(params, cfg.grad_clip)
+                        self.optimizer.step()
+                    batch_loss = loss.item()
+                    epoch_loss += batch_loss
+                    events.on_batch_end(self, epoch, int(day), batch_loss)
             mean_loss = epoch_loss / max(len(order), 1)
             losses.append(mean_loss)
-            if progress is not None:
-                progress(epoch, mean_loss)
+            events.on_epoch_end(self, epoch, mean_loss)
             if cfg.early_stopping_patience is not None:
                 val_loss = self._validation_loss(validation_days)
                 if val_loss < best_val:
@@ -149,23 +170,55 @@ class Trainer:
                         break
         if best_state is not None:
             self.model.load_state_dict(best_state)
+        events.on_fit_end(self, losses)
         return losses
+
+    def train(self, progress: Optional[Callable[[int, float], None]] = None
+              ) -> List[float]:
+        """Deprecated alias of :meth:`fit`.
+
+        The ``progress(epoch, mean_loss)`` callable is superseded by the
+        :class:`TrainerCallback` protocol; passing one still works but
+        warns.  ``train()`` with no argument simply delegates.
+        """
+        callbacks: List[TrainerCallback] = []
+        if progress is not None:
+            warnings.warn("Trainer.train(progress=...) is deprecated; pass "
+                          "a TrainerCallback to Trainer.fit(callbacks=...) "
+                          "instead", DeprecationWarning, stacklevel=2)
+            callbacks.append(ProgressCallback(progress))
+        return self.fit(callbacks=callbacks)
 
     def _validation_loss(self, days: Sequence[int]) -> float:
         """Mean combined loss over held-out validation days (no grads)."""
+        return self.evaluate(days)["loss"]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, days: Optional[Sequence[int]] = None
+                 ) -> Dict[str, Union[float, int]]:
+        """Mean combined loss of the current model over ``days``.
+
+        ``days`` defaults to the dataset's chronological test split.
+        Returns ``{"loss": mean_combined_loss, "num_days": n}``; runs in
+        eval mode with gradients disabled and restores train mode after.
+        """
         cfg = self.config
+        if days is None:
+            _, days = self.dataset.split(cfg.window)
         self.model.eval()
         total = 0.0
         with no_grad():
             for day in days:
-                features = self.dataset.features(int(day), cfg.window,
-                                                 cfg.num_features)
-                label = self.dataset.label(int(day))
-                scores = self.model(Tensor(features))
+                with trace("data_prep"):
+                    features = self.dataset.features(int(day), cfg.window,
+                                                     cfg.num_features)
+                    label = self.dataset.label(int(day))
+                with trace("inference"):
+                    scores = self.model(Tensor(features))
                 total += combined_loss(scores, Tensor(label),
                                        cfg.alpha).item()
         self.model.train()
-        return total / max(len(days), 1)
+        return {"loss": total / max(len(days), 1), "num_days": len(days)}
 
     # ------------------------------------------------------------------
     def predict(self, days: Sequence[int]) -> np.ndarray:
@@ -175,19 +228,28 @@ class Trainer:
         rows = []
         with no_grad():
             for day in days:
-                features = self.dataset.features(int(day), cfg.window,
-                                                 cfg.num_features)
-                rows.append(self.model(Tensor(features)).data.copy())
+                with trace("data_prep"):
+                    features = self.dataset.features(int(day), cfg.window,
+                                                     cfg.num_features)
+                with trace("inference"):
+                    rows.append(self.model(Tensor(features)).data.copy())
         self.model.train()
         return np.stack(rows, axis=0)
 
     # ------------------------------------------------------------------
-    def run(self, progress: Optional[Callable[[int, float], None]] = None
+    def run(self, progress: Optional[Callable[[int, float], None]] = None,
+            callbacks: Optional[Sequence[TrainerCallback]] = None
             ) -> TrainResult:
         """Train, then predict the full test range; timed for Figure 5."""
         cfg = self.config
+        all_callbacks: List[TrainerCallback] = list(callbacks or ())
+        if progress is not None:
+            warnings.warn("Trainer.run(progress=...) is deprecated; pass "
+                          "callbacks=[...] instead", DeprecationWarning,
+                          stacklevel=2)
+            all_callbacks.append(ProgressCallback(progress))
         start = time.perf_counter()
-        epoch_losses = self.train(progress=progress)
+        epoch_losses = self.fit(callbacks=all_callbacks)
         train_seconds = time.perf_counter() - start
 
         _, test_days = self.dataset.split(cfg.window)

@@ -20,6 +20,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.tracer import trace
+
 #: trailing moving-average lengths from the paper (close = length 1)
 FEATURE_WINDOWS: Tuple[int, ...] = (1, 5, 10, 20)
 
@@ -116,11 +118,12 @@ class FeaturePanel:
                              f"{self.first_valid_day(window)})")
         if t >= self.num_days:
             raise IndexError(f"day {t} outside history of {self.num_days}")
-        segment = self.raw[:num_features, :, t - window + 1:t + 1]
-        anchor = self.prices[:, t][None, :, None]
-        normalized = segment / anchor
-        # (features, stocks, window) -> (window, stocks, features)
-        return normalized.transpose(2, 1, 0)
+        with trace("features"):
+            segment = self.raw[:num_features, :, t - window + 1:t + 1]
+            anchor = self.prices[:, t][None, :, None]
+            normalized = segment / anchor
+            # (features, stocks, window) -> (window, stocks, features)
+            return normalized.transpose(2, 1, 0)
 
 
 def chronological_split(num_days: int, train_days: int, test_days: int,

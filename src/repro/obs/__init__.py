@@ -1,0 +1,30 @@
+"""repro.obs — runtime observability: profiler, tracer, telemetry.
+
+Zero-dependency instrumentation for the whole stack:
+
+- :class:`OpProfiler` — patches the autograd primitives while active and
+  records count / wall-clock / bytes per op for forward and backward
+  passes; exactly zero overhead when not installed.
+- :class:`Tracer` / :func:`trace` — scoped wall-clock spans; the trainer,
+  data pipeline and speed harness emit ``data_prep`` / ``forward`` /
+  ``backward`` / ``optimizer_step`` / ``inference`` phases.
+- :class:`RunReport` / :class:`MetricsSink` — schema-versioned JSON
+  serialisation of runs (config, per-epoch losses, per-phase seconds,
+  per-op table) so benchmarks leave machine-readable artifacts.
+
+See ``docs/observability.md`` for the full guide and the JSON schema.
+"""
+
+from .metrics import (SCHEMA_VERSION, MetricsSink, RunReport,
+                      TelemetryCallback, new_run_id, validate_report)
+from .profiler import OpProfiler, OpStat, active_profiler
+from .tracer import (GLOBAL_TRACER, SpanStat, Tracer, current_tracer, trace,
+                     use_tracer)
+
+__all__ = [
+    "OpProfiler", "OpStat", "active_profiler",
+    "Tracer", "SpanStat", "trace", "use_tracer", "current_tracer",
+    "GLOBAL_TRACER",
+    "RunReport", "MetricsSink", "TelemetryCallback", "new_run_id",
+    "validate_report", "SCHEMA_VERSION",
+]

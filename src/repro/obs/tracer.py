@@ -1,0 +1,123 @@
+"""Scoped-span wall-clock tracing.
+
+A :class:`Tracer` aggregates named spans — ``with trace("forward"): ...`` —
+into per-name counts and total seconds.  The trainer, data pipeline and
+speed harness are instrumented with spans so any run can be broken down
+into the phases the paper's Figure 5 reasons about (data prep / forward /
+backward / optimiser step / inference).
+
+Spans are aggregated *flat* by name: nesting is allowed (an ``epoch`` span
+contains many ``forward`` spans) and each name accumulates independently.
+The cost of an inactive or active span is two ``perf_counter`` calls plus a
+dictionary update, which is negligible next to the NumPy work inside any
+phase worth tracing.
+
+A module-global tracer is always active so instrumented library code never
+has to check for one.  Use :func:`use_tracer` to capture an isolated window
+of activity::
+
+    with use_tracer(Tracer()) as t:
+        trainer.fit()
+    t.snapshot()   # {"epoch": {"count": 10, "seconds": ...}, ...}
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+class SpanStat:
+    """Aggregate of every completed span with one name."""
+
+    __slots__ = ("count", "seconds")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.seconds += seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "seconds": self.seconds}
+
+    def __repr__(self) -> str:
+        return f"SpanStat(count={self.count}, seconds={self.seconds:.6f})"
+
+
+class Tracer:
+    """Accumulates named wall-clock spans."""
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, SpanStat] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and add it to the ``name`` aggregate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stat = self._spans.get(name)
+            if stat is None:
+                stat = self._spans[name] = SpanStat()
+            stat.add(elapsed)
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never entered)."""
+        stat = self._spans.get(name)
+        return stat.seconds if stat is not None else 0.0
+
+    def count(self, name: str) -> int:
+        """Number of completed spans named ``name``."""
+        stat = self._spans.get(name)
+        return stat.count if stat is not None else 0
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A JSON-ready copy: ``{name: {"count": n, "seconds": s}}``."""
+        return {name: stat.as_dict() for name, stat in self._spans.items()}
+
+    def reset(self) -> None:
+        """Discard all recorded spans."""
+        self._spans.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v.seconds:.3f}s/{v.count}"
+                          for k, v in sorted(self._spans.items()))
+        return f"Tracer({inner})"
+
+
+#: the always-available fallback tracer (bottom of the stack)
+GLOBAL_TRACER = Tracer()
+
+_TRACER_STACK: List[Tracer] = [GLOBAL_TRACER]
+
+
+def current_tracer() -> Tracer:
+    """The tracer that :func:`trace` currently records into."""
+    return _TRACER_STACK[-1]
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Route :func:`trace` spans into ``tracer`` for the enclosed block."""
+    _TRACER_STACK.append(tracer)
+    try:
+        yield tracer
+    finally:
+        # Remove this exact tracer even if the stack was perturbed.
+        for i in range(len(_TRACER_STACK) - 1, 0, -1):
+            if _TRACER_STACK[i] is tracer:
+                del _TRACER_STACK[i]
+                break
+
+
+@contextmanager
+def trace(name: str) -> Iterator[None]:
+    """Record a span named ``name`` on the currently active tracer."""
+    with current_tracer().span(name):
+        yield

@@ -138,6 +138,33 @@ class TestSpeed:
         assert np.isclose(ratio["train"], 4.0)
         assert np.isclose(ratio["test"], 2.0)
 
+    def test_speedup_degenerate_self_time_is_nan(self):
+        from repro.eval import SpeedMeasurement
+        instant = SpeedMeasurement("instant", 0.0, 0.5)
+        slow = SpeedMeasurement("slow", 4.0, 1.0)
+        with pytest.warns(RuntimeWarning, match="undefined"):
+            ratio = instant.speedup_over(slow)
+        assert np.isnan(ratio["train"])      # no bogus huge speedup
+        assert np.isclose(ratio["test"], 2.0)
+
+    def test_speedup_degenerate_other_time_is_nan(self):
+        from repro.eval import SpeedMeasurement
+        mine = SpeedMeasurement("mine", 1.0, 1.0)
+        broken = SpeedMeasurement("broken", 0.0, 0.0)
+        with pytest.warns(RuntimeWarning):
+            ratio = mine.speedup_over(broken)
+        assert np.isnan(ratio["train"]) and np.isnan(ratio["test"])
+
+    def test_measure_speed_captures_phases(self, nasdaq_mini):
+        m = measure_speed(
+            "rtgcn", lambda gen: RTGCN(nasdaq_mini.relations,
+                                       relational_filters=4, rng=gen),
+            nasdaq_mini, quick_config(max_train_days=5), epochs=1)
+        for phase in ("data_prep", "forward", "backward",
+                      "optimizer_step", "inference"):
+            assert phase in m.phases, phase
+            assert m.phases[phase]["count"] > 0
+
 
 class TestCaseStudy:
     def test_clique_is_connected(self, nasdaq_mini):

@@ -1,0 +1,126 @@
+"""Op profiler: recording, clean install/uninstall, numeric transparency."""
+
+import numpy as np
+import pytest
+
+import repro.tensor.ops as ops
+from repro.core import RTGCN, TrainConfig, Trainer
+from repro.obs import OpProfiler, active_profiler
+from repro.tensor import Tensor
+
+
+def small_graph():
+    a = Tensor(np.arange(12.0).reshape(3, 4) + 1.0, requires_grad=True)
+    b = Tensor(np.ones((4, 2)), requires_grad=True)
+    out = ((a @ b) * 2.0 + 1.0).tanh().sum()
+    return a, b, out
+
+
+class TestRecording:
+    def test_forward_and_backward_recorded(self):
+        with OpProfiler() as prof:
+            a, b, out = small_graph()
+            out.backward()
+        for key in [("matmul", "forward"), ("mul", "forward"),
+                    ("add", "forward"), ("tanh", "forward"),
+                    ("sum", "forward"), ("matmul", "backward"),
+                    ("tanh", "backward"), ("sum", "backward")]:
+            assert key in prof.records, f"missing {key}"
+        stat = prof.records[("matmul", "forward")]
+        assert stat.count == 1
+        assert stat.seconds >= 0.0
+        assert stat.bytes == 3 * 2 * 8    # (3,2) float64 output
+
+    def test_counts_accumulate(self):
+        with OpProfiler() as prof:
+            x = Tensor(np.ones(4), requires_grad=True)
+            for _ in range(5):
+                _ = x * 2.0
+        assert prof.records[("mul", "forward")].count == 5
+
+    def test_conv1d_attributes_window_gather(self):
+        with OpProfiler() as prof:
+            x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 12)),
+                       requires_grad=True)
+            w = Tensor(np.random.default_rng(1).normal(size=(4, 3, 3)),
+                       requires_grad=True)
+            ops.conv1d(x, w, padding=(2, 0)).sum().backward()
+        assert ("conv1d_window", "forward") in prof.records
+        assert ("conv1d_window", "backward") in prof.records
+        assert ("einsum", "backward") in prof.records
+
+    def test_reflected_operators_recorded(self):
+        with OpProfiler() as prof:
+            x = Tensor(np.ones(3), requires_grad=True)
+            _ = 2.0 + x          # __radd__ alias of __add__
+            _ = 3.0 * x          # __rmul__ alias of __mul__
+        assert prof.records[("add", "forward")].count == 1
+        assert prof.records[("mul", "forward")].count == 1
+
+    def test_rows_and_table(self):
+        with OpProfiler() as prof:
+            _ = Tensor(np.ones(3)) + 1.0
+        rows = prof.as_rows()
+        assert rows and set(rows[0]) == {"op", "pass", "count", "seconds",
+                                         "bytes"}
+        assert "add" in prof.table(top=3)
+
+
+class TestInstallation:
+    def test_primitives_restored_after_exit(self):
+        original_add = Tensor.__add__
+        original_einsum = ops.einsum
+        with OpProfiler():
+            assert Tensor.__add__ is not original_add
+            assert ops.einsum is not original_einsum
+        assert Tensor.__add__ is original_add
+        assert Tensor.__radd__ is Tensor.__add__
+        assert ops.einsum is original_einsum
+        assert active_profiler() is None
+
+    def test_restored_even_on_error(self):
+        original_add = Tensor.__add__
+        with pytest.raises(RuntimeError):
+            with OpProfiler():
+                raise RuntimeError("boom")
+        assert Tensor.__add__ is original_add
+
+    def test_nothing_recorded_outside_context(self):
+        prof = OpProfiler()
+        with prof:
+            pass
+        _ = Tensor(np.ones(3)) + 1.0
+        assert prof.records == {}
+
+    def test_nested_profilers_rejected(self):
+        with OpProfiler():
+            with pytest.raises(RuntimeError, match="nest"):
+                OpProfiler().install()
+
+    def test_uninstall_is_idempotent(self):
+        prof = OpProfiler().install()
+        prof.uninstall()
+        prof.uninstall()
+        assert active_profiler() is None
+
+
+class TestNumericTransparency:
+    def run_training(self, dataset, profiled):
+        model = RTGCN(dataset.relations, relational_filters=4, dropout=0.0,
+                      rng=np.random.default_rng(3))
+        trainer = Trainer(model, dataset, TrainConfig(
+            window=8, epochs=2, max_train_days=6, seed=0))
+        if profiled:
+            with OpProfiler() as prof:
+                losses = trainer.fit()
+            assert prof.records   # the run was actually observed
+        else:
+            losses = trainer.fit()
+        _, test_days = dataset.split(8)
+        return losses, trainer.predict(test_days[:3])
+
+    def test_profiled_run_bit_identical(self, nasdaq_mini):
+        losses_off, preds_off = self.run_training(nasdaq_mini, False)
+        losses_on, preds_on = self.run_training(nasdaq_mini, True)
+        assert losses_off == losses_on              # bit-identical floats
+        assert np.array_equal(preds_off, preds_on)

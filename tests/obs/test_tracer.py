@@ -1,0 +1,85 @@
+"""Tracer: span aggregation, nesting, the active-tracer stack."""
+
+import time
+
+from repro.obs import (GLOBAL_TRACER, Tracer, current_tracer, trace,
+                       use_tracer)
+
+
+class TestSpans:
+    def test_span_aggregates_count_and_seconds(self):
+        t = Tracer()
+        for _ in range(3):
+            with t.span("work"):
+                time.sleep(0.001)
+        assert t.count("work") == 3
+        assert t.seconds("work") >= 0.003
+        snap = t.snapshot()
+        assert snap["work"]["count"] == 3
+
+    def test_unknown_span_reads_as_zero(self):
+        t = Tracer()
+        assert t.seconds("never") == 0.0
+        assert t.count("never") == 0
+
+    def test_nested_spans_accumulate_independently(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner"):
+                pass
+        assert t.count("outer") == 1
+        assert t.count("inner") == 2
+        # the outer span contains both inner spans
+        assert t.seconds("outer") >= t.seconds("inner")
+
+    def test_span_recorded_on_exception(self):
+        t = Tracer()
+        try:
+            with t.span("fails"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert t.count("fails") == 1
+
+    def test_reset_clears(self):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        t.reset()
+        assert t.snapshot() == {}
+
+
+class TestActiveTracer:
+    def test_global_tracer_is_default(self):
+        assert current_tracer() is GLOBAL_TRACER
+
+    def test_use_tracer_scopes_trace_calls(self):
+        mine = Tracer()
+        with use_tracer(mine):
+            assert current_tracer() is mine
+            with trace("scoped"):
+                pass
+        assert current_tracer() is GLOBAL_TRACER
+        assert mine.count("scoped") == 1
+
+    def test_use_tracer_nests(self):
+        a, b = Tracer(), Tracer()
+        with use_tracer(a):
+            with use_tracer(b):
+                with trace("deep"):
+                    pass
+            with trace("shallow"):
+                pass
+        assert b.count("deep") == 1 and b.count("shallow") == 0
+        assert a.count("shallow") == 1 and a.count("deep") == 0
+
+    def test_use_tracer_restores_on_exception(self):
+        t = Tracer()
+        try:
+            with use_tracer(t):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_tracer() is GLOBAL_TRACER

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.eval",
     "repro.stats",
     "repro.signal",
+    "repro.obs",
 ]
 
 

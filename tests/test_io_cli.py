@@ -1,11 +1,14 @@
 """Checkpoint round-trips and the command-line interface."""
 
+import dataclasses
+import json
+
 import numpy as np
 import pytest
 
 import repro.nn as nn
-from repro.cli import build_parser, main
-from repro.core import RTGCN
+from repro.cli import _config_from_args, build_parser, main
+from repro.core import RTGCN, TrainConfig
 from repro.io import load_checkpoint, save_checkpoint
 from repro.tensor import Tensor
 
@@ -91,3 +94,65 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "LSTM" in out
+
+
+class TestConfigSurface:
+    def test_every_trainconfig_field_has_a_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["train"])
+        for spec in dataclasses.fields(TrainConfig):
+            assert hasattr(args, spec.name), \
+                f"TrainConfig.{spec.name} has no CLI flag"
+
+    def test_previously_dropped_fields_reach_the_config(self):
+        args = build_parser().parse_args(
+            ["train", "--weight-decay", "1e-4", "--grad-clip", "2.5",
+             "--early-stopping-patience", "3", "--max-train-days", "17",
+             "--learning-rate", "0.01", "--validation-days", "9",
+             "--no-shuffle"])
+        config = _config_from_args(args)
+        assert config.weight_decay == 1e-4
+        assert config.grad_clip == 2.5
+        assert config.early_stopping_patience == 3
+        assert config.max_train_days == 17
+        assert config.learning_rate == 0.01
+        assert config.validation_days == 9
+        assert config.shuffle is False
+
+    def test_defaults_match_trainconfig_except_cli_overrides(self):
+        config = _config_from_args(build_parser().parse_args(["train"]))
+        reference = TrainConfig()
+        for spec in dataclasses.fields(TrainConfig):
+            if spec.name in ("window", "epochs"):   # intentional CLI quicks
+                continue
+            assert getattr(config, spec.name) == \
+                getattr(reference, spec.name), spec.name
+
+    def test_features_alias_still_accepted(self):
+        args = build_parser().parse_args(["train", "--features", "2"])
+        assert _config_from_args(args).num_features == 2
+
+
+class TestProfileCommand:
+    def test_profile_smoke(self, tmp_path, capsys):
+        report_path = tmp_path / "profile.json"
+        code = main(["profile", "--market", "csi-mini", "--model", "LSTM",
+                     "--epochs", "1", "--window", "6",
+                     "--max-train-days", "5", "--top", "5",
+                     "--json", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # op table and phase table are printed
+        assert "op" in out and "seconds" in out
+        assert "forward" in out and "backward" in out
+        assert "inference" in out
+        # and the machine-readable report round-trips through the schema
+        from repro.obs import RunReport
+        payload = json.loads(report_path.read_text())
+        report = RunReport.from_dict(payload)
+        assert report.kind == "profile"
+        assert report.config["model"] == "LSTM"
+        assert report.ops and report.phases
+        assert len(report.epoch_losses) == 1      # --epochs 1
+        ops_seen = {row["op"] for row in report.ops}
+        assert "matmul" in ops_seen or "einsum" in ops_seen
