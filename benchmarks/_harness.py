@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -25,6 +26,7 @@ import numpy as np
 
 from repro.core import TrainConfig
 from repro.data import StockDataset, load_market
+from repro.eval.speed import MIN_MEASURABLE_SECONDS, SpeedMeasurement
 from repro.obs import SCHEMA_VERSION
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -103,13 +105,36 @@ def publish(name: str, text: str) -> Path:
     return path
 
 
+def sanitize_json(value):
+    """Replace NaN/Inf floats with ``None``, recursively.
+
+    ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens —
+    which are not JSON and crash strict parsers — or, with earlier
+    handling, the offending keys were dropped before serialization, hiding
+    that a measurement degenerated.  An explicit ``null`` keeps the key
+    visible so downstream regression tooling can distinguish "not
+    measured" from "measured fine".
+    """
+    if isinstance(value, dict):
+        return {key: sanitize_json(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_json(item) for item in value]
+    if isinstance(value, (float, np.floating)):
+        return float(value) if np.isfinite(value) else None
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
 def publish_json(name: str, payload: dict) -> Path:
     """Persist machine-readable telemetry as ``results/<name>.json``.
 
     Wraps ``payload`` in the :mod:`repro.obs` schema envelope
     (``schema_version``, ``benchmark``, ``created_at``, bench-scale
     settings) so future PRs can regress against these artifacts without
-    parsing the text tables.
+    parsing the text tables.  Non-finite floats are written as ``null``
+    (see :func:`sanitize_json`); ``allow_nan=False`` guarantees no bare
+    ``NaN`` token can ever reach the artifact.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     envelope = {
@@ -121,8 +146,44 @@ def publish_json(name: str, payload: dict) -> Path:
         **payload,
     }
     path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(sanitize_json(envelope), indent=2,
+                               sort_keys=True, allow_nan=False) + "\n")
     return path
+
+
+def speed_entry(measurement: SpeedMeasurement,
+                baseline: Optional[SpeedMeasurement] = None) -> dict:
+    """JSON-ready record of one :class:`SpeedMeasurement`.
+
+    Timings at or below the timer resolution are *degenerate*: any ratio
+    built from them is noise.  Instead of dropping such entries (the old
+    behavior, which made a degenerate run indistinguishable from a missing
+    one), the record keeps every key, reports the unusable speedups as
+    ``None`` and raises a ``degenerate_timing`` flag.
+    """
+    degenerate = (
+        measurement.train_seconds_per_epoch <= MIN_MEASURABLE_SECONDS
+        or measurement.test_seconds <= MIN_MEASURABLE_SECONDS)
+    entry = {
+        "name": measurement.name,
+        "train_seconds_per_epoch": measurement.train_seconds_per_epoch,
+        "test_seconds": measurement.test_seconds,
+        "phases": measurement.phases,
+        "degenerate_timing": degenerate,
+    }
+    if baseline is not None:
+        with warnings.catch_warnings():
+            # speedup_over already returns NaN for sub-resolution inputs;
+            # the flag above carries the signal, so the warning is noise
+            # inside a bench run.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            speedup = measurement.speedup_over(baseline)
+        entry["speedup_over"] = baseline.name
+        entry["train_speedup"] = speedup["train"]
+        entry["test_speedup"] = speedup["test"]
+        entry["degenerate_timing"] = degenerate or any(
+            np.isnan(v) for v in speedup.values())
+    return entry
 
 
 def metric_row(name: str, summary: dict,

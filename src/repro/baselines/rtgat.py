@@ -35,6 +35,8 @@ class RTGAT(Module):
                  filters: int = 32, n_heads: int = 2,
                  temporal_kernel: int = 3, temporal_stride: int = 1,
                  num_layers: int = 1, dropout: float = 0.05,
+                 graph_mode: str = "auto",
+                 density_threshold: Optional[float] = None,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         if num_layers < 1:
@@ -48,6 +50,8 @@ class RTGAT(Module):
             self.add_module(
                 f"attention{index}",
                 GraphAttention(in_channels, filters, n_heads=n_heads,
+                               graph_mode=graph_mode,
+                               density_threshold=density_threshold,
                                rng=rng))
             self.add_module(
                 f"temporal{index}",

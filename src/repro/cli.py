@@ -69,6 +69,8 @@ _FIELD_HELP = {
     "max_train_days": "subsample the training period to its last N days",
     "early_stopping_patience": "stop after N epochs without val improvement",
     "validation_days": "held-out tail length for early stopping",
+    "graph_mode": "graph propagation backend: auto | dense | sparse "
+                  "(see docs/performance.md)",
 }
 
 
@@ -194,11 +196,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from .obs import (MetricsSink, OpProfiler, RunReport, Tracer,
                       new_run_id, use_tracer)
 
+    if getattr(args, "sparse", False):
+        # `--sparse` forces the CSR backend so the op table attributes
+        # propagation to `spmm` instead of dense `matmul`.
+        args.graph_mode = "sparse"
     dataset = load_market(args.market, seed=args.seed)
     print(f"dataset: {dataset}")
     config = get_spec(args.model).adapt_config(_config_from_args(args))
     print(f"profiling {args.model} ({config.epochs} epochs, "
-          f"window {config.window}) ...")
+          f"window {config.window}, graph mode {config.graph_mode}) ...")
 
     profiler = OpProfiler()
     tracer = Tracer()
@@ -270,6 +276,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="model name (see `models`)")
     profile.add_argument("--top", type=int, default=15,
                          help="rows of the op table to print")
+    profile.add_argument("--sparse", action="store_true",
+                         help="force graph_mode=sparse so the op profiler "
+                              "attributes spmm separately from dense matmul")
     profile.add_argument("--json", dest="json_path", default=None,
                          help="write the JSON report here "
                               "(default: ./<run_id>.json)")

@@ -38,7 +38,8 @@ class RTGCNLayer(Module):
                  out_channels: int, strategy: str = "time",
                  temporal_kernel: int = 3, temporal_stride: int = 1,
                  dropout: float = 0.1, use_relational: bool = True,
-                 use_temporal: bool = True,
+                 use_temporal: bool = True, graph_mode: str = "auto",
+                 density_threshold: Optional[float] = None,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         if not use_relational and not use_temporal:
@@ -49,7 +50,9 @@ class RTGCNLayer(Module):
         mid = out_channels if use_relational else in_channels
         if use_relational:
             self.relational = RelationalGraphConvolution(
-                make_strategy(strategy, relations, rng=rng),
+                make_strategy(strategy, relations, rng=rng,
+                              graph_mode=graph_mode,
+                              density_threshold=density_threshold),
                 in_channels, out_channels, rng=rng)
         else:
             self.relational = None
@@ -91,6 +94,9 @@ class RTGCN(Module):
         Spatial dropout inside each temporal block.
     use_relational / use_temporal:
         Ablation switches (Table VII's R-Conv / T-Conv).
+    graph_mode / density_threshold:
+        Dense/sparse dispatch of the relational propagation
+        (``"auto"``/``"dense"``/``"sparse"``; see ``docs/performance.md``).
     """
 
     def __init__(self, relations: RelationMatrix, num_features: int = 4,
@@ -98,6 +104,8 @@ class RTGCN(Module):
                  temporal_kernel: int = 3, temporal_stride: int = 1,
                  num_layers: int = 1, dropout: float = 0.05,
                  use_relational: bool = True, use_temporal: bool = True,
+                 graph_mode: str = "auto",
+                 density_threshold: Optional[float] = None,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
         if num_layers < 1:
@@ -115,7 +123,9 @@ class RTGCN(Module):
                                temporal_stride=temporal_stride,
                                dropout=dropout,
                                use_relational=use_relational,
-                               use_temporal=use_temporal, rng=rng)
+                               use_temporal=use_temporal,
+                               graph_mode=graph_mode,
+                               density_threshold=density_threshold, rng=rng)
             self.add_module(f"layer{index}", layer)
             # Whichever convolutions a layer keeps, its output width is
             # `relational_filters`.

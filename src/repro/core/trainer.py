@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..data import StockDataset
+from ..nn.graph import set_graph_mode
 from ..nn.module import Module
 from ..obs.tracer import trace
 from ..optim import Adam, clip_grad_norm_
@@ -43,6 +44,10 @@ class TrainConfig:
     grad_clip: float = 5.0
     shuffle: bool = True
     seed: int = 0
+    # Graph propagation backend: "auto" respects each module's own setting
+    # (density-based dispatch by default); "dense"/"sparse" force the
+    # backend on every graph module of the model (see docs/performance.md).
+    graph_mode: str = "auto"
     max_train_days: Optional[int] = None   # subsample for quick experiments
     # Early stopping: when patience is set, the last `validation_days` of
     # the training period are held out, the validation loss is evaluated
@@ -79,6 +84,10 @@ class Trainer:
         self.model = model
         self.dataset = dataset
         self.config = config if config is not None else TrainConfig()
+        if self.config.graph_mode != "auto":
+            # Force the configured backend onto every graph module; "auto"
+            # leaves the model's own (density-dispatched) modes untouched.
+            set_graph_mode(model, self.config.graph_mode)
         self.loss_fn = loss_fn
         self.train_days_override = (list(train_days)
                                     if train_days is not None else None)

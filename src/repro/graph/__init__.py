@@ -1,7 +1,10 @@
-"""Graph machinery: relation matrices, normalization, G_RT, strategies."""
+"""Graph machinery: relation matrices, normalization, caching, strategies."""
 
 from .adjacency import (add_self_loops, normalize_adjacency,
+                        normalize_sparse_adjacency,
                         normalize_weighted_adjacency)
+from .cache import (NormalizedAdjacencyCache, adjacency_cache,
+                    reset_adjacency_cache)
 from .relations import RelationMatrix
 from .rtgraph import RelationTemporalGraph, RTGraphStats
 from .strategies import (RelationStrategy, TimeSensitiveStrategy,
@@ -10,6 +13,8 @@ from .strategies import (RelationStrategy, TimeSensitiveStrategy,
 __all__ = [
     "RelationMatrix", "RelationTemporalGraph", "RTGraphStats",
     "add_self_loops", "normalize_adjacency", "normalize_weighted_adjacency",
+    "normalize_sparse_adjacency",
+    "NormalizedAdjacencyCache", "adjacency_cache", "reset_adjacency_cache",
     "RelationStrategy", "UniformStrategy", "WeightStrategy",
     "TimeSensitiveStrategy", "make_strategy",
 ]

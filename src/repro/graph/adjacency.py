@@ -21,6 +21,8 @@ from typing import Union
 import numpy as np
 
 from ..tensor import Tensor, ensure_tensor
+from ..tensor.sparse import (SparseTensor, sparse_gather,
+                             sparse_segment_sum)
 
 
 def add_self_loops(adjacency: np.ndarray) -> np.ndarray:
@@ -82,3 +84,28 @@ def normalize_weighted_adjacency(adjacency: Union[Tensor, np.ndarray],
     degrees = matrix.abs().sum(axis=-1) + eps           # (..., N)
     inv_sqrt = degrees ** -0.5
     return matrix * inv_sqrt.unsqueeze(-1) * inv_sqrt.unsqueeze(-2)
+
+
+def normalize_sparse_adjacency(adjacency: SparseTensor,
+                               eps: float = 1e-8) -> SparseTensor:
+    """Sparse counterpart of :func:`normalize_weighted_adjacency`.
+
+    The input must already contain the self-loop entries (the strategies
+    build their CSR patterns as ``mask ∪ diagonal`` with diagonal value
+    1), so this only rescales stored values:
+    ``v_e ← v_e · d_i^{-1/2} · d_j^{-1/2}`` with
+    ``d_i = Σ_e∈row(i) |v_e| + eps`` — numerically identical to the dense
+    formula entry-by-entry, while touching O(nnz) instead of O(N²).
+    """
+    if not isinstance(adjacency, SparseTensor):
+        raise TypeError("normalize_sparse_adjacency expects a SparseTensor; "
+                        "use normalize_weighted_adjacency for dense inputs")
+    pattern = adjacency.pattern
+    if pattern.shape[0] != pattern.shape[1]:
+        raise ValueError(f"adjacency must be square, got {pattern.shape}")
+    values = adjacency.values
+    degrees = sparse_segment_sum(values.abs(), pattern) + eps   # (..., N)
+    inv_sqrt = degrees ** -0.5
+    scaled = (values * sparse_gather(inv_sqrt, pattern, axis="row")
+              * sparse_gather(inv_sqrt, pattern, axis="col"))
+    return SparseTensor(pattern, scaled)

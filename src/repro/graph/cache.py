@@ -1,0 +1,115 @@
+"""Cache of normalized adjacencies shared across forward passes.
+
+Static relation graphs do not change between training steps, yet the
+strategies used to re-run ``add_self_loops`` + ``normalize_adjacency``
+(and the dense→CSR conversion) on every forward.
+:class:`NormalizedAdjacencyCache` stores those products once per distinct
+graph, keyed on ``(strategy, relation-set, …)`` tuples built from
+:meth:`repro.graph.RelationMatrix.cache_token`.
+
+Entries fall in two classes:
+
+- *static* entries (uniform strategy's normalized adjacency, the sparse
+  edge structures of the learnable strategies) live until evicted by the
+  LRU bound — they depend only on graph topology;
+- *per-step* entries recorded by :class:`TimeSensitiveStrategy`, which
+  emits a fresh adjacency stack per ``(features, time-window)``.  Each
+  emission explicitly :meth:`invalidate`\\ s the previous stack under the
+  same key, so a stale stack can never be observed downstream.
+
+One process-global instance (:func:`adjacency_cache`) is shared by every
+strategy so two models over the same relation matrix reuse one another's
+work; ``stats()`` exposes hit/miss/invalidation counters for tests and
+the profiler report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional
+
+#: default LRU bound — a handful of markets × strategies × windows; each
+#: entry is O(nnz), so the bound is about hygiene, not memory pressure.
+DEFAULT_MAX_ENTRIES = 64
+
+
+class NormalizedAdjacencyCache:
+    """LRU mapping from graph keys to normalized-adjacency products."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key`` (counts as hit/miss, refreshes LRU order)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return self.put(key, compute())
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop ``key`` if present; returns whether an entry was removed."""
+        if key in self._entries:
+            del self._entries[key]
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "invalidations": self.invalidations}
+
+    def __repr__(self) -> str:
+        return (f"NormalizedAdjacencyCache(entries={len(self._entries)}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+_GLOBAL_CACHE: Optional[NormalizedAdjacencyCache] = None
+
+
+def adjacency_cache() -> NormalizedAdjacencyCache:
+    """The process-global cache shared by every relation strategy."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = NormalizedAdjacencyCache()
+    return _GLOBAL_CACHE
+
+
+def reset_adjacency_cache() -> NormalizedAdjacencyCache:
+    """Replace the global cache with a fresh one (test isolation)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = NormalizedAdjacencyCache()
+    return _GLOBAL_CACHE

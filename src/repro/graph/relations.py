@@ -10,6 +10,7 @@ Table III (relation ratio, type counts) plus slicing by relation source
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,7 @@ class RelationMatrix:
     type_names: List[str] = field(default_factory=list)
 
     def __post_init__(self):
+        self._cache_token: Optional[Tuple[int, int, int, int]] = None
         self.tensor = np.asarray(self.tensor, dtype=np.float64)
         if self.tensor.ndim != 3:
             raise ValueError(f"relation tensor must be (N, N, K), got shape "
@@ -93,6 +95,21 @@ class RelationMatrix:
     def binary_adjacency(self) -> np.ndarray:
         """Paper Eq. (3): ``A_ij = 1`` iff ``sum(a_ij) > 0`` (no diagonal)."""
         return (self.tensor.sum(axis=2) > 0).astype(np.float64)
+
+    def cache_token(self) -> Tuple[int, int, int, int]:
+        """Content fingerprint identifying this relation set in caches.
+
+        A shape + CRC32 digest of the tensor bytes rather than ``id()``:
+        object identity can be recycled after garbage collection, which
+        would silently serve a stale normalized adjacency.  Computed once
+        (the tensor is treated as immutable after construction, as the
+        rest of the stack already assumes).
+        """
+        if self._cache_token is None:
+            digest = zlib.crc32(np.ascontiguousarray(self.tensor).tobytes())
+            self._cache_token = (self.num_stocks, self.num_types,
+                                 int(self.tensor.sum()), digest)
+        return self._cache_token
 
     def relation_ratio(self) -> float:
         """Fraction of (unordered) stock pairs linked by ≥ 1 relation.

@@ -11,7 +11,7 @@ from .container import ModuleList, Sequential
 from .conv import (CausalConv1d, CausalWeightNormConv1d, Conv1d,
                    WeightNormConv1d)
 from .dropout import Dropout, SpatialDropout1d
-from .graph import GraphAttention, GraphConv
+from .graph import GraphAttention, GraphConv, set_graph_mode
 from .linear import Linear
 from .module import Module, Parameter
 from .norm import BatchNorm1d, LayerNorm
@@ -25,7 +25,7 @@ __all__ = [
     "Module", "Parameter", "Sequential", "ModuleList",
     "Linear", "Conv1d", "CausalConv1d", "WeightNormConv1d",
     "CausalWeightNormConv1d", "TemporalBlock", "TemporalConvNet",
-    "GraphConv", "GraphAttention",
+    "GraphConv", "GraphAttention", "set_graph_mode",
     "LSTM", "LSTMCell", "GRU", "GRUCell", "SFM", "SFMCell",
     "Dropout", "SpatialDropout1d", "LayerNorm", "BatchNorm1d",
     "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "ELU",

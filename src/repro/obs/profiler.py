@@ -1,11 +1,12 @@
 """Op-level profiler for the autograd engine.
 
 :class:`OpProfiler` instruments every primitive of :mod:`repro.tensor` —
-the ``Tensor`` operator methods plus the module-level graph functions
-(``concat``, ``stack``, ``where``, ``maximum``, ``einsum``) and the conv1d
-window gather — and records, per primitive and per pass (forward /
-backward): call count, wall-clock seconds, and the bytes of the array each
-call produced.
+the ``Tensor`` operator methods, the module-level graph functions
+(``concat``, ``stack``, ``where``, ``maximum``, ``einsum``), the sparse
+primitives (``spmm``, ``sddmm``, segment ops) and the conv1d window
+gather — and records, per primitive and per pass (forward / backward):
+call count, wall-clock seconds, and the bytes of the array each call
+produced.
 
 The instrumentation is installed by *patching*: while a profiler is active
 the primitive attributes are replaced with timing wrappers, and on exit the
@@ -33,6 +34,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..tensor import ops as _ops_module
+from ..tensor import sparse as _sparse_module
 from ..tensor import tensor as _tensor_module
 from ..tensor.tensor import Tensor
 
@@ -57,6 +59,15 @@ _TENSOR_PRIMITIVES: Dict[str, str] = {
 _FUNCTION_PRIMITIVES: Dict[str, str] = {
     "concat": "concat", "stack": "stack", "where": "where",
     "maximum": "maximum", "einsum": "einsum",
+}
+
+#: sparse primitives of :mod:`repro.tensor.sparse`, attributed under their
+#: own names so a sparse run shows ``spmm`` replacing dense ``matmul`` in
+#: the op table.  They are monolithic (raw-kernel forward + closure
+#: backward, no inner Tensor ops), so there is no double counting.
+_SPARSE_PRIMITIVES: Dict[str, str] = {
+    "spmm": "spmm", "sddmm": "sddmm",
+    "sparse_segment_sum": "segment_sum", "sparse_gather": "sparse_gather",
 }
 
 _active_profiler: Optional["OpProfiler"] = None
@@ -160,18 +171,20 @@ class OpProfiler:
                 setattr(Tensor, attr, wrapped[id(value)])
 
         # Module-level functions: rebind every repro module-global that is
-        # the same object as the canonical definition in tensor.py.
-        for attr, name in _FUNCTION_PRIMITIVES.items():
-            original = getattr(_tensor_module, attr)
-            replacement = self._wrap(original, name)
-            for module in list(sys.modules.values()):
-                mod_name = getattr(module, "__name__", "")
-                if not mod_name.startswith("repro"):
-                    continue
-                for key, value in list(vars(module).items()):
-                    if value is original:
-                        self._patches.append((module, key, value))
-                        setattr(module, key, replacement)
+        # the same object as the canonical definition in its home module.
+        for home, mapping in ((_tensor_module, _FUNCTION_PRIMITIVES),
+                              (_sparse_module, _SPARSE_PRIMITIVES)):
+            for attr, name in mapping.items():
+                original = getattr(home, attr)
+                replacement = self._wrap(original, name)
+                for module in list(sys.modules.values()):
+                    mod_name = getattr(module, "__name__", "")
+                    if not mod_name.startswith("repro"):
+                        continue
+                    for key, value in list(vars(module).items()):
+                        if value is original:
+                            self._patches.append((module, key, value))
+                            setattr(module, key, replacement)
 
         # The conv1d sliding-window gather has a bespoke scatter backward
         # that dominates convolution cost; profile it as its own primitive.

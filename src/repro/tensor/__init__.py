@@ -11,11 +11,15 @@ from .gradcheck import gradcheck, numerical_gradient
 from .ops import (binary_cross_entropy, conv1d, cross_entropy, dropout, elu,
                   huber_loss, l1_loss, leaky_relu, linear, log_softmax,
                   mse_loss, one_hot, relu, sigmoid, softmax, tanh)
+from .sparse import (SparsePattern, SparseTensor, sddmm, sparse_gather,
+                     sparse_segment_sum, spmm)
 from .tensor import (Tensor, concat, einsum, ensure_tensor, maximum, stack,
                      where)
 
 __all__ = [
     "Tensor", "concat", "stack", "where", "maximum", "einsum", "ensure_tensor",
+    "SparsePattern", "SparseTensor", "spmm", "sddmm", "sparse_gather",
+    "sparse_segment_sum",
     "no_grad", "enable_grad", "is_grad_enabled", "set_grad_enabled",
     "gradcheck", "numerical_gradient",
     "softmax", "log_softmax", "relu", "sigmoid", "tanh", "leaky_relu", "elu",

@@ -1,0 +1,108 @@
+"""The benchmark harness's telemetry publishing (ISSUE-2 satellite f).
+
+``benchmarks/`` is not on the import path of the tier-1 suite, so the
+harness module is loaded by file location.  These tests pin the NaN
+contract of ``publish_json`` — degenerate measurements must surface as
+explicit ``null`` + ``degenerate_timing`` flags in the artifact, never as
+bare ``NaN`` tokens (not JSON) and never silently dropped.
+"""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.eval.speed import SpeedMeasurement
+
+_HARNESS_PATH = (Path(__file__).resolve().parents[1]
+                 / "benchmarks" / "_harness.py")
+
+
+@pytest.fixture()
+def harness(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location("_bench_harness_under_test",
+                                                  _HARNESS_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", tmp_path)
+    return module
+
+
+def _strict_load(path):
+    """Parse rejecting the non-JSON NaN/Infinity tokens."""
+    def refuse(token):
+        raise AssertionError(f"bare {token} token in published JSON")
+    return json.loads(path.read_text(), parse_constant=refuse)
+
+
+class TestSanitizeJson:
+    def test_nan_and_inf_become_null(self, harness):
+        payload = {"a": float("nan"), "b": float("inf"),
+                   "c": [1.0, float("-inf"), {"d": float("nan")}]}
+        out = harness.sanitize_json(payload)
+        assert out == {"a": None, "b": None, "c": [1.0, None, {"d": None}]}
+
+    def test_numpy_scalars_coerced(self, harness):
+        out = harness.sanitize_json({"f": np.float64(2.5),
+                                     "i": np.int64(3),
+                                     "nan": np.float64("nan")})
+        assert out == {"f": 2.5, "i": 3, "nan": None}
+        json.dumps(out, allow_nan=False)   # round-trips strictly
+
+    def test_finite_values_untouched(self, harness):
+        payload = {"x": 1.25, "s": "text", "n": None, "l": [1, 2]}
+        assert harness.sanitize_json(payload) == payload
+
+
+class TestPublishJson:
+    def test_nan_payload_becomes_null_not_dropped(self, harness):
+        path = harness.publish_json(
+            "t", {"speedup": float("nan"), "seconds": 1.5})
+        data = _strict_load(path)
+        assert "speedup" in data          # key survives ...
+        assert data["speedup"] is None    # ... as an explicit null
+        assert data["seconds"] == 1.5
+        assert data["benchmark"] == "t"
+        assert "schema_version" in data
+
+    def test_nested_nan_sanitized(self, harness):
+        path = harness.publish_json(
+            "t", {"models": {"m": {"train_speedup": float("inf")}}})
+        assert _strict_load(path)["models"]["m"]["train_speedup"] is None
+
+
+class TestSpeedEntry:
+    def test_healthy_measurement(self, harness):
+        ours = SpeedMeasurement("ours", 0.5, 0.1)
+        base = SpeedMeasurement("base", 2.0, 0.3)
+        entry = harness.speed_entry(ours, baseline=base)
+        assert entry["degenerate_timing"] is False
+        assert entry["train_speedup"] == pytest.approx(4.0)
+        assert entry["speedup_over"] == "base"
+
+    def test_degenerate_timing_flagged_not_hidden(self, harness):
+        ours = SpeedMeasurement("ours", 0.0, 0.1)   # below timer resolution
+        base = SpeedMeasurement("base", 2.0, 0.3)
+        entry = harness.speed_entry(ours, baseline=base)
+        assert entry["degenerate_timing"] is True
+        assert math.isnan(entry["train_speedup"])
+        # Published, the NaN becomes an explicit null under its key.
+        path = harness.publish_json("t", {"entry": entry})
+        published = _strict_load(path)["entry"]
+        assert published["train_speedup"] is None
+        assert published["degenerate_timing"] is True
+
+    def test_degenerate_baseline_flagged(self, harness):
+        ours = SpeedMeasurement("ours", 1.0, 0.1)
+        base = SpeedMeasurement("base", 0.0, 0.3)
+        entry = harness.speed_entry(ours, baseline=base)
+        assert entry["degenerate_timing"] is True
+
+    def test_no_baseline_keeps_raw_timings(self, harness):
+        entry = harness.speed_entry(SpeedMeasurement("m", 1.0, 0.25))
+        assert entry == {"name": "m", "train_seconds_per_epoch": 1.0,
+                         "test_seconds": 0.25, "phases": {},
+                         "degenerate_timing": False}
