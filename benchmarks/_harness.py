@@ -186,6 +186,31 @@ def speed_entry(measurement: SpeedMeasurement,
     return entry
 
 
+def checkpoint_telemetry(trainer, directory: Optional[Path] = None) -> dict:
+    """Checkpoint-cost fields for the benchmark JSON artifacts.
+
+    Writes one full :class:`~repro.ckpt.TrainingCheckpoint` of
+    ``trainer`` (model + optimizer + RNG state) through a
+    :class:`~repro.ckpt.CheckpointManager` and reports its size and
+    write latency, so artifact diffs catch a checkpoint-format size
+    regression the same way they catch a speed regression.
+    """
+    import shutil
+    import tempfile
+
+    from repro.ckpt import CheckpointManager
+
+    target = directory if directory is not None else Path(
+        tempfile.mkdtemp(prefix="bench-ckpt-"))
+    try:
+        manager = CheckpointManager(target)
+        manager.save(trainer.state_dict())
+        return manager.telemetry()
+    finally:
+        if directory is None:
+            shutil.rmtree(target, ignore_errors=True)
+
+
 def metric_row(name: str, summary: dict,
                keys: Sequence[str] = ("MRR", "IRR-1", "IRR-5", "IRR-10")
                ) -> List:

@@ -21,7 +21,8 @@ from repro.eval.speed import measure_speed
 from repro.obs import Tracer, use_tracer
 
 from _harness import (BENCH_MARKETS, bench_config, bench_dataset,
-                      format_table, publish, publish_json, speed_entry)
+                      checkpoint_telemetry, format_table, publish,
+                      publish_json, speed_entry)
 
 MARKET = BENCH_MARKETS[0]
 
@@ -114,12 +115,16 @@ def test_fig5_dense_vs_sparse_propagation():
               "universes are ≲0.05).\nThe ≥2x sparse speedup claim is "
               "asserted at scale by bench_sparse_scale.py."))
     publish("fig5_speed_backends", text)
+    from repro.core import Trainer
+    import numpy as np
     publish_json("fig5_speed_backends", {
         "market": MARKET,
         "graph_density": float(density),
         "backends": {mode: speed_entry(m, baseline=dense)
                      for mode, m in measurements.items()},
         "sparse_vs_dense_train_speedup": ratio["train"],
+        "checkpoint": checkpoint_telemetry(
+            Trainer(factory(np.random.default_rng(0)), dataset, config)),
     })
 
     # Both backends must deliver real (non-degenerate) timings.

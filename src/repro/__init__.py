@@ -13,7 +13,11 @@ The package is layered bottom-up:
 - :mod:`repro.baselines` — the 11 comparison models of Table IV/V;
 - :mod:`repro.eval` — MRR/IRR metrics, backtester, indices, the 15-run
   protocol, speed measurement, the Figure-8 case study;
-- :mod:`repro.stats` — Wilcoxon signed-rank tests.
+- :mod:`repro.stats` — Wilcoxon signed-rank tests;
+- :mod:`repro.ckpt` — fault-tolerant training state: atomic checksummed
+  checkpoints, keep-last-k retention, bitwise-identical resume, fault
+  injection (see docs/checkpointing.md);
+- :mod:`repro.obs` — profiler, tracer, and JSON run telemetry.
 
 Quickstart
 ----------
@@ -25,6 +29,8 @@ Quickstart
 >>> ranking_metrics(result.predictions, result.actuals)    # doctest: +SKIP
 """
 
+from .ckpt import (CheckpointCallback, CheckpointManager,
+                   TrainingCheckpoint)
 from .core import RTGCN, TrainConfig, Trainer, TrainResult
 from .data import available_markets, load_market
 from .graph import RelationMatrix, RelationTemporalGraph
@@ -37,5 +43,6 @@ __all__ = [
     "load_market", "available_markets",
     "RelationMatrix", "RelationTemporalGraph",
     "save_checkpoint", "load_checkpoint",
+    "TrainingCheckpoint", "CheckpointManager", "CheckpointCallback",
     "__version__",
 ]

@@ -1,0 +1,41 @@
+"""repro.ckpt — fault-tolerant training state.
+
+The paper's protocol averages fifteen full training runs per model per
+market (§V-B-4); on real universes that is hours of compute, and a crash
+at run 14 must not restart run 0.  This package makes every long-running
+workload interruptible and exactly resumable:
+
+- :class:`TrainingCheckpoint` — versioned snapshot of model parameters,
+  full optimizer state (Adam moments + step count), RNG streams, the
+  epoch/batch cursor, early-stopping best state, and the ``TrainConfig``;
+- :func:`save` / :func:`load` — atomic (tmp-file + fsync + rename),
+  SHA-256-checksummed ``.npz`` archives, format version 2 with
+  backward-compatible version-1 reads;
+- :class:`CheckpointManager` — keep-last-k-plus-best retention and
+  corrupt-file fallback (:meth:`~CheckpointManager.latest_valid`);
+- :class:`CheckpointCallback` — periodic checkpointing on the
+  :class:`~repro.core.callbacks.TrainerCallback` event API;
+- :mod:`repro.ckpt.faults` — crash/corruption injection so recovery is
+  tested, not assumed.
+
+Resuming with ``Trainer.fit(resume_from=...)`` is bitwise-identical to
+the uninterrupted run: see ``docs/checkpointing.md``.
+"""
+
+from .callback import CheckpointCallback
+from .checkpoint import (FORMAT_VERSION, CheckpointError,
+                         TrainingCheckpoint, atomic_write_bytes, load,
+                         read_archive, restore_rng, rng_state, save,
+                         verify_archive, write_archive)
+from .faults import (CRASH_EXIT_CODE, CrashAfterBatches, SimulatedCrash,
+                     corrupt_archive)
+from .manager import CheckpointManager
+
+__all__ = [
+    "TrainingCheckpoint", "CheckpointError", "FORMAT_VERSION",
+    "save", "load", "read_archive", "write_archive", "verify_archive",
+    "atomic_write_bytes", "rng_state", "restore_rng",
+    "CheckpointManager", "CheckpointCallback",
+    "CrashAfterBatches", "SimulatedCrash", "corrupt_archive",
+    "CRASH_EXIT_CODE",
+]

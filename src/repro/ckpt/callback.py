@@ -1,0 +1,87 @@
+"""Trainer integration: the :class:`CheckpointCallback`.
+
+Rides the PR-1 :class:`~repro.core.callbacks.TrainerCallback` event API:
+after every epoch (and optionally every N batches) it asks the trainer
+for a full :class:`~repro.ckpt.checkpoint.TrainingCheckpoint` and hands
+it to a :class:`~repro.ckpt.manager.CheckpointManager`.  The callback is
+also the trainer's rollback anchor: when ``TrainConfig.nan_policy`` is
+``"rollback"`` and a non-finite loss appears, the trainer restores the
+manager's last good checkpoint through this callback.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.callbacks import TrainerCallback
+from .checkpoint import TrainingCheckpoint
+from .manager import CheckpointManager
+
+
+class CheckpointCallback(TrainerCallback):
+    """Periodically checkpoints a fit through a :class:`CheckpointManager`.
+
+    Parameters
+    ----------
+    directory_or_manager:
+        Where checkpoints go; a path creates a manager with ``keep_last``.
+    every_n_batches:
+        Also checkpoint mid-epoch, every N optimiser steps (``None`` =
+        epoch boundaries only).  Mid-epoch checkpoints are what make a
+        kill-at-batch-*k* crash resumable without replaying the epoch.
+    save_best:
+        Mirror the early-stopping best state into ``best.npz`` whenever
+        the trainer reports an improvement.
+    keep_last:
+        Retention for the created manager (ignored when a manager is
+        passed in).
+    """
+
+    def __init__(self, directory_or_manager: Union[str, Path,
+                                                   CheckpointManager],
+                 every_n_batches: Optional[int] = None,
+                 save_best: bool = True, keep_last: int = 3):
+        if isinstance(directory_or_manager, CheckpointManager):
+            self.manager = directory_or_manager
+        else:
+            self.manager = CheckpointManager(directory_or_manager,
+                                             keep_last=keep_last)
+        if every_n_batches is not None and every_n_batches < 1:
+            raise ValueError("every_n_batches must be >= 1 when given, "
+                             f"got {every_n_batches}")
+        self.every_n_batches = every_n_batches
+        self.save_best = save_best
+        self._batches_since_save = 0
+        self._last_best_val: Optional[float] = None
+        self.last_path: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    def on_epoch_start(self, trainer, epoch: int) -> None:
+        self._batches_since_save = 0
+
+    def on_batch_end(self, trainer, epoch: int, day: int,
+                     loss: float) -> None:
+        if self.every_n_batches is None:
+            return
+        self._batches_since_save += 1
+        if self._batches_since_save >= self.every_n_batches:
+            self._batches_since_save = 0
+            self._save(trainer)
+
+    def on_epoch_end(self, trainer, epoch: int, mean_loss: float) -> None:
+        self._save(trainer)
+
+    def on_fit_end(self, trainer, losses) -> None:
+        self._save(trainer)
+
+    # ------------------------------------------------------------------
+    def _save(self, trainer) -> None:
+        checkpoint: TrainingCheckpoint = trainer.state_dict()
+        is_best = False
+        if self.save_best and checkpoint.best_model_state is not None:
+            best_val = checkpoint.early_stopping.get("best_val")
+            if best_val is not None and best_val != self._last_best_val:
+                self._last_best_val = best_val
+                is_best = True
+        self.last_path = self.manager.save(checkpoint, is_best=is_best)

@@ -1,0 +1,106 @@
+"""Fault injection: crash a training run on purpose, corrupt its files.
+
+Fault-tolerant code that is never exercised against faults is wishful
+thinking.  This module provides the two failure modes that matter for
+checkpointing, so tests (and the CI round-trip job) *prove* recovery:
+
+- :class:`CrashAfterBatches` — a trainer callback that terminates the fit
+  after a chosen number of optimiser steps, either by raising
+  :class:`SimulatedCrash` (catchable, for in-process tests) or via
+  ``os._exit`` (``hard=True``) which skips all cleanup exactly like a
+  SIGKILL — no ``finally`` blocks, no atexit, no flushing.
+- :func:`corrupt_archive` — damages a checkpoint file the way real
+  crashes and disks do: truncation (interrupted write) or bit flips
+  (rot/partial overwrite), so checksum verification and the
+  last-good-checkpoint fallback can be asserted.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.callbacks import TrainerCallback
+
+#: process exit code used by ``hard`` crashes, chosen to be distinguishable
+#: from argparse errors (2) and success (0) in CI scripts.
+CRASH_EXIT_CODE = 3
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by :class:`CrashAfterBatches` to abort a fit mid-epoch."""
+
+
+class CrashAfterBatches(TrainerCallback):
+    """Kill training after ``n`` optimiser steps (counted across epochs).
+
+    With ``hard=False`` (default) the crash is a :class:`SimulatedCrash`
+    exception — the test harness catches it and the trainer is abandoned
+    with whatever state its checkpoints captured.  With ``hard=True`` the
+    process dies on the spot via ``os._exit(CRASH_EXIT_CODE)``, which is
+    the closest a test can get to SIGKILL while staying portable: no
+    destructors, no buffered writes, no graceful anything.
+    """
+
+    def __init__(self, n: int, hard: bool = False):
+        if n < 1:
+            raise ValueError(f"crash batch count must be >= 1, got {n}")
+        self.n = n
+        self.hard = hard
+        self.batches_seen = 0
+
+    def on_batch_end(self, trainer, epoch: int, day: int,
+                     loss: float) -> None:
+        self.batches_seen += 1
+        if self.batches_seen >= self.n:
+            if self.hard:
+                os._exit(CRASH_EXIT_CODE)
+            raise SimulatedCrash(
+                f"simulated crash after {self.batches_seen} batches "
+                f"(epoch {epoch}, day {day})")
+
+
+def corrupt_archive(path: Union[str, Path], mode: str = "truncate",
+                    seed: Optional[int] = 0) -> Path:
+    """Damage a checkpoint file in place; returns the path.
+
+    Modes
+    -----
+    ``"truncate"``
+        Drop the trailing 25% of the file (minimum 64 bytes), the
+        signature of a write interrupted by a crash or full disk.
+    ``"flip"``
+        Flip 32 random bytes in the middle half of the file, the
+        signature of bit rot or a partial overwrite; the zip container
+        often still opens, so only checksum verification catches it.
+    ``"empty"``
+        Truncate to zero bytes.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"cannot corrupt {path}: no such file")
+    size = path.stat().st_size
+    if mode == "truncate":
+        keep = max(0, min(size - 64, int(size * 0.75)))
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+    elif mode == "flip":
+        rng = np.random.default_rng(seed)
+        data = bytearray(path.read_bytes())
+        if len(data) < 8:
+            raise ValueError(f"{path} is too small to flip bytes in")
+        low, high = len(data) // 4, max(len(data) // 4 + 1,
+                                        3 * len(data) // 4)
+        for offset in rng.integers(low, high, size=32):
+            data[int(offset)] ^= 0xFF
+        path.write_bytes(bytes(data))
+    elif mode == "empty":
+        with open(path, "r+b") as handle:
+            handle.truncate(0)
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}; expected "
+                         "'truncate', 'flip', or 'empty'")
+    return path

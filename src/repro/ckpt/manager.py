@@ -1,0 +1,140 @@
+"""Checkpoint directory management: naming, retention, recovery.
+
+A :class:`CheckpointManager` owns one directory of training checkpoints:
+
+- periodic checkpoints are named ``ckpt-e<epoch>-b<batch>.npz`` and kept
+  under a *keep-last-k* policy (oldest deleted first);
+- the early-stopping best state lives in ``best.npz`` and is exempt from
+  retention;
+- :meth:`latest_valid` walks checkpoints newest-to-oldest, skipping any
+  that fail checksum verification, so a crash that corrupts the newest
+  file still recovers from the last good one.
+
+Every write goes through the atomic, checksummed writer of
+:mod:`repro.ckpt.checkpoint` and is timed under an ``obs`` ``checkpoint``
+span so profiles attribute checkpoint I/O explicitly.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..obs.tracer import trace
+from .checkpoint import (CheckpointError, TrainingCheckpoint,
+                         load as load_file, save as save_file)
+
+_CKPT_PATTERN = re.compile(r"^ckpt-e(\d+)-b(\d+)\.npz$")
+BEST_NAME = "best.npz"
+
+
+class CheckpointManager:
+    """Saves/loads :class:`TrainingCheckpoint` files under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Created on first save if missing.
+    keep_last:
+        Periodic checkpoints retained (the best checkpoint is kept in
+        addition to these).  Must be >= 1.
+    """
+
+    def __init__(self, directory: Union[str, Path], keep_last: int = 3):
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = Path(directory)
+        self.keep_last = keep_last
+        #: total bytes and seconds spent writing, for telemetry
+        self.bytes_written = 0
+        self.write_seconds = 0.0
+        self.saves = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, epoch: int, batch_index: int) -> Path:
+        return self.directory / f"ckpt-e{epoch:04d}-b{batch_index:06d}.npz"
+
+    @property
+    def best_path(self) -> Path:
+        return self.directory / BEST_NAME
+
+    def checkpoints(self) -> List[Path]:
+        """Periodic checkpoints, oldest first (excludes ``best.npz``)."""
+        if not self.directory.exists():
+            return []
+        found = [p for p in self.directory.iterdir()
+                 if _CKPT_PATTERN.match(p.name)]
+        return sorted(found, key=lambda p: tuple(
+            int(g) for g in _CKPT_PATTERN.match(p.name).groups()))
+
+    # ------------------------------------------------------------------
+    def save(self, checkpoint: TrainingCheckpoint,
+             is_best: bool = False) -> Path:
+        """Write a periodic checkpoint (and ``best.npz`` when asked),
+        then apply the retention policy."""
+        start = time.perf_counter()
+        with trace("checkpoint"):
+            path = save_file(checkpoint,
+                             self.path_for(checkpoint.epoch,
+                                           checkpoint.batch_index))
+            if is_best:
+                save_file(checkpoint, self.best_path)
+        self.write_seconds += time.perf_counter() - start
+        self.bytes_written += path.stat().st_size
+        self.saves += 1
+        self._prune()
+        return path
+
+    def save_best(self, checkpoint: TrainingCheckpoint) -> Path:
+        """Write only ``best.npz`` (no retention interaction)."""
+        with trace("checkpoint"):
+            return save_file(checkpoint, self.best_path)
+
+    def _prune(self) -> None:
+        existing = self.checkpoints()
+        for stale in existing[:max(0, len(existing) - self.keep_last)]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # a vanished file is already pruned
+
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[Path]:
+        """Newest periodic checkpoint path, or ``None`` when empty."""
+        existing = self.checkpoints()
+        return existing[-1] if existing else None
+
+    def latest_valid(self) -> Optional[TrainingCheckpoint]:
+        """Newest checkpoint that loads and passes its checksum.
+
+        Corrupt/truncated files (the footprint of a crash mid-write or a
+        damaged disk) are skipped, newest to oldest.  Returns ``None``
+        when no checkpoint survives.
+        """
+        for path in reversed(self.checkpoints()):
+            try:
+                return load_file(path)
+            except CheckpointError:
+                continue
+        return None
+
+    def load_best(self) -> Optional[TrainingCheckpoint]:
+        """The ``best.npz`` checkpoint, or ``None`` if absent/corrupt."""
+        try:
+            return load_file(self.best_path)
+        except CheckpointError:
+            return None
+
+    def telemetry(self) -> dict:
+        """Write-cost counters for benchmark JSON artifacts."""
+        latest = self.latest()
+        return {
+            "checkpoint_saves": self.saves,
+            "checkpoint_bytes_written": self.bytes_written,
+            "checkpoint_write_seconds": self.write_seconds,
+            "checkpoint_latest_bytes": (latest.stat().st_size
+                                        if latest is not None else 0),
+            "checkpoint_files_retained": len(self.checkpoints()),
+        }

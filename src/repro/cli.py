@@ -20,11 +20,21 @@ training commands (``--learning-rate``, ``--weight-decay``, ...); the flag
 set is generated from the dataclass so new hyperparameters appear here
 automatically.
 
+The ``train`` command is fault-tolerant: ``--checkpoint-dir`` writes
+atomic, checksummed training checkpoints (optionally every N batches via
+``--checkpoint-every``) and ``--resume`` continues a killed run
+bitwise-identically; ``compare`` accepts ``--resume-dir`` to continue a
+multi-run comparison at run *k*.  See ``docs/checkpointing.md``.
+
 Examples
 --------
     python -m repro.cli markets
     python -m repro.cli train --market nasdaq-mini --model "RT-GCN (T)" \
         --epochs 8 --checkpoint /tmp/rtgcn.npz
+    python -m repro.cli train --market nasdaq-mini --model "RT-GCN (T)" \
+        --checkpoint-dir /tmp/ckpts --checkpoint-every 20
+    python -m repro.cli train --market nasdaq-mini --model "RT-GCN (T)" \
+        --checkpoint-dir /tmp/ckpts --resume
     python -m repro.cli compare --market csi-mini \
         --models "Rank_LSTM,RSR_E,RT-GCN (T)" --runs 3
     python -m repro.cli profile --market nasdaq-mini --model "RT-GCN (T)"
@@ -71,6 +81,9 @@ _FIELD_HELP = {
     "validation_days": "held-out tail length for early stopping",
     "graph_mode": "graph propagation backend: auto | dense | sparse "
                   "(see docs/performance.md)",
+    "nan_policy": "on NaN/Inf loss: raise | ignore | rollback "
+                  "(rollback needs --checkpoint-dir)",
+    "max_rollbacks": "NaN-guard rollback budget before giving up",
 }
 
 
@@ -134,17 +147,40 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"training {args.model} "
           f"({config.epochs} epochs, window {config.window}) ...")
 
+    wants_trainer = bool(args.checkpoint or args.checkpoint_dir
+                         or args.resume or args.crash_after)
     model = None
+    trainer = None
     if args.model in _STRATEGY_OF:
-        # Build the RT-GCN directly so it can be checkpointed after the run.
+        # Build the RT-GCN directly so it can be checkpointed/resumed.
         from .core import RTGCN, Trainer
         model = RTGCN(dataset.relations, num_features=config.num_features,
                       strategy=_STRATEGY_OF[args.model],
                       rng=np.random.default_rng(args.seed))
-        result = Trainer(model, dataset, config).run()
+        trainer = Trainer(model, dataset, config)
+        callbacks = []
+        resume_from = None
+        if args.checkpoint_dir:
+            from .ckpt import CheckpointCallback
+            callbacks.append(CheckpointCallback(
+                args.checkpoint_dir,
+                every_n_batches=args.checkpoint_every,
+                keep_last=args.keep_last))
+            if args.resume:
+                resume_from = args.checkpoint_dir
+        elif args.resume:
+            raise SystemExit("--resume requires --checkpoint-dir")
+        if args.crash_after:
+            # Fault injection for the CI round-trip job: die mid-run the
+            # way SIGKILL would (exit code repro.ckpt.CRASH_EXIT_CODE).
+            from .ckpt import CrashAfterBatches
+            callbacks.append(CrashAfterBatches(args.crash_after,
+                                               hard=True))
+        result = trainer.run(callbacks=callbacks, resume_from=resume_from)
     else:
-        if args.checkpoint:
-            raise SystemExit("--checkpoint is only supported for the "
+        if wants_trainer:
+            raise SystemExit("--checkpoint/--checkpoint-dir/--resume/"
+                             "--crash-after are only supported for the "
                              "RT-GCN strategies")
         predictor = make_predictor(args.model, dataset, seed=args.seed)
         result = predictor.fit_predict(dataset, config)
@@ -158,13 +194,14 @@ def cmd_train(args: argparse.Namespace) -> int:
         rendered = "-" if np.isnan(value) else f"{value:+.4f}"
         print(f"  {key:7s} {rendered}")
 
-    if args.checkpoint and model is not None:
-        from .io import save_checkpoint
-        path = save_checkpoint(
-            model, args.checkpoint,
-            metadata={"market": args.market,
-                      "metrics": {k: float(v) for k, v in metrics.items()
-                                  if not np.isnan(v)}})
+    if args.checkpoint and trainer is not None:
+        from .ckpt import save as save_ckpt
+        checkpoint = trainer.state_dict()
+        checkpoint.metadata = {
+            "market": args.market,
+            "metrics": {k: float(v) for k, v in metrics.items()
+                        if not np.isnan(v)}}
+        path = save_ckpt(checkpoint, args.checkpoint)
         print(f"checkpoint written to {path}")
     return 0
 
@@ -179,7 +216,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for name in names:
         result = run_named_experiment(name, dataset, config,
                                       n_runs=args.runs,
-                                      base_seed=args.seed)
+                                      base_seed=args.seed,
+                                      resume_dir=args.resume_dir)
         summary = result.summary()
         cells = []
         for key in ("MRR", "IRR-1", "IRR-5", "IRR-10"):
@@ -259,7 +297,26 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--model", default="RT-GCN (T)",
                        help="model name (see `models`)")
     train.add_argument("--checkpoint", default=None,
-                       help="write an RT-GCN (T) checkpoint here")
+                       help="write a final RT-GCN checkpoint here")
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="checkpoint the run into this directory "
+                            "(atomic, checksummed, keep-last-k; see "
+                            "docs/checkpointing.md)")
+    train.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="also checkpoint every N batches "
+                            "(default: epoch boundaries only)")
+    train.add_argument("--keep-last", type=int, default=3,
+                       help="periodic checkpoints to retain (best is "
+                            "kept in addition)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid checkpoint in "
+                            "--checkpoint-dir (bitwise-identical to an "
+                            "uninterrupted run)")
+    train.add_argument("--crash-after", type=int, default=None,
+                       metavar="N",
+                       help="fault injection: hard-exit after N batches "
+                            "(for testing checkpoint recovery)")
 
     compare = sub.add_parser("compare", help="compare several models")
     _add_train_options(compare)
@@ -268,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated model names")
     compare.add_argument("--runs", type=int, default=3,
                          help="repeated runs per model")
+    compare.add_argument("--resume-dir", default=None,
+                         help="journal completed runs here and resume an "
+                              "interrupted comparison at run k instead "
+                              "of run 0")
 
     profile = sub.add_parser(
         "profile", help="profile per-op and per-phase cost of a short run")

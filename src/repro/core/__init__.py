@@ -5,12 +5,13 @@ from .losses import combined_loss, l2_penalty, ranking_loss, regression_loss
 from .model import RTGCN, RTGCNLayer
 from .relational import RelationalGraphConvolution
 from .temporal import TemporalConvolution
-from .trainer import TrainConfig, Trainer, TrainResult
+from .trainer import (NonFiniteLossError, TrainConfig, Trainer,
+                      TrainResult)
 
 __all__ = [
     "RTGCN", "RTGCNLayer", "RelationalGraphConvolution",
     "TemporalConvolution",
     "regression_loss", "ranking_loss", "combined_loss", "l2_penalty",
-    "Trainer", "TrainConfig", "TrainResult",
+    "Trainer", "TrainConfig", "TrainResult", "NonFiniteLossError",
     "TrainerCallback", "CallbackList", "ProgressCallback",
 ]

@@ -40,7 +40,9 @@ class TrainerCallback:
         """Called after the optimiser step for one training day."""
 
     def on_epoch_end(self, trainer, epoch: int, mean_loss: float) -> None:
-        """Called after every batch of ``epoch`` (before early stopping)."""
+        """Called after every batch of ``epoch`` (the early-stopping
+        validation pass has already updated the trainer's best state, so
+        a checkpoint taken here is current)."""
 
     def on_fit_end(self, trainer, losses: List[float]) -> None:
         """Called exactly once when the fit finishes (however it ends)."""

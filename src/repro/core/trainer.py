@@ -6,25 +6,44 @@ sample = one trading day's graph), and grid-searchable window size ``T`` and
 balancing parameter α.  The same harness trains RT-GCN and every
 gradient-based baseline, which is what makes the Figure 5 speed comparison
 apples-to-apples.
+
+The fit loop is fault-tolerant: its entire mutable state (epoch/batch
+cursor, shuffle order, RNG streams, early-stopping bests) lives in one
+:class:`_FitState` record, so :meth:`Trainer.state_dict` can capture a
+:class:`~repro.ckpt.TrainingCheckpoint` at any batch boundary and
+:meth:`Trainer.fit` with ``resume_from=`` continues a killed run
+bitwise-identically to the uninterrupted one (see docs/checkpointing.md).
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import asdict, dataclass, field
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
 from ..data import StockDataset
 from ..nn.graph import set_graph_mode
 from ..nn.module import Module
+from ..nn.random import get_rng
 from ..obs.tracer import trace
 from ..optim import Adam, clip_grad_norm_
 from ..tensor import Tensor, no_grad
 from .callbacks import CallbackList, ProgressCallback, TrainerCallback
 from .losses import combined_loss
+
+#: TrainConfig fields allowed to differ between a checkpoint and the
+#: resuming trainer (anything else changes the training trajectory and
+#: would silently break bitwise resume).
+_RESUME_EXEMPT_FIELDS = ("epochs",)
+
+
+class NonFiniteLossError(RuntimeError):
+    """Raised when a batch loss goes NaN/Inf and the policy is ``raise``
+    (or recovery is exhausted under ``rollback``)."""
 
 
 @dataclass
@@ -55,6 +74,13 @@ class TrainConfig:
     # improvement (the best parameters are restored).
     early_stopping_patience: Optional[int] = None
     validation_days: int = 20
+    # What to do when a batch loss is NaN/Inf: "raise" aborts with
+    # NonFiniteLossError, "ignore" keeps the old propagate-silently
+    # behavior, "rollback" restores the last good checkpoint (requires a
+    # CheckpointCallback), halves the learning rate, and retries — at
+    # most `max_rollbacks` times before raising.
+    nan_policy: str = "raise"
+    max_rollbacks: int = 3
 
 
 @dataclass
@@ -68,6 +94,27 @@ class TrainResult:
     predictions: np.ndarray        # (num_test_days, num_stocks) scores
     actuals: np.ndarray            # (num_test_days, num_stocks) true returns
     extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class _FitState:
+    """The fit loop's complete mutable state (what a checkpoint captures).
+
+    ``epoch`` is the epoch currently in progress; ``day_order`` is that
+    epoch's shuffled schedule (``None`` between epochs) and
+    ``batch_index`` counts its already-applied batches, so a checkpoint
+    taken mid-epoch resumes at exactly the next day of the same order.
+    """
+
+    rng: np.random.Generator
+    epoch: int = 0
+    batch_index: int = 0
+    day_order: Optional[List[int]] = None
+    epoch_loss: float = 0.0
+    losses: List[float] = field(default_factory=list)
+    best_val: float = float("inf")
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    bad_epochs: int = 0
 
 
 class Trainer:
@@ -84,6 +131,9 @@ class Trainer:
         self.model = model
         self.dataset = dataset
         self.config = config if config is not None else TrainConfig()
+        if self.config.nan_policy not in ("raise", "ignore", "rollback"):
+            raise ValueError(f"nan_policy must be 'raise', 'ignore' or "
+                             f"'rollback', got {self.config.nan_policy!r}")
         if self.config.graph_mode != "auto":
             # Force the configured backend onto every graph module; "auto"
             # leaves the model's own (density-dispatched) modes untouched.
@@ -93,24 +143,19 @@ class Trainer:
                                     if train_days is not None else None)
         self.optimizer = Adam(model.parameters(),
                               lr=self.config.learning_rate)
+        self._fit_state: Optional[_FitState] = None
 
     # ------------------------------------------------------------------
-    def fit(self, callbacks: Optional[Sequence[TrainerCallback]] = None
-            ) -> List[float]:
-        """Run the training epochs; returns the per-epoch mean loss.
-
-        ``callbacks`` receive the :class:`TrainerCallback` events in order:
-        ``on_epoch_start``, ``on_batch_end`` per training day,
-        ``on_epoch_end``, and a final ``on_fit_end``.  Each phase of the
-        inner loop is traced (:mod:`repro.obs`) under ``data_prep`` /
-        ``forward`` / ``backward`` / ``optimizer_step`` spans.
-        """
+    # day bookkeeping
+    # ------------------------------------------------------------------
+    def _training_days(self) -> Tuple[List[int], List[int]]:
+        """``(train_days, validation_days)`` after every config filter."""
         cfg = self.config
-        events = CallbackList(callbacks or ())
         if self.train_days_override is not None:
             train_days = list(self.train_days_override)
         else:
-            train_days, _ = self.dataset.split(cfg.window)
+            split_days, _ = self.dataset.split(cfg.window)
+            train_days = list(split_days)
         if cfg.max_train_days is not None:
             train_days = train_days[-cfg.max_train_days:]
         validation_days: List[int] = []
@@ -124,21 +169,194 @@ class Trainer:
                                  "training period")
             validation_days = train_days[-cfg.validation_days:]
             train_days = train_days[:-cfg.validation_days]
-        rng = np.random.default_rng(cfg.seed)
-        losses: List[float] = []
-        best_val = np.inf
-        best_state = None
-        bad_epochs = 0
+        return train_days, validation_days
+
+    # ------------------------------------------------------------------
+    # checkpoint state (the uniform state-dict contract)
+    # ------------------------------------------------------------------
+    def _named_rngs(self) -> List[Tuple[str, np.random.Generator]]:
+        """Distinct RNGs owned by the model's modules, by dotted name.
+
+        Dropout layers draw from their construction-time generator during
+        training; restoring these streams is what keeps a resumed run's
+        masks identical to the uninterrupted run's.
+        """
+        seen: Dict[int, Tuple[str, np.random.Generator]] = {}
+        for name, module in self.model.named_modules():
+            gen = getattr(module, "_rng", None)
+            if isinstance(gen, np.random.Generator) and id(gen) not in seen:
+                seen[id(gen)] = (name or "<root>", gen)
+        return list(seen.values())
+
+    def state_dict(self) -> "Any":
+        """A :class:`~repro.ckpt.TrainingCheckpoint` of the whole run.
+
+        Captures model parameters, full optimizer state, every RNG stream
+        (shuffle, library-global, per-module dropout), the epoch/batch
+        cursor, early-stopping state, and the ``TrainConfig``.  Valid at
+        any batch boundary; between fits it describes a run about to
+        start (or just finished).
+        """
+        from ..ckpt.checkpoint import TrainingCheckpoint, rng_state
+
+        state = self._fit_state
+        if state is None:
+            state = self._fit_state = _FitState(
+                rng=np.random.default_rng(self.config.seed))
+        rngs: Dict[str, Any] = {"shuffle": rng_state(state.rng),
+                                "global": rng_state(get_rng())}
+        for name, gen in self._named_rngs():
+            rngs[f"module:{name}"] = rng_state(gen)
+        return TrainingCheckpoint(
+            model_state=self.model.state_dict(),
+            optimizer_state=self.optimizer.state_dict(),
+            rng=rngs,
+            cursor={"epoch": state.epoch,
+                    "batch_index": state.batch_index,
+                    "day_order": state.day_order,
+                    "epoch_loss": state.epoch_loss,
+                    "losses": list(state.losses)},
+            early_stopping={"best_val": state.best_val,
+                            "bad_epochs": state.bad_epochs},
+            best_model_state=state.best_state,
+            config=asdict(self.config),
+            model_class=type(self.model).__name__)
+
+    def load_state_dict(self, checkpoint: "Any") -> None:
+        """Restore a :class:`~repro.ckpt.TrainingCheckpoint` into this
+        trainer: parameters, optimizer, RNG streams, and the fit cursor.
+
+        The checkpoint's ``TrainConfig`` must match this trainer's on
+        every field except ``epochs`` (extending a finished run is fine);
+        a mismatch raises :class:`~repro.ckpt.CheckpointError` because it
+        would silently change the training trajectory.
+        """
+        from ..ckpt.checkpoint import (CheckpointError, restore_rng)
+
+        if checkpoint.format_version < 2:
+            raise CheckpointError(
+                "cannot resume from a format-v1 (parameters-only) "
+                "checkpoint: it has no optimizer/RNG/cursor state; load "
+                "it with repro.io.load_checkpoint instead")
+        if checkpoint.model_class and \
+                checkpoint.model_class != type(self.model).__name__:
+            raise CheckpointError(
+                f"checkpoint holds a {checkpoint.model_class}, trainer "
+                f"model is a {type(self.model).__name__}")
+        if checkpoint.config:
+            own = asdict(self.config)
+            for key, value in checkpoint.config.items():
+                if key in _RESUME_EXEMPT_FIELDS or key not in own:
+                    continue
+                if own[key] != value:
+                    raise CheckpointError(
+                        f"checkpoint config has {key}={value!r} but the "
+                        f"trainer uses {key}={own[key]!r}; resuming would "
+                        "not reproduce the original run — recreate the "
+                        "trainer with the checkpoint's config")
+        self.model.load_state_dict(checkpoint.model_state)
+        if checkpoint.optimizer_state:
+            self.optimizer.load_state_dict(checkpoint.optimizer_state)
+        state = _FitState(rng=np.random.default_rng(self.config.seed))
+        if "shuffle" in checkpoint.rng:
+            restore_rng(state.rng, checkpoint.rng["shuffle"])
+        if "global" in checkpoint.rng:
+            restore_rng(get_rng(), checkpoint.rng["global"])
+        module_rngs = dict(self._named_rngs())
+        for key, payload in checkpoint.rng.items():
+            if key.startswith("module:"):
+                name = key[len("module:"):]
+                if name in module_rngs:
+                    restore_rng(module_rngs[name], payload)
+        cursor = checkpoint.cursor
+        state.epoch = int(cursor.get("epoch", 0))
+        state.batch_index = int(cursor.get("batch_index", 0))
+        order = cursor.get("day_order")
+        state.day_order = ([int(d) for d in order]
+                           if order is not None else None)
+        state.epoch_loss = float(cursor.get("epoch_loss", 0.0))
+        state.losses = [float(x) for x in cursor.get("losses", [])]
+        es = checkpoint.early_stopping
+        best_val = es.get("best_val")
+        state.best_val = (float(best_val) if best_val is not None
+                          else float("inf"))
+        state.bad_epochs = int(es.get("bad_epochs", 0))
+        state.best_state = (dict(checkpoint.best_model_state)
+                            if checkpoint.best_model_state else None)
+        self._fit_state = state
+
+    def _resolve_checkpoint(self, ref: "Any") -> "Any":
+        """Accept a TrainingCheckpoint, CheckpointManager, directory, or
+        file path as a resume source."""
+        from pathlib import Path
+
+        from ..ckpt.checkpoint import (CheckpointError, TrainingCheckpoint,
+                                       load)
+        from ..ckpt.manager import CheckpointManager
+
+        if isinstance(ref, TrainingCheckpoint):
+            return ref
+        if isinstance(ref, (str, Path)) and Path(ref).is_dir():
+            ref = CheckpointManager(ref)
+        if isinstance(ref, CheckpointManager):
+            checkpoint = ref.latest_valid()
+            if checkpoint is None:
+                raise CheckpointError(
+                    f"no valid checkpoint found in {ref.directory}; "
+                    "nothing to resume from — start a fresh fit")
+            return checkpoint
+        return load(ref)
+
+    # ------------------------------------------------------------------
+    def fit(self, callbacks: Optional[Sequence[TrainerCallback]] = None,
+            resume_from: "Any" = None) -> List[float]:
+        """Run the training epochs; returns the per-epoch mean loss.
+
+        ``callbacks`` receive the :class:`TrainerCallback` events in order:
+        ``on_epoch_start``, ``on_batch_end`` per training day,
+        ``on_epoch_end``, and a final ``on_fit_end``.  Each phase of the
+        inner loop is traced (:mod:`repro.obs`) under ``data_prep`` /
+        ``forward`` / ``backward`` / ``optimizer_step`` spans.
+
+        ``resume_from`` continues an interrupted run: pass a
+        :class:`~repro.ckpt.TrainingCheckpoint`, a checkpoint file path, a
+        checkpoint directory, or a :class:`~repro.ckpt.CheckpointManager`
+        (directories/managers resolve to the newest checkpoint that
+        passes checksum verification).  A resumed fit replays nothing and
+        skips nothing: per-epoch losses are bitwise-identical to the run
+        that was never interrupted.
+        """
+        cfg = self.config
+        events = CallbackList(callbacks or ())
+        train_days, validation_days = self._training_days()
+        if resume_from is not None:
+            self.load_state_dict(self._resolve_checkpoint(resume_from))
+        else:
+            # A fresh fit always restarts from epoch 0 (matching the
+            # historical contract); only resume_from continues a run.
+            self._fit_state = _FitState(rng=np.random.default_rng(cfg.seed))
+        state = self._fit_state
+        anchor = self._rollback_anchor(callbacks or ())
+        rollbacks = 0
         self.model.train()
         params = list(self.model.parameters())
-        for epoch in range(cfg.epochs):
-            events.on_epoch_start(self, epoch)
-            order = np.array(train_days)
-            if cfg.shuffle:
-                rng.shuffle(order)
-            epoch_loss = 0.0
+        while state.epoch < cfg.epochs:
+            epoch = state.epoch
+            if state.day_order is None:
+                order = np.array(train_days)
+                if cfg.shuffle:
+                    state.rng.shuffle(order)
+                state.day_order = [int(d) for d in order]
+                state.batch_index = 0
+                state.epoch_loss = 0.0
+            if state.batch_index == 0:
+                events.on_epoch_start(self, epoch)
+            order_days = state.day_order
+            rolled_back = False
             with trace("epoch"):
-                for day in order:
+                index = state.batch_index
+                while index < len(order_days):
+                    day = order_days[index]
                     with trace("data_prep"):
                         features = self.dataset.features(int(day),
                                                          cfg.window,
@@ -155,32 +373,105 @@ class Trainer:
                                 scores, Tensor(label), cfg.alpha,
                                 parameters=params,
                                 weight_decay=cfg.weight_decay)
+                    batch_loss = loss.item()
+                    if not np.isfinite(batch_loss):
+                        rollbacks += 1
+                        if self._handle_non_finite(batch_loss, epoch,
+                                                   int(day), anchor,
+                                                   rollbacks):
+                            state = self._fit_state
+                            rolled_back = True
+                            break
                     with trace("backward"):
                         loss.backward()
                     with trace("optimizer_step"):
                         if cfg.grad_clip:
                             clip_grad_norm_(params, cfg.grad_clip)
                         self.optimizer.step()
-                    batch_loss = loss.item()
-                    epoch_loss += batch_loss
+                    state.epoch_loss += batch_loss
+                    index += 1
+                    state.batch_index = index
                     events.on_batch_end(self, epoch, int(day), batch_loss)
-            mean_loss = epoch_loss / max(len(order), 1)
-            losses.append(mean_loss)
-            events.on_epoch_end(self, epoch, mean_loss)
+            if rolled_back:
+                continue
+            mean_loss = state.epoch_loss / max(len(order_days), 1)
+            state.losses.append(mean_loss)
+            state.day_order = None
+            state.batch_index = 0
+            state.epoch_loss = 0.0
+            state.epoch = epoch + 1
+            # Early-stopping bookkeeping runs before on_epoch_end so a
+            # checkpoint taken in that event already carries this epoch's
+            # best-state update.
+            stop = False
             if cfg.early_stopping_patience is not None:
                 val_loss = self._validation_loss(validation_days)
-                if val_loss < best_val:
-                    best_val = val_loss
-                    best_state = self.model.state_dict()
-                    bad_epochs = 0
+                if val_loss < state.best_val:
+                    state.best_val = val_loss
+                    state.best_state = self.model.state_dict()
+                    state.bad_epochs = 0
                 else:
-                    bad_epochs += 1
-                    if bad_epochs >= cfg.early_stopping_patience:
-                        break
-        if best_state is not None:
-            self.model.load_state_dict(best_state)
-        events.on_fit_end(self, losses)
-        return losses
+                    state.bad_epochs += 1
+                    stop = state.bad_epochs >= cfg.early_stopping_patience
+            events.on_epoch_end(self, epoch, mean_loss)
+            if stop:
+                break
+        if state.best_state is not None:
+            self.model.load_state_dict(state.best_state)
+        events.on_fit_end(self, state.losses)
+        return state.losses
+
+    def _rollback_anchor(self, callbacks: Sequence[TrainerCallback]):
+        """The CheckpointCallback to roll back through, if any is wired."""
+        try:
+            from ..ckpt.callback import CheckpointCallback
+        except ImportError:                     # pragma: no cover
+            return None
+        for cb in callbacks:
+            if isinstance(cb, CheckpointCallback):
+                return cb
+        return None
+
+    def _handle_non_finite(self, batch_loss: float, epoch: int, day: int,
+                           anchor, rollbacks: int) -> bool:
+        """Apply ``cfg.nan_policy``; returns True when a rollback was
+        performed (the caller restarts its loop from the restored state).
+        """
+        cfg = self.config
+        detail = (f"non-finite loss {batch_loss!r} at epoch {epoch}, "
+                  f"day {day}")
+        if cfg.nan_policy == "ignore":
+            warnings.warn(detail + " (nan_policy='ignore')",
+                          RuntimeWarning, stacklevel=3)
+            return False
+        if cfg.nan_policy == "rollback":
+            checkpoint = (anchor.manager.latest_valid()
+                          if anchor is not None else None)
+            if checkpoint is None:
+                raise NonFiniteLossError(
+                    detail + "; nan_policy='rollback' needs a "
+                    "CheckpointCallback with at least one saved "
+                    "checkpoint, and none was found")
+            if rollbacks > cfg.max_rollbacks:
+                raise NonFiniteLossError(
+                    detail + f"; gave up after {cfg.max_rollbacks} "
+                    "rollbacks — the run is diverging even at reduced "
+                    "learning rates")
+            self.load_state_dict(checkpoint)
+            # Identical state would produce the identical NaN, so nudge
+            # the trajectory the conservative way: halve the step size.
+            self.optimizer.lr = self.optimizer.lr / 2.0
+            warnings.warn(
+                detail + f"; rolled back to epoch "
+                f"{checkpoint.epoch}/batch {checkpoint.batch_index} and "
+                f"halved the learning rate to {self.optimizer.lr:g} "
+                f"(rollback {rollbacks}/{cfg.max_rollbacks})",
+                RuntimeWarning, stacklevel=3)
+            return True
+        raise NonFiniteLossError(
+            detail + "; inspect gradients/learning rate, or set "
+            "nan_policy='rollback' with a CheckpointCallback to recover "
+            "automatically")
 
     def train(self, progress: Optional[Callable[[int, float], None]] = None
               ) -> List[float]:
@@ -247,8 +538,8 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def run(self, progress: Optional[Callable[[int, float], None]] = None,
-            callbacks: Optional[Sequence[TrainerCallback]] = None
-            ) -> TrainResult:
+            callbacks: Optional[Sequence[TrainerCallback]] = None,
+            resume_from: "Any" = None) -> TrainResult:
         """Train, then predict the full test range; timed for Figure 5."""
         cfg = self.config
         all_callbacks: List[TrainerCallback] = list(callbacks or ())
@@ -258,7 +549,8 @@ class Trainer:
                           stacklevel=2)
             all_callbacks.append(ProgressCallback(progress))
         start = time.perf_counter()
-        epoch_losses = self.fit(callbacks=all_callbacks)
+        epoch_losses = self.fit(callbacks=all_callbacks,
+                                resume_from=resume_from)
         train_seconds = time.perf_counter() - start
 
         _, test_days = self.dataset.split(cfg.window)

@@ -11,8 +11,10 @@ machinery.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,6 +27,58 @@ from ..stats import (RunSummary, WilcoxonResult, one_sample_wilcoxon,
 from .metrics import ranking_metrics
 
 ModelFactory = Callable[[np.random.Generator], Module]
+
+#: schema tag of the experiment-resume state file
+_EXPERIMENT_STATE_VERSION = 1
+
+
+class _ExperimentJournal:
+    """Run-level resume state for a 15-run experiment.
+
+    Each completed run's metrics are appended to
+    ``<resume_dir>/experiment-<name>.json`` (written atomically through
+    :func:`repro.ckpt.atomic_write_bytes`), so an interrupted experiment
+    continues at run *k* instead of run 0.  Runs are seeded purely by
+    their index, which is what makes skipping completed runs sound: run
+    *k* produces the same result whether or not runs ``0..k-1`` executed
+    in this process.
+    """
+
+    def __init__(self, directory: Union[str, Path], name: str,
+                 n_runs: int, base_seed: int):
+        safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                       for c in name)
+        self.path = Path(directory) / f"experiment-{safe}.json"
+        self.key = {"name": name, "n_runs": n_runs, "base_seed": base_seed}
+        self.runs: List[Dict[str, object]] = []
+        if self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text())
+            except json.JSONDecodeError:
+                payload = None   # half-written by a dead process: restart
+            if (payload
+                    and payload.get("version") == _EXPERIMENT_STATE_VERSION
+                    and payload.get("key") == self.key):
+                self.runs = list(payload.get("runs", []))
+
+    @property
+    def completed(self) -> int:
+        return len(self.runs)
+
+    def record(self, run_index: int, metrics: Dict[str, float],
+               train_seconds: float, test_seconds: float) -> None:
+        from ..ckpt.checkpoint import atomic_write_bytes
+
+        self.runs.append({"run_index": run_index,
+                          "metrics": {k: float(v)
+                                      for k, v in metrics.items()},
+                          "train_seconds": float(train_seconds),
+                          "test_seconds": float(test_seconds)})
+        payload = {"version": _EXPERIMENT_STATE_VERSION, "key": self.key,
+                   "runs": self.runs}
+        atomic_write_bytes(self.path,
+                           (json.dumps(payload, indent=2) + "\n")
+                           .encode("utf-8"))
 
 
 @dataclass
@@ -49,51 +103,91 @@ class ExperimentResult:
         return float(np.mean(self.metric_values(metric)))
 
 
-def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
-                   config: Optional[TrainConfig] = None, n_runs: int = 15,
-                   base_seed: int = 0,
-                   top_ns: Sequence[int] = (1, 5, 10)) -> ExperimentResult:
-    """Train/evaluate a model ``n_runs`` times with independent seeds."""
-    cfg = config if config is not None else TrainConfig()
+def _run_protocol_loop(name: str, n_runs: int, base_seed: int,
+                       resume_dir: Optional[Union[str, Path]],
+                       one_run: Callable[[int], "tuple"]
+                       ) -> ExperimentResult:
+    """Shared 15-run loop with optional run-level resume.
+
+    ``one_run(seed)`` executes a single seeded run and returns
+    ``(metrics, result)``.  With ``resume_dir``, completed runs recorded
+    by a previous (interrupted) invocation are loaded from the journal
+    and skipped; seeds depend only on the run index, so the aggregate is
+    identical to an uninterrupted experiment.
+    """
+    journal = (_ExperimentJournal(resume_dir, name, n_runs, base_seed)
+               if resume_dir is not None else None)
     runs: List[Dict[str, float]] = []
     train_times: List[float] = []
     test_times: List[float] = []
-    last: Optional[TrainResult] = None
-    for run_index in range(n_runs):
-        stream = base_seed * 1000 + run_index
-        model = factory(fork_rng(stream))
-        run_cfg = replace(cfg, seed=stream)
-        result = Trainer(model, dataset, run_cfg).run()
-        runs.append(ranking_metrics(result.predictions, result.actuals,
-                                    top_ns=top_ns))
+    last = None
+    start_index = 0
+    if journal is not None and journal.completed:
+        start_index = min(journal.completed, n_runs)
+        for row in journal.runs[:start_index]:
+            runs.append(dict(row["metrics"]))
+            train_times.append(row["train_seconds"])
+            test_times.append(row["test_seconds"])
+    for run_index in range(start_index, n_runs):
+        seed = base_seed * 1000 + run_index
+        metrics, result = one_run(seed)
+        runs.append(metrics)
         train_times.append(result.train_seconds)
         test_times.append(result.test_seconds)
         last = result
+        if journal is not None:
+            journal.record(run_index, metrics, result.train_seconds,
+                           result.test_seconds)
     return ExperimentResult(name=name, runs=runs,
                             train_seconds=train_times,
                             test_seconds=test_times, last_result=last)
 
 
+def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
+                   config: Optional[TrainConfig] = None, n_runs: int = 15,
+                   base_seed: int = 0,
+                   top_ns: Sequence[int] = (1, 5, 10),
+                   resume_dir: Optional[Union[str, Path]] = None
+                   ) -> ExperimentResult:
+    """Train/evaluate a model ``n_runs`` times with independent seeds.
+
+    ``resume_dir`` enables run-level fault tolerance: completed runs are
+    journaled there, and a re-invocation after a crash continues at run
+    *k* instead of run 0 (``last_result`` is ``None`` when every run was
+    restored from the journal).
+    """
+    cfg = config if config is not None else TrainConfig()
+
+    def one_run(seed: int):
+        model = factory(fork_rng(seed))
+        run_cfg = replace(cfg, seed=seed)
+        result = Trainer(model, dataset, run_cfg).run()
+        metrics = ranking_metrics(result.predictions, result.actuals,
+                                  top_ns=top_ns)
+        return metrics, result
+
+    return _run_protocol_loop(name, n_runs, base_seed, resume_dir, one_run)
+
+
 def run_named_experiment(name: str, dataset: StockDataset,
                          config: Optional[TrainConfig] = None,
                          n_runs: int = 15, base_seed: int = 0,
-                         top_ns: Sequence[int] = (1, 5, 10)
+                         top_ns: Sequence[int] = (1, 5, 10),
+                         resume_dir: Optional[Union[str, Path]] = None
                          ) -> ExperimentResult:
     """Run a registry model (Table IV name) for ``n_runs`` seeded repeats.
 
     Classification models (``can_rank=False``) report ``MRR = NaN``,
     rendering as '-' in the printed tables, exactly like the paper.
+    ``resume_dir`` journals completed runs for run-level resume, as in
+    :func:`run_experiment`.
     """
     from ..baselines.registry import get_spec, make_predictor
 
     spec = get_spec(name)
     cfg = spec.adapt_config(config if config is not None else TrainConfig())
-    runs: List[Dict[str, float]] = []
-    train_times: List[float] = []
-    test_times: List[float] = []
-    last = None
-    for run_index in range(n_runs):
-        seed = base_seed * 1000 + run_index
+
+    def one_run(seed: int):
         predictor = make_predictor(name, dataset, seed=seed)
         run_cfg = replace(cfg, seed=seed)
         result = predictor.fit_predict(dataset, run_cfg)
@@ -101,13 +195,9 @@ def run_named_experiment(name: str, dataset: StockDataset,
                                   top_ns=top_ns)
         if not spec.can_rank:
             metrics["MRR"] = float("nan")
-        runs.append(metrics)
-        train_times.append(result.train_seconds)
-        test_times.append(result.test_seconds)
-        last = result
-    return ExperimentResult(name=name, runs=runs,
-                            train_seconds=train_times,
-                            test_seconds=test_times, last_result=last)
+        return metrics, result
+
+    return _run_protocol_loop(name, n_runs, base_seed, resume_dir, one_run)
 
 
 def compare_paired(ours: ExperimentResult, baseline: ExperimentResult,

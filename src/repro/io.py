@@ -1,27 +1,39 @@
 """Model checkpointing: save/load parameter state as ``.npz`` archives.
 
-Keeps the reproduction usable as a library: train once, persist, reload
-for later scoring.  Only parameter arrays are stored (the architecture is
-reconstructed from code), plus a small metadata record validated on load.
+.. deprecated::
+    This module predates :mod:`repro.ckpt` and survives as a thin shim
+    over it, matching the ``Trainer.train(progress=)`` precedent: the
+    functions keep working (now writing the atomic, checksummed format
+    version 2) but new code should call :func:`repro.ckpt.save` /
+    :func:`repro.ckpt.load` — or, for full training state, use
+    :class:`repro.ckpt.CheckpointManager` and
+    ``Trainer.fit(resume_from=...)``.
+
+:func:`load_checkpoint` reads both format versions: v2 archives written
+by this build and legacy v1 archives written before the rebase.
 """
 
 from __future__ import annotations
 
-import json
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-import numpy as np
-
+from .ckpt.checkpoint import (FORMAT_VERSION, CheckpointError,
+                              TrainingCheckpoint, read_archive)
+from .ckpt.checkpoint import save as _save_training_checkpoint
 from .nn.module import Module
 
-_META_KEY = "__checkpoint_meta__"
-FORMAT_VERSION = 1
+__all__ = ["save_checkpoint", "load_checkpoint", "FORMAT_VERSION"]
 
 
 def save_checkpoint(model: Module, path: Union[str, Path],
                     metadata: Optional[Dict[str, object]] = None) -> Path:
     """Write a model's ``state_dict`` (plus metadata) to ``path``.
+
+    .. deprecated:: use :func:`repro.ckpt.save` with a
+        :class:`~repro.ckpt.TrainingCheckpoint` instead; this shim wraps
+        it for parameters-only snapshots.
 
     Parameters
     ----------
@@ -32,46 +44,60 @@ def save_checkpoint(model: Module, path: Union[str, Path],
     metadata:
         JSON-serializable extras (market name, config, metrics, ...).
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    state = model.state_dict()
-    meta = {
-        "format_version": FORMAT_VERSION,
-        "model_class": type(model).__name__,
-        "num_parameters": int(model.num_parameters()),
-        "user": metadata or {},
-    }
-    arrays = dict(state)
-    arrays[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
-    return path
+    warnings.warn("repro.io.save_checkpoint is deprecated; use "
+                  "repro.ckpt.save (or CheckpointManager for training "
+                  "state) instead", DeprecationWarning, stacklevel=2)
+    checkpoint = TrainingCheckpoint(
+        model_state=model.state_dict(),
+        model_class=type(model).__name__,
+        metadata={"num_parameters": int(model.num_parameters()),
+                  "user": metadata or {}})
+    return _save_training_checkpoint(checkpoint, path)
 
 
 def load_checkpoint(model: Module, path: Union[str, Path],
                     strict: bool = True) -> Dict[str, object]:
     """Restore parameters saved by :func:`save_checkpoint` into ``model``.
 
-    Returns the checkpoint's metadata dict.  Raises if the stored model
-    class does not match (pass ``strict=False`` to skip that check and
-    tolerate missing/extra parameters).
+    .. deprecated:: use :func:`repro.ckpt.load` instead; this shim keeps
+        the classic signature (mutates ``model``, returns the metadata
+        dict) on top of the v2 reader and still accepts v1 archives.
+
+    Raises if the stored model class does not match (pass
+    ``strict=False`` to skip that check and tolerate missing/extra
+    parameters).
     """
+    warnings.warn("repro.io.load_checkpoint is deprecated; use "
+                  "repro.ckpt.load instead", DeprecationWarning,
+                  stacklevel=2)
     path = Path(path)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        if _META_KEY not in archive:
-            raise ValueError(f"{path} is not a repro checkpoint")
-        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
-        state = {name: archive[name] for name in archive.files
-                 if name != _META_KEY}
-    if meta.get("format_version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint version "
-                         f"{meta.get('format_version')}")
-    if strict and meta["model_class"] != type(model).__name__:
-        raise ValueError(f"checkpoint holds a {meta['model_class']}, "
+    try:
+        arrays, meta = read_archive(path)
+    except CheckpointError as exc:
+        # The historical contract raised ValueError on a bad archive;
+        # keep that for callers pinning the old behavior.
+        raise ValueError(str(exc)) from exc
+
+    if meta.get("format_version") == 1:
+        state = dict(arrays)
+        model_class = meta.get("model_class")
+        user_meta = dict(meta)
+    else:
+        state = {name[len("model/"):]: array
+                 for name, array in arrays.items()
+                 if name.startswith("model/")}
+        model_class = meta.get("model_class")
+        shim_meta = meta.get("user", {})
+        user_meta = {
+            "format_version": meta.get("format_version", FORMAT_VERSION),
+            "model_class": model_class,
+            "num_parameters": shim_meta.get(
+                "num_parameters",
+                int(sum(array.size for array in state.values()))),
+            "user": shim_meta.get("user", shim_meta),
+        }
+    if strict and model_class and model_class != type(model).__name__:
+        raise ValueError(f"checkpoint holds a {model_class}, "
                          f"model is a {type(model).__name__}")
     model.load_state_dict(state, strict=strict)
-    return meta
+    return user_meta

@@ -13,7 +13,7 @@ from .conv import (CausalConv1d, CausalWeightNormConv1d, Conv1d,
 from .dropout import Dropout, SpatialDropout1d
 from .graph import GraphAttention, GraphConv, set_graph_mode
 from .linear import Linear
-from .module import Module, Parameter
+from .module import LoadStateResult, Module, Parameter
 from .norm import BatchNorm1d, LayerNorm
 from .random import fork_rng, get_rng, manual_seed
 from .recurrent import GRU, GRUCell, LSTM, LSTMCell
@@ -22,7 +22,7 @@ from .temporal import TemporalBlock, TemporalConvNet
 from . import init
 
 __all__ = [
-    "Module", "Parameter", "Sequential", "ModuleList",
+    "Module", "Parameter", "LoadStateResult", "Sequential", "ModuleList",
     "Linear", "Conv1d", "CausalConv1d", "WeightNormConv1d",
     "CausalWeightNormConv1d", "TemporalBlock", "TemporalConvNet",
     "GraphConv", "GraphAttention", "set_graph_mode",

@@ -9,11 +9,27 @@ recursive iteration over parameters, a train/eval switch, and a flat
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from ..tensor import Tensor
+
+
+class LoadStateResult(NamedTuple):
+    """Outcome of :meth:`Module.load_state_dict` (PyTorch-style).
+
+    Truthiness is inverted relative to "success": an empty result means
+    every parameter matched.  ``bool(result)`` is ``True`` when anything
+    was missing or unexpected, so ``assert not model.load_state_dict(s)``
+    reads naturally in tests.
+    """
+
+    missing_keys: Tuple[str, ...]
+    unexpected_keys: Tuple[str, ...]
+
+    def __bool__(self) -> bool:  # noqa: D105 - see class docstring
+        return bool(self.missing_keys or self.unexpected_keys)
 
 
 class Parameter(Tensor):
@@ -74,6 +90,16 @@ class Module:
         for child in self._modules.values():
             yield from child.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` for this module and all
+        descendants, depth-first; the root itself has name ``prefix``
+        (the empty string by default), matching PyTorch."""
+        yield (prefix, self)
+        for child_name, child in self._modules.items():
+            child_prefix = (f"{prefix}.{child_name}" if prefix
+                            else child_name)
+            yield from child.named_modules(prefix=child_prefix)
+
     def children(self) -> Iterator["Module"]:
         yield from self._modules.values()
 
@@ -106,8 +132,15 @@ class Module:
                 for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray],
-                        strict: bool = True) -> None:
-        """Copy arrays from ``state`` into this module's parameters."""
+                        strict: bool = True) -> LoadStateResult:
+        """Copy arrays from ``state`` into this module's parameters.
+
+        Returns a :class:`LoadStateResult` with the sorted
+        ``missing_keys`` (parameters this module has but ``state`` lacks)
+        and ``unexpected_keys`` (entries of ``state`` with no matching
+        parameter).  With ``strict=True`` any mismatch raises instead;
+        shape mismatches always raise.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -122,6 +155,8 @@ class Module:
                 raise ValueError(f"shape mismatch for {name!r}: parameter is "
                                  f"{param.data.shape}, state is {array.shape}")
             param.data[...] = array
+        return LoadStateResult(tuple(sorted(missing)),
+                               tuple(sorted(unexpected)))
 
     # ------------------------------------------------------------------
     # call protocol

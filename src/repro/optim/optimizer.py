@@ -16,7 +16,13 @@ from ..tensor import Tensor
 
 
 class Optimizer:
-    """Base class holding the parameter list and per-parameter state."""
+    """Base class holding the parameter list and per-parameter state.
+
+    Optimizers serialize through the same ``state_dict()`` /
+    ``load_state_dict()`` contract as :class:`~repro.nn.Module`, so a
+    checkpoint can persist Adam's moment buffers and step count and resume
+    a run bitwise-identically (see :mod:`repro.ckpt`).
+    """
 
     def __init__(self, params: Iterable[Tensor], lr: float):
         self.params: List[Tensor] = list(params)
@@ -38,6 +44,61 @@ class Optimizer:
     def _state_for(self, index: int) -> Dict[str, np.ndarray]:
         return self.state.setdefault(index, {})
 
+    # ------------------------------------------------------------------
+    # serialization (mirrors the Module contract)
+    # ------------------------------------------------------------------
+    #: scalar attributes serialized alongside the buffers; subclasses
+    #: extend this with their own hyperparameters.
+    _hyperparameter_names: tuple = ("lr",)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Full optimizer state: hyperparameters, step count, and a copy
+        of every per-parameter buffer, keyed by parameter index."""
+        return {
+            "type": type(self).__name__,
+            "step_count": self._step_count,
+            "hyperparameters": {name: getattr(self, name)
+                                for name in self._hyperparameter_names},
+            "state": {index: {slot: array.copy()
+                              for slot, array in slots.items()}
+                      for index, slots in self.state.items()},
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        The optimizer must hold the same parameter list (same count and
+        shapes) it was created with; buffer shapes are validated against
+        the current parameters.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ValueError(f"optimizer state is for {state.get('type')!r}, "
+                             f"cannot load into {type(self).__name__}")
+        for name, value in state.get("hyperparameters", {}).items():
+            if name not in self._hyperparameter_names:
+                raise ValueError(f"unknown hyperparameter {name!r} for "
+                                 f"{type(self).__name__}")
+            setattr(self, name, value)
+        restored: Dict[int, Dict[str, np.ndarray]] = {}
+        for index, slots in state.get("state", {}).items():
+            index = int(index)
+            if not 0 <= index < len(self.params):
+                raise ValueError(f"optimizer state refers to parameter "
+                                 f"{index}, but only {len(self.params)} "
+                                 "parameters are registered")
+            expected = self.params[index].data.shape
+            buffers: Dict[str, np.ndarray] = {}
+            for slot, array in slots.items():
+                array = np.asarray(array)
+                if array.shape != expected and array.shape != ():
+                    raise ValueError(
+                        f"optimizer buffer {slot!r} for parameter {index} "
+                        f"has shape {array.shape}, parameter is {expected}")
+                buffers[slot] = array.copy()
+            restored[index] = buffers
+        self.state = restored
+        self._step_count = int(state.get("step_count", 0))
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional (Nesterov) momentum."""
@@ -51,6 +112,8 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.nesterov = nesterov
         self.weight_decay = weight_decay
+
+    _hyperparameter_names = ("lr", "momentum", "nesterov", "weight_decay")
 
     def step(self) -> None:
         self._step_count += 1
@@ -92,6 +155,8 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self.weight_decay = weight_decay
+
+    _hyperparameter_names = ("lr", "beta1", "beta2", "eps", "weight_decay")
 
     def _decay(self, param: Tensor, grad: np.ndarray) -> np.ndarray:
         if self.weight_decay:
@@ -143,6 +208,8 @@ class RMSprop(Optimizer):
         self.alpha = alpha
         self.eps = eps
         self.weight_decay = weight_decay
+
+    _hyperparameter_names = ("lr", "alpha", "eps", "weight_decay")
 
     def step(self) -> None:
         self._step_count += 1

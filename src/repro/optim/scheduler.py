@@ -1,9 +1,15 @@
-"""Learning-rate schedulers that wrap an :class:`~repro.optim.Optimizer`."""
+"""Learning-rate schedulers that wrap an :class:`~repro.optim.Optimizer`.
+
+Schedulers carry mutable position state (``last_epoch``, plateau
+counters) and therefore follow the same ``state_dict()`` /
+``load_state_dict()`` contract as modules and optimizers, so a resumed
+run continues the schedule where it stopped instead of restarting it.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Dict, Optional
 
 from .optimizer import Optimizer
 
@@ -22,6 +28,28 @@ class LRScheduler:
     def step(self) -> None:
         self.last_epoch += 1
         self.optimizer.lr = self.get_lr()
+
+    # mutable attributes captured by state_dict; subclasses with extra
+    # position state extend this tuple.
+    _state_attrs: tuple = ("base_lr", "last_epoch")
+
+    def state_dict(self) -> Dict[str, object]:
+        """The scheduler's mutable position state (not the optimizer's)."""
+        state = {name: getattr(self, name) for name in self._state_attrs}
+        state["type"] = type(self).__name__
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict` and re-apply the
+        scheduled learning rate to the wrapped optimizer."""
+        if state.get("type") != type(self).__name__:
+            raise ValueError(f"scheduler state is for {state.get('type')!r}, "
+                             f"cannot load into {type(self).__name__}")
+        for name in self._state_attrs:
+            if name in state:
+                setattr(self, name, state[name])
+        if self.last_epoch > 0:
+            self.optimizer.lr = self.get_lr()
 
 
 class StepLR(LRScheduler):
@@ -82,6 +110,21 @@ class ReduceLROnPlateau:
         self.mode = mode
         self.best: Optional[float] = None
         self.bad_epochs = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        """Plateau-tracking state plus the optimizer LR it controls."""
+        return {"type": type(self).__name__, "best": self.best,
+                "bad_epochs": self.bad_epochs, "lr": self.optimizer.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore plateau counters and the (possibly reduced) LR."""
+        if state.get("type") != type(self).__name__:
+            raise ValueError(f"scheduler state is for {state.get('type')!r}, "
+                             f"cannot load into {type(self).__name__}")
+        self.best = state.get("best")
+        self.bad_epochs = int(state.get("bad_epochs", 0))
+        if "lr" in state:
+            self.optimizer.lr = float(state["lr"])
 
     def step(self, metric: float) -> None:
         improved = (self.best is None

@@ -1,0 +1,30 @@
+"""Shared training recipe for the checkpoint/resume tests.
+
+One fixed, fast configuration (validated to produce a mid-epoch crash
+point at batch 17 of 36) used by the in-process resume tests, the NaN
+rollback tests, and the hard-crash subprocess in ``test_faults.py`` —
+both sides of a crash/resume pair must build byte-identical trainers.
+"""
+
+import numpy as np
+
+import repro.nn as nn
+from repro.core import RTGCN, TrainConfig, Trainer
+
+#: 12 train days x 3 epochs = 36 batches; a crash at batch 17 lands
+#: mid-epoch 1, after the epoch-0 boundary checkpoint.
+CRASH_BATCH = 17
+SAVE_EVERY = 5
+
+
+def make_trainer(dataset, graph_mode="dense", **overrides):
+    """A fresh, deterministic trainer (model + RNG streams re-seeded)."""
+    nn.manual_seed(1234)
+    settings = dict(window=6, epochs=3, max_train_days=12, seed=3,
+                    graph_mode=graph_mode)
+    settings.update(overrides)
+    config = TrainConfig(**settings)
+    model = RTGCN(dataset.relations, num_features=config.num_features,
+                  strategy="time", relational_filters=4, dropout=0.1,
+                  rng=np.random.default_rng(42))
+    return Trainer(model, dataset, config)

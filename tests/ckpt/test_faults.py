@@ -1,0 +1,107 @@
+"""Fault injection: crash callbacks, file corruption, SIGKILL recovery."""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.ckpt import (CRASH_EXIT_CODE, CheckpointCallback,
+                        CrashAfterBatches, SimulatedCrash, corrupt_archive)
+
+from tests.ckpt.recipe import CRASH_BATCH, SAVE_EVERY, make_trainer
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCrashAfterBatches:
+    def test_soft_crash_raises_after_n_batches(self, csi_mini):
+        crash = CrashAfterBatches(4)
+        with pytest.raises(SimulatedCrash, match="after 4 batches"):
+            make_trainer(csi_mini).fit(callbacks=[crash])
+        assert crash.batches_seen == 4
+
+    def test_counts_across_epochs(self, csi_mini):
+        crash = CrashAfterBatches(CRASH_BATCH)    # epoch 1 of 12-day epochs
+        with pytest.raises(SimulatedCrash, match="epoch 1"):
+            make_trainer(csi_mini).fit(callbacks=[crash])
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            CrashAfterBatches(0)
+
+
+class TestCorruptArchive:
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "f.npz"
+        path.write_bytes(b"x" * 256)
+        with pytest.raises(ValueError, match="unknown corruption mode"):
+            corrupt_archive(path, mode="gamma-ray")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            corrupt_archive(tmp_path / "nope.npz")
+
+    def test_truncate_shrinks_file(self, tmp_path):
+        path = tmp_path / "f.npz"
+        path.write_bytes(b"x" * 1000)
+        corrupt_archive(path, mode="truncate")
+        assert 0 < path.stat().st_size < 1000
+
+    def test_flip_keeps_size_changes_bytes(self, tmp_path):
+        path = tmp_path / "f.npz"
+        original = bytes(range(256)) * 4
+        path.write_bytes(original)
+        corrupt_archive(path, mode="flip")
+        assert path.stat().st_size == len(original)
+        assert path.read_bytes() != original
+
+
+class TestCrashRecovery:
+    def test_resume_past_corrupted_newest_checkpoint(self, csi_mini,
+                                                     tmp_path):
+        """A crash that also corrupts the newest file (the classic
+        interrupted-write footprint) still recovers — from the last good
+        checkpoint — and still reproduces the baseline bitwise, because
+        resume replays deterministically from wherever it lands."""
+        baseline = make_trainer(csi_mini).fit()
+        callback = CheckpointCallback(tmp_path, every_n_batches=SAVE_EVERY)
+        with pytest.raises(SimulatedCrash):
+            make_trainer(csi_mini).fit(
+                callbacks=[callback, CrashAfterBatches(CRASH_BATCH)])
+        assert len(callback.manager.checkpoints()) >= 2
+        corrupt_archive(callback.manager.latest(), mode="truncate")
+        losses = make_trainer(csi_mini).fit(resume_from=tmp_path)
+        assert losses == baseline
+
+    def test_hard_crash_then_resume_is_bitwise_identical(self, csi_mini,
+                                                         tmp_path):
+        """SIGKILL-equivalent crash (``os._exit``: no cleanup, no flush)
+        in a child process; the parent resumes from the survivors."""
+        script = textwrap.dedent(f"""
+            from repro.ckpt import CheckpointCallback, CrashAfterBatches
+            from repro.data import load_market
+            from tests.ckpt.recipe import make_trainer
+
+            dataset = load_market("csi-mini", seed=7)
+            make_trainer(dataset).fit(callbacks=[
+                CheckpointCallback({str(tmp_path)!r},
+                                   every_n_batches={SAVE_EVERY}),
+                CrashAfterBatches({CRASH_BATCH}, hard=True)])
+            raise SystemExit("unreachable: the crash did not fire")
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        result = subprocess.run([sys.executable, "-c", script],
+                                cwd=REPO_ROOT, env=env,
+                                capture_output=True, text=True, timeout=300)
+        assert result.returncode == CRASH_EXIT_CODE, result.stderr
+        assert any(tmp_path.glob("ckpt-*.npz"))
+
+        baseline = make_trainer(csi_mini).fit()
+        losses = make_trainer(csi_mini).fit(resume_from=tmp_path)
+        assert losses == baseline

@@ -1,0 +1,171 @@
+"""Checkpoint format: round-trips, atomic writes, checksums, versions."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (FORMAT_VERSION, CheckpointError, TrainingCheckpoint,
+                        atomic_write_bytes, corrupt_archive, load,
+                        read_archive, restore_rng, rng_state, save,
+                        verify_archive, write_archive)
+
+
+def sample_checkpoint():
+    return TrainingCheckpoint(
+        model_state={"layer.weight": np.arange(6.0).reshape(2, 3),
+                     "layer.bias": np.zeros(2)},
+        optimizer_state={"type": "Adam", "step_count": 7,
+                         "hyperparameters": {"lr": 1e-3, "beta1": 0.9},
+                         "state": {0: {"m": np.ones((2, 3)),
+                                       "v": np.full((2, 3), 2.0)}}},
+        rng={"shuffle": rng_state(np.random.default_rng(3))},
+        cursor={"epoch": 1, "batch_index": 4, "day_order": [5, 2, 9],
+                "epoch_loss": 0.25, "losses": [0.5]},
+        early_stopping={"best_val": 0.4, "bad_epochs": 1},
+        best_model_state={"layer.weight": np.full((2, 3), 9.0),
+                          "layer.bias": np.ones(2)},
+        config={"window": 6, "epochs": 3},
+        model_class="RTGCN",
+        metadata={"note": "format test"})
+
+
+class TestRoundTrip:
+    def test_everything_survives(self, tmp_path):
+        original = sample_checkpoint()
+        path = save(original, tmp_path / "ckpt.npz")
+        loaded = load(path)
+        for key, array in original.model_state.items():
+            assert np.array_equal(loaded.model_state[key], array)
+        for key, array in original.best_model_state.items():
+            assert np.array_equal(loaded.best_model_state[key], array)
+        opt = loaded.optimizer_state
+        assert opt["type"] == "Adam"
+        assert opt["step_count"] == 7
+        assert opt["hyperparameters"]["lr"] == 1e-3
+        assert np.array_equal(opt["state"][0]["m"], np.ones((2, 3)))
+        assert loaded.rng == original.rng
+        assert loaded.cursor == original.cursor
+        assert loaded.early_stopping == original.early_stopping
+        assert loaded.config == original.config
+        assert loaded.model_class == "RTGCN"
+        assert loaded.metadata == {"note": "format test"}
+        assert loaded.format_version == FORMAT_VERSION
+
+    def test_epoch_and_batch_properties(self):
+        assert sample_checkpoint().epoch == 1
+        assert sample_checkpoint().batch_index == 4
+        assert TrainingCheckpoint(model_state={}).epoch == 0
+
+    def test_npz_suffix_appended(self, tmp_path):
+        path = save(sample_checkpoint(), tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_no_best_state_stays_none(self, tmp_path):
+        checkpoint = sample_checkpoint()
+        checkpoint.best_model_state = None
+        loaded = load(save(checkpoint, tmp_path / "ckpt.npz"))
+        assert loaded.best_model_state is None
+
+    def test_verify_archive_returns_meta(self, tmp_path):
+        path = save(sample_checkpoint(), tmp_path / "ckpt.npz")
+        meta = verify_archive(path)
+        assert meta["format_version"] == FORMAT_VERSION
+        assert meta["model_class"] == "RTGCN"
+
+    def test_rng_state_restores_stream(self):
+        source = np.random.default_rng(99)
+        source.standard_normal(10)
+        state = rng_state(source)
+        expected = source.standard_normal(5)
+        clone = np.random.default_rng(0)
+        restore_rng(clone, state)
+        assert np.array_equal(clone.standard_normal(5), expected)
+
+
+class TestAtomicity:
+    def test_no_tmp_files_after_save(self, tmp_path):
+        save(sample_checkpoint(), tmp_path / "ckpt.npz")
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_failed_replace_leaves_no_tmp_file(self, tmp_path, monkeypatch):
+        def explode(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            atomic_write_bytes(tmp_path / "ckpt.npz", b"payload")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_is_complete_replacement(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save(sample_checkpoint(), path)
+        smaller = TrainingCheckpoint(model_state={"w": np.zeros(2)})
+        save(smaller, path)
+        loaded = load(path)
+        assert set(loaded.model_state) == {"w"}
+
+
+class TestCorruptionDetection:
+    def test_flipped_bytes_fail_checksum(self, tmp_path):
+        path = save(sample_checkpoint(), tmp_path / "ckpt.npz")
+        corrupt_archive(path, mode="flip")
+        with pytest.raises(CheckpointError,
+                           match="checksum|unreadable|corrupt"):
+            load(path)
+
+    def test_truncated_archive_is_actionable(self, tmp_path):
+        path = save(sample_checkpoint(), tmp_path / "ckpt.npz")
+        corrupt_archive(path, mode="truncate")
+        with pytest.raises(CheckpointError, match="older checkpoint"):
+            load(path)
+
+    def test_empty_file_is_unreadable(self, tmp_path):
+        path = save(sample_checkpoint(), tmp_path / "ckpt.npz")
+        corrupt_archive(path, mode="empty")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load(path)
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load(tmp_path / "nope.npz")
+
+    def test_archive_without_metadata_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, weights=np.ones(3))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load(path)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        path = write_archive(tmp_path / "ckpt.npz", {"model/w": np.ones(2)},
+                             {"format_version": 99})
+        with pytest.raises(CheckpointError, match="upgrade"):
+            load(path)
+
+
+class TestLegacyV1:
+    def _write_v1(self, path, params, meta):
+        blob = np.frombuffer(json.dumps(meta).encode("utf-8"),
+                             dtype=np.uint8)
+        np.savez(path, __checkpoint_meta__=blob, **params)
+
+    def test_v1_loads_as_model_only_checkpoint(self, tmp_path):
+        path = tmp_path / "legacy.npz"
+        self._write_v1(path, {"weight": np.arange(4.0)},
+                       {"model_class": "Linear", "user": {"note": "old"}})
+        loaded = load(path)
+        assert loaded.format_version == 1
+        assert np.array_equal(loaded.model_state["weight"], np.arange(4.0))
+        assert loaded.model_class == "Linear"
+        assert loaded.metadata == {"note": "old"}
+        assert loaded.optimizer_state == {}
+        assert loaded.cursor == {}
+
+    def test_v1_read_archive_reports_version(self, tmp_path):
+        path = tmp_path / "legacy.npz"
+        self._write_v1(path, {"weight": np.zeros(2)}, {})
+        _, meta = read_archive(path)
+        assert meta["format_version"] == 1

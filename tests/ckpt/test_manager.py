@@ -1,0 +1,102 @@
+"""CheckpointManager: naming, retention, corrupt-file fallback, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (CheckpointManager, TrainingCheckpoint,
+                        corrupt_archive)
+
+
+def checkpoint_at(epoch, batch_index, value=0.0):
+    return TrainingCheckpoint(
+        model_state={"w": np.full(3, value)},
+        cursor={"epoch": epoch, "batch_index": batch_index})
+
+
+class TestNamingAndListing:
+    def test_path_encodes_epoch_and_batch(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        assert manager.path_for(2, 17).name == "ckpt-e0002-b000017.npz"
+
+    def test_checkpoints_sorted_oldest_first(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        for epoch, batch in [(1, 0), (0, 5), (0, 10), (2, 3)]:
+            manager.save(checkpoint_at(epoch, batch))
+        names = [p.name for p in manager.checkpoints()]
+        assert names == ["ckpt-e0000-b000005.npz", "ckpt-e0000-b000010.npz",
+                         "ckpt-e0001-b000000.npz", "ckpt-e0002-b000003.npz"]
+
+    def test_empty_directory(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "missing")
+        assert manager.checkpoints() == []
+        assert manager.latest() is None
+        assert manager.latest_valid() is None
+        assert manager.load_best() is None
+
+    def test_keep_last_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            CheckpointManager(tmp_path, keep_last=0)
+
+
+class TestRetention:
+    def test_keep_last_k_prunes_oldest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        for epoch in range(5):
+            manager.save(checkpoint_at(epoch, 0))
+        names = [p.name for p in manager.checkpoints()]
+        assert names == ["ckpt-e0003-b000000.npz", "ckpt-e0004-b000000.npz"]
+
+    def test_best_is_exempt_from_retention(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=1)
+        manager.save(checkpoint_at(0, 0), is_best=True)
+        for epoch in range(1, 4):
+            manager.save(checkpoint_at(epoch, 0))
+        assert manager.best_path.exists()
+        assert len(manager.checkpoints()) == 1
+        assert manager.load_best().epoch == 0
+
+    def test_save_best_only_touches_best(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save_best(checkpoint_at(3, 0, value=7.0))
+        assert manager.checkpoints() == []
+        assert np.array_equal(manager.load_best().model_state["w"],
+                              np.full(3, 7.0))
+
+
+class TestRecovery:
+    def test_latest_valid_skips_corrupt_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        manager.save(checkpoint_at(0, 0, value=1.0))
+        newest = manager.save(checkpoint_at(1, 0, value=2.0))
+        corrupt_archive(newest, mode="truncate")
+        recovered = manager.latest_valid()
+        assert recovered is not None
+        assert recovered.epoch == 0
+        assert np.array_equal(recovered.model_state["w"], np.full(3, 1.0))
+
+    def test_latest_valid_none_when_all_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=5)
+        for epoch in range(2):
+            corrupt_archive(manager.save(checkpoint_at(epoch, 0)),
+                            mode="empty")
+        assert manager.latest_valid() is None
+
+    def test_load_best_none_when_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save_best(checkpoint_at(0, 0))
+        corrupt_archive(manager.best_path, mode="flip")
+        assert manager.load_best() is None
+
+
+class TestTelemetry:
+    def test_counters_track_saves(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        for epoch in range(3):
+            manager.save(checkpoint_at(epoch, 0))
+        telemetry = manager.telemetry()
+        assert telemetry["checkpoint_saves"] == 3
+        assert telemetry["checkpoint_files_retained"] == 2
+        assert telemetry["checkpoint_latest_bytes"] > 0
+        assert (telemetry["checkpoint_bytes_written"]
+                >= 3 * telemetry["checkpoint_latest_bytes"])
+        assert telemetry["checkpoint_write_seconds"] > 0

@@ -121,6 +121,66 @@ class TestProtocol:
             strongest_baseline({}, "MRR")
 
 
+class TestExperimentResume:
+    @staticmethod
+    def factory(dataset):
+        return lambda gen: RTGCN(dataset.relations, strategy="uniform",
+                                 relational_filters=4, rng=gen)
+
+    def test_resume_skips_completed_runs_identically(self, csi_mini,
+                                                     tmp_path):
+        cfg = quick_config()
+        baseline = run_experiment("resume-check", self.factory(csi_mini),
+                                  csi_mini, cfg, n_runs=3, base_seed=1)
+
+        calls = []
+
+        def crash_on_third(gen):
+            calls.append(1)
+            if len(calls) > 2:
+                raise RuntimeError("simulated crash at run 2")
+            return self.factory(csi_mini)(gen)
+
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_experiment("resume-check", crash_on_third, csi_mini, cfg,
+                           n_runs=3, base_seed=1, resume_dir=tmp_path)
+
+        resumed_calls = []
+
+        def counting(gen):
+            resumed_calls.append(1)
+            return self.factory(csi_mini)(gen)
+
+        resumed = run_experiment("resume-check", counting, csi_mini, cfg,
+                                 n_runs=3, base_seed=1,
+                                 resume_dir=tmp_path)
+        assert len(resumed_calls) == 1    # only run 2 re-executed
+        assert resumed.runs == baseline.runs    # aggregate is unchanged
+
+    def test_changed_protocol_invalidates_journal(self, csi_mini, tmp_path):
+        cfg = quick_config()
+        run_experiment("resume-check", self.factory(csi_mini), csi_mini,
+                       cfg, n_runs=2, base_seed=1, resume_dir=tmp_path)
+        calls = []
+
+        def counting(gen):
+            calls.append(1)
+            return self.factory(csi_mini)(gen)
+
+        # Different n_runs -> different key -> the journal is ignored.
+        run_experiment("resume-check", counting, csi_mini, cfg, n_runs=3,
+                       base_seed=1, resume_dir=tmp_path)
+        assert len(calls) == 3
+
+    def test_corrupt_journal_restarts_cleanly(self, csi_mini, tmp_path):
+        journal = tmp_path / "experiment-resume-check.json"
+        journal.write_text('{"version": 1, "key": ')   # half-written
+        result = run_experiment("resume-check", self.factory(csi_mini),
+                                csi_mini, quick_config(), n_runs=2,
+                                base_seed=1, resume_dir=tmp_path)
+        assert len(result.runs) == 2
+
+
 class TestSpeed:
     def test_measure_speed_fields(self, nasdaq_mini):
         m = measure_speed(

@@ -40,6 +40,19 @@ class TestRegistration:
         kinds = [type(m).__name__ for m in model.modules()]
         assert kinds == ["TwoLayer", "Linear", "Linear"]
 
+    def test_named_modules_dotted_names(self):
+        model = TwoLayer()
+        names = dict(model.named_modules())
+        assert set(names) == {"", "first", "second"}
+        assert names[""] is model
+        assert names["first"] is model.first
+
+    def test_named_modules_nested_prefixing(self):
+        outer = nn.Sequential(nn.Linear(2, 2),
+                              nn.Sequential(nn.Linear(2, 2)))
+        names = [name for name, _ in outer.named_modules()]
+        assert names == ["", "0", "1", "1.0"]
+
     def test_children_are_direct_only(self):
         model = nn.Sequential(nn.Linear(2, 2), nn.Sequential(nn.Linear(2, 2)))
         assert len(list(model.children())) == 2
@@ -105,6 +118,23 @@ class TestStateDict:
         state["scale"] = np.zeros(7)
         with pytest.raises(ValueError):
             model.load_state_dict(state)
+
+    def test_clean_load_returns_empty_falsy_result(self):
+        model = TwoLayer()
+        result = model.load_state_dict(model.state_dict())
+        assert result.missing_keys == ()
+        assert result.unexpected_keys == ()
+        assert not result    # empty result reads as "nothing went wrong"
+
+    def test_non_strict_reports_missing_and_unexpected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        state["ghost"] = np.zeros(3)
+        result = model.load_state_dict(state, strict=False)
+        assert result.missing_keys == ("scale",)
+        assert result.unexpected_keys == ("ghost",)
+        assert result    # mismatches make the result truthy
 
 
 class TestContainers:

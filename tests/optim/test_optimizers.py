@@ -128,6 +128,121 @@ class TestAdamWAndRMSprop:
         assert abs(p.data[0]) < 1e-2
 
 
+class TestOptimizerState:
+    def test_adam_roundtrip_resumes_bitwise(self):
+        full = quadratic_param(3.0)
+        opt_full = Adam([full], lr=0.05)
+        for _ in range(10):
+            step_once(opt_full, full)
+
+        half = quadratic_param(3.0)
+        opt_half = Adam([half], lr=0.05)
+        for _ in range(4):
+            step_once(opt_half, half)
+        resumed = Parameter(half.data.copy())
+        opt_resumed = Adam([resumed], lr=0.05)
+        opt_resumed.load_state_dict(opt_half.state_dict())
+        for _ in range(6):
+            step_once(opt_resumed, resumed)
+        assert resumed.data[0] == full.data[0]   # bitwise, not approximate
+
+    def test_sgd_momentum_buffer_roundtrip(self):
+        p = quadratic_param(2.0)
+        opt = SGD([p], lr=0.01, momentum=0.9)
+        for _ in range(3):
+            step_once(opt, p)
+        state = opt.state_dict()
+        q = Parameter(p.data.copy())
+        opt2 = SGD([q], lr=0.01, momentum=0.9)
+        opt2.load_state_dict(state)
+        step_once(opt, p)
+        step_once(opt2, q)
+        assert p.data[0] == q.data[0]
+
+    def test_state_dict_is_a_copy(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        step_once(opt, p)
+        state = opt.state_dict()
+        state["state"][0]["m"][...] = 99.0
+        assert not np.allclose(opt.state[0]["m"], 99.0)
+
+    def test_hyperparameters_restored(self):
+        opt = Adam([quadratic_param()], lr=0.5, betas=(0.8, 0.95))
+        state = opt.state_dict()
+        other = Adam([quadratic_param()], lr=0.001)
+        other.load_state_dict(state)
+        assert other.lr == 0.5
+        assert other.beta1 == 0.8
+        assert other.beta2 == 0.95
+
+    def test_type_mismatch_rejected(self):
+        sgd_state = SGD([quadratic_param()], lr=0.1).state_dict()
+        with pytest.raises(ValueError, match="SGD"):
+            Adam([quadratic_param()]).load_state_dict(sgd_state)
+
+    def test_unknown_hyperparameter_rejected(self):
+        opt = Adam([quadratic_param()])
+        state = opt.state_dict()
+        state["hyperparameters"]["temperature"] = 1.0
+        with pytest.raises(ValueError, match="temperature"):
+            Adam([quadratic_param()]).load_state_dict(state)
+
+    def test_out_of_range_parameter_index_rejected(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        step_once(opt, p)
+        state = opt.state_dict()
+        with pytest.raises(ValueError, match="parameter"):
+            Adam([quadratic_param(), quadratic_param()]).load_state_dict(
+                {**state, "state": {5: state["state"][0]}})
+
+    def test_buffer_shape_mismatch_rejected(self):
+        p = Parameter(np.ones(3))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(3)
+        opt.step()
+        state = opt.state_dict()
+        with pytest.raises(ValueError, match="shape"):
+            Adam([Parameter(np.ones(7))]).load_state_dict(state)
+
+
+class TestSchedulerState:
+    def test_steplr_roundtrip_continues_schedule(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        for _ in range(3):
+            sched.step()
+        opt2 = Adam([quadratic_param()], lr=1.0)
+        sched2 = StepLR(opt2, step_size=2, gamma=0.1)
+        sched2.load_state_dict(sched.state_dict())
+        assert opt2.lr == opt.lr
+        sched.step()
+        sched2.step()
+        assert opt2.lr == opt.lr == pytest.approx(0.01)
+
+    def test_scheduler_type_mismatch_rejected(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        state = StepLR(opt, step_size=2).state_dict()
+        with pytest.raises(ValueError, match="StepLR"):
+            ExponentialLR(opt, gamma=0.5).load_state_dict(state)
+
+    def test_plateau_roundtrip_keeps_counters_and_lr(self):
+        opt = Adam([quadratic_param()], lr=1.0)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+        sched.step(1.0)
+        sched.step(1.0)
+        sched.step(1.0)   # second bad epoch -> lr 0.5
+        opt2 = Adam([quadratic_param()], lr=1.0)
+        sched2 = ReduceLROnPlateau(opt2, factor=0.5, patience=1)
+        sched2.load_state_dict(sched.state_dict())
+        assert opt2.lr == 0.5
+        assert sched2.best == 1.0
+        sched.step(1.0)
+        sched2.step(1.0)
+        assert opt2.lr == opt.lr
+
+
 class TestClipping:
     def test_clip_norm_scales_down(self):
         p = Parameter(np.array([1.0, 1.0]))

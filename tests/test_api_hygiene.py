@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.stats",
     "repro.signal",
     "repro.obs",
+    "repro.ckpt",
 ]
 
 

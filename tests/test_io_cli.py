@@ -14,14 +14,26 @@ from repro.tensor import Tensor
 
 
 class TestCheckpoints:
+    """The deprecated ``repro.io`` shims (every call now warns)."""
+
+    @staticmethod
+    def save(model, path, **kwargs):
+        with pytest.warns(DeprecationWarning, match="repro.ckpt"):
+            return save_checkpoint(model, path, **kwargs)
+
+    @staticmethod
+    def load(model, path, **kwargs):
+        with pytest.warns(DeprecationWarning, match="repro.ckpt"):
+            return load_checkpoint(model, path, **kwargs)
+
     def test_roundtrip_restores_outputs(self, tmp_path, rng):
         model = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 2))
-        path = save_checkpoint(model, tmp_path / "model",
-                               metadata={"note": "hello"})
+        path = self.save(model, tmp_path / "model",
+                         metadata={"note": "hello"})
         assert path.suffix == ".npz"
 
         clone = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 2))
-        meta = load_checkpoint(clone, path)
+        meta = self.load(clone, path)
         assert meta["user"]["note"] == "hello"
         assert meta["num_parameters"] == model.num_parameters()
         x = Tensor(rng.standard_normal((3, 4)))
@@ -30,11 +42,11 @@ class TestCheckpoints:
     def test_rtgcn_checkpoint(self, tmp_path, nasdaq_mini, rng):
         model = RTGCN(nasdaq_mini.relations, strategy="weight",
                       relational_filters=8, rng=rng)
-        path = save_checkpoint(model, tmp_path / "rtgcn.npz")
+        path = self.save(model, tmp_path / "rtgcn.npz")
         clone = RTGCN(nasdaq_mini.relations, strategy="weight",
                       relational_filters=8,
                       rng=np.random.default_rng(999))
-        load_checkpoint(clone, path)
+        self.load(clone, path)
         feats = Tensor(np.random.default_rng(0).standard_normal((6, 48, 4)))
         model.eval()
         clone.eval()
@@ -42,22 +54,45 @@ class TestCheckpoints:
 
     def test_class_mismatch_rejected(self, tmp_path):
         model = nn.Linear(3, 2)
-        path = save_checkpoint(model, tmp_path / "linear.npz")
+        path = self.save(model, tmp_path / "linear.npz")
         other = nn.Sequential(nn.Linear(3, 2))
         with pytest.raises(ValueError, match="Linear"):
-            load_checkpoint(other, path)
+            self.load(other, path)
 
     def test_not_a_checkpoint_rejected(self, tmp_path):
         bogus = tmp_path / "bogus.npz"
         np.savez(bogus, data=np.zeros(3))
         with pytest.raises(ValueError, match="not a repro checkpoint"):
-            load_checkpoint(nn.Linear(2, 2), bogus)
+            self.load(nn.Linear(2, 2), bogus)
 
     def test_suffix_added_automatically(self, tmp_path):
         model = nn.Linear(2, 2)
-        path = save_checkpoint(model, tmp_path / "plain")
+        path = self.save(model, tmp_path / "plain")
         assert path.name == "plain.npz"
-        load_checkpoint(nn.Linear(2, 2), tmp_path / "plain")
+        self.load(nn.Linear(2, 2), tmp_path / "plain")
+
+    def test_writes_format_v2_readable_by_repro_ckpt(self, tmp_path):
+        from repro.ckpt import FORMAT_VERSION, load as load_ckpt
+        model = nn.Linear(3, 3)
+        path = self.save(model, tmp_path / "v2.npz")
+        checkpoint = load_ckpt(path)
+        assert checkpoint.format_version == FORMAT_VERSION
+        assert checkpoint.model_class == "Linear"
+        assert set(checkpoint.model_state) == set(model.state_dict())
+
+    def test_legacy_v1_archive_still_loads(self, tmp_path):
+        model = nn.Linear(3, 2)
+        blob = np.frombuffer(
+            json.dumps({"format_version": 1, "model_class": "Linear",
+                        "num_parameters": model.num_parameters(),
+                        "user": {"note": "pre-rebase"}}).encode(),
+            dtype=np.uint8)
+        path = tmp_path / "legacy.npz"
+        np.savez(path, __checkpoint_meta__=blob, **model.state_dict())
+        clone = nn.Linear(3, 2)
+        meta = self.load(clone, path)
+        assert meta["user"]["note"] == "pre-rebase"
+        assert np.allclose(clone.weight.data, model.weight.data)
 
 
 class TestCLI:
@@ -86,6 +121,25 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["train", "--model", "LSTM", "--checkpoint", "/tmp/x",
                   "--market", "csi-mini", "--epochs", "1"])
+
+    def test_train_checkpoint_dir_and_resume(self, tmp_path, capsys):
+        args = ["train", "--market", "csi-mini", "--epochs", "1",
+                "--window", "6", "--max-train-days", "8",
+                "--checkpoint-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert any(tmp_path.glob("ckpt-*.npz"))
+        # resuming a finished run is a no-op train + fresh evaluation
+        assert main(args + ["--resume"]) == 0
+        assert "IRR-5" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--market", "csi-mini", "--resume"])
+
+    def test_checkpoint_dir_only_for_rtgcn(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "LSTM", "--market", "csi-mini",
+                  "--epochs", "1", "--checkpoint-dir", str(tmp_path)])
 
     def test_compare_command_quick(self, capsys):
         code = main(["compare", "--market", "csi-mini",
