@@ -1,0 +1,157 @@
+"""Serving load test: micro-batched throughput vs the unbatched baseline.
+
+Trains a small RT-GCN, checkpoints it, boots a :class:`RankingService`
+over the archive, and drives it with a closed-loop load generator (each
+client thread issues its next request as soon as the previous one
+returns) in two configurations:
+
+- **batch1** — ``max_batch=1, max_wait_ms=0``: one forward per request,
+  the baseline any serving stack degenerates to without coalescing;
+- **batched** — the default micro-batching window, where concurrent
+  requests for the same ``(version, day)`` share a forward.
+
+The headline number is the throughput ratio between the two; the PR's
+acceptance floor is **3×**.  Full latency percentiles (p50/p95/p99),
+queue-depth distribution, and the batch-size histogram land in
+``results/serving.json`` (schema-v1 envelope) next to the paper-table
+artifacts; set ``RTGCN_BENCH_SERVE_CLIENTS`` / ``_SECONDS`` to scale the
+load.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_serving.py``
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ckpt import save
+from repro.core import RTGCN, TrainConfig, Trainer
+from repro.serve import ModelRegistry, RankingService
+
+from _harness import (BENCH_SEED, bench_dataset, format_table, publish,
+                      publish_json)
+
+SERVE_CLIENTS = int(os.environ.get("RTGCN_BENCH_SERVE_CLIENTS", "8"))
+SERVE_SECONDS = float(os.environ.get("RTGCN_BENCH_SERVE_SECONDS", "3.0"))
+SERVE_MARKET = os.environ.get("RTGCN_BENCH_SERVE_MARKET", "csi-mini")
+
+
+def train_servable_checkpoint(directory: Path) -> Path:
+    """One briefly-trained RT-GCN archive with serving metadata."""
+    dataset = bench_dataset(SERVE_MARKET)
+    config = TrainConfig(window=10, epochs=1, max_train_days=20,
+                        seed=BENCH_SEED)
+    model = RTGCN(dataset.relations, num_features=config.num_features,
+                  strategy="time", rng=np.random.default_rng(BENCH_SEED))
+    trainer = Trainer(model, dataset, config)
+    trainer.run()
+    checkpoint = trainer.state_dict()
+    checkpoint.metadata = {"model": "RT-GCN (T)", "market": SERVE_MARKET}
+    return save(checkpoint, directory / "best.npz")
+
+
+def closed_loop(service: RankingService, clients: int,
+                seconds: float) -> dict:
+    """Drive the service at saturation; every client re-requests on
+    completion.  All clients ask for the same latest top-10 ranking —
+    the production-shaped hot spot micro-batching exists for."""
+    stop = time.perf_counter() + seconds
+    counts = [0] * clients
+    failures = [0] * clients
+
+    def client(index: int) -> None:
+        while time.perf_counter() < stop:
+            try:
+                service.top_k(k=10)
+                counts[index] += 1
+            except Exception:
+                failures[index] += 1
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    snapshot = service.telemetry.snapshot()
+    return {
+        "clients": clients,
+        "duration_seconds": elapsed,
+        "completed_requests": sum(counts),
+        "failed_requests": sum(failures),
+        "throughput_rps": sum(counts) / elapsed,
+        "latency_seconds": snapshot["latency_seconds"],
+        "queue_depth": snapshot["queue_depth"],
+        "mean_batch_size": snapshot["mean_batch_size"],
+        "batch_size_histogram": snapshot["batch_size_histogram"],
+        "batches": snapshot["batches"],
+        "forward_seconds": snapshot["forward_seconds"],
+    }
+
+
+def run_mode(ckpt_dir: Path, label: str, max_batch: int,
+             max_wait_ms: float, workers: int) -> dict:
+    service = RankingService(ModelRegistry(ckpt_dir),
+                             max_batch=max_batch,
+                             max_wait_ms=max_wait_ms, workers=workers)
+    try:
+        service.top_k(k=10)                    # warm model + caches
+        result = closed_loop(service, SERVE_CLIENTS, SERVE_SECONDS)
+    finally:
+        service.close()
+    result["mode"] = label
+    result["max_batch"] = max_batch
+    result["max_wait_ms"] = max_wait_ms
+    result["workers"] = workers
+    return result
+
+
+def main() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        ckpt_dir = Path(tmp)
+        train_servable_checkpoint(ckpt_dir)
+        baseline = run_mode(ckpt_dir, "batch1", max_batch=1,
+                            max_wait_ms=0.0, workers=1)
+        batched = run_mode(ckpt_dir, "batched", max_batch=64,
+                           max_wait_ms=5.0, workers=1)
+
+    speedup = (batched["throughput_rps"] / baseline["throughput_rps"]
+               if baseline["throughput_rps"] > 0 else float("nan"))
+
+    rows = []
+    for result in (baseline, batched):
+        latency = result["latency_seconds"]
+        rows.append([result["mode"], result["completed_requests"],
+                     result["throughput_rps"],
+                     latency["p50"] * 1000.0, latency["p95"] * 1000.0,
+                     latency["p99"] * 1000.0,
+                     result["mean_batch_size"]])
+    table = format_table(
+        f"Serving load test — {SERVE_CLIENTS} closed-loop clients, "
+        f"{SERVE_SECONDS:.0f}s per mode ({SERVE_MARKET})",
+        ["mode", "requests", "rps", "p50 ms", "p95 ms", "p99 ms",
+         "mean batch"],
+        rows,
+        note=f"batched/batch1 throughput: {speedup:.1f}x "
+             f"(acceptance floor: 3x)")
+    publish("serving", table)
+    publish_json("serving", {
+        "market": SERVE_MARKET,
+        "model": "RT-GCN (T)",
+        "throughput_speedup": speedup,
+        "modes": [baseline, batched],
+    })
+    print(f"JSON artifact: benchmarks/results/serving.json")
+
+
+if __name__ == "__main__":
+    main()

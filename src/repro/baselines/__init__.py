@@ -10,7 +10,7 @@ from .darnn import DARNN, InputAttention, TemporalAttention
 from .mtdnn import MTDNN, multiscale_design_row
 from .registry import (BASELINE_SPECS, EXTRA_MODELS, RANKING_MODELS,
                        TABLE_IV_MODELS, BaselineSpec, available_baselines,
-                       get_spec, make_predictor)
+                       get_spec, make_predictor, rtgcn_strategies)
 from .rl import DQNTrader, IRDPGTrader, PolicyNetwork, QNetwork, ReplayBuffer
 from .rsr import RSR
 from .rtgat import RTGAT
@@ -29,6 +29,7 @@ __all__ = [
     "DQNTrader", "IRDPGTrader", "QNetwork", "PolicyNetwork", "ReplayBuffer",
     "BaselineSpec", "BASELINE_SPECS", "TABLE_IV_MODELS", "RANKING_MODELS",
     "EXTRA_MODELS", "available_baselines", "get_spec", "make_predictor",
+    "rtgcn_strategies",
     "DARNN", "InputAttention", "TemporalAttention", "WSAELSTM",
     "MTDNN", "multiscale_design_row",
 ]

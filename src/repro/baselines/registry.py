@@ -43,6 +43,11 @@ class BaselineSpec:
     uses_relations: bool
     make: MakeFn
     adapt_config: Callable[[TrainConfig], TrainConfig] = lambda cfg: cfg
+    #: RT-GCN relation strategy ("uniform"/"weight"/"time") for the models
+    #: that are direct RTGCN variants; None for everything else.  This is
+    #: what lets the CLI and repro.serve reconstruct a checkpointed RT-GCN
+    #: without a hand-maintained name→strategy table.
+    strategy: Optional[str] = None
 
 
 def _module(factory, category: str, uses_relations: bool) -> MakeFn:
@@ -121,16 +126,17 @@ def _registry() -> Dict[str, BaselineSpec]:
             "RT-GCN (U)", "Ours", can_rank=True, uses_relations=True,
             make=_module(lambda ds, gen: RTGCN(ds.relations,
                                                strategy="uniform", rng=gen),
-                         "Ours", True)),
+                         "Ours", True), strategy="uniform"),
         BaselineSpec(
             "RT-GCN (W)", "Ours", can_rank=True, uses_relations=True,
             make=_module(lambda ds, gen: RTGCN(ds.relations,
                                                strategy="weight", rng=gen),
-                         "Ours", True)),
+                         "Ours", True), strategy="weight"),
         BaselineSpec(
             "RT-GCN (T)", "Ours", can_rank=True, uses_relations=True,
             make=_module(lambda ds, gen: RTGCN(ds.relations, strategy="time",
-                                               rng=gen), "Ours", True)),
+                                               rng=gen), "Ours", True),
+            strategy="time"),
     ]
     return {spec.name: spec for spec in specs}
 
@@ -154,6 +160,17 @@ RANKING_MODELS: List[str] = ["Rank_LSTM", "RSR_I", "RSR_E", "STHAN-SR",
 def available_baselines() -> List[str]:
     """Names of every registered comparison model."""
     return list(BASELINE_SPECS)
+
+
+def rtgcn_strategies() -> Dict[str, str]:
+    """Registered-name → relation-strategy map for direct RTGCN variants.
+
+    Derived from the specs (never hand-maintained), so a newly registered
+    RT-GCN variant is automatically checkpointable by the CLI and servable
+    by :mod:`repro.serve`.
+    """
+    return {name: spec.strategy for name, spec in BASELINE_SPECS.items()
+            if spec.strategy is not None}
 
 
 def get_spec(name: str) -> BaselineSpec:

@@ -12,7 +12,7 @@ manager's last good checkpoint through this callback.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from ..core.callbacks import TrainerCallback
 from .checkpoint import TrainingCheckpoint
@@ -36,12 +36,17 @@ class CheckpointCallback(TrainerCallback):
     keep_last:
         Retention for the created manager (ignored when a manager is
         passed in).
+    metadata:
+        Extra user metadata merged into every checkpoint saved (e.g. the
+        registry model name and market, which :mod:`repro.serve` reads to
+        reconstruct the model without operator overrides).
     """
 
     def __init__(self, directory_or_manager: Union[str, Path,
                                                    CheckpointManager],
                  every_n_batches: Optional[int] = None,
-                 save_best: bool = True, keep_last: int = 3):
+                 save_best: bool = True, keep_last: int = 3,
+                 metadata: Optional[Dict[str, object]] = None):
         if isinstance(directory_or_manager, CheckpointManager):
             self.manager = directory_or_manager
         else:
@@ -52,6 +57,7 @@ class CheckpointCallback(TrainerCallback):
                              f"got {every_n_batches}")
         self.every_n_batches = every_n_batches
         self.save_best = save_best
+        self.metadata = dict(metadata or {})
         self._batches_since_save = 0
         self._last_best_val: Optional[float] = None
         self.last_path: Optional[Path] = None
@@ -78,6 +84,8 @@ class CheckpointCallback(TrainerCallback):
     # ------------------------------------------------------------------
     def _save(self, trainer) -> None:
         checkpoint: TrainingCheckpoint = trainer.state_dict()
+        if self.metadata:
+            checkpoint.metadata = {**checkpoint.metadata, **self.metadata}
         is_best = False
         if self.save_best and checkpoint.best_model_state is not None:
             best_val = checkpoint.early_stopping.get("best_val")

@@ -111,14 +111,77 @@ class CheckpointManager:
 
         Corrupt/truncated files (the footprint of a crash mid-write or a
         damaged disk) are skipped, newest to oldest.  Returns ``None``
-        when no checkpoint survives.
+        when the directory holds no checkpoints at all; raises
+        :class:`CheckpointError` when checkpoints exist but *every one*
+        is corrupt — that situation is unrecoverable data loss and must
+        not be indistinguishable from "nothing saved yet".
         """
-        for path in reversed(self.checkpoints()):
+        existing = self.checkpoints()
+        if not existing:
+            return None
+        for path in reversed(existing):
             try:
                 return load_file(path)
             except CheckpointError:
                 continue
-        return None
+        names = ", ".join(p.name for p in existing)
+        raise CheckpointError(
+            f"all {len(existing)} checkpoint(s) in {self.directory} are "
+            f"corrupt ({names}); nothing can be resumed — delete the "
+            "directory and retrain, or restore the files from a backup")
+
+    def best_checkpoint(self, metric: str = "best_val",
+                        mode: str = "min") -> Optional[TrainingCheckpoint]:
+        """The valid periodic checkpoint with the best recorded metric.
+
+        ``metric`` resolves per checkpoint as ``early_stopping[metric]``
+        first, then ``metadata["metrics"][metric]``; checkpoints that do
+        not record it are skipped.  ``mode`` is ``"min"`` (losses) or
+        ``"max"`` (MRR-style scores).
+
+        Selection is deterministic: when several checkpoints share the
+        best value, the *newest* wins — ties break on ``(epoch,
+        batch_index)`` and finally on filename, so two runs over the same
+        directory always pick the same file.  Returns ``None`` when no
+        valid checkpoint records the metric; raises
+        :class:`CheckpointError` when every archive is corrupt (same
+        contract as :meth:`latest_valid`).
+        """
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        existing = self.checkpoints()
+        if not existing:
+            return None
+        best: Optional[TrainingCheckpoint] = None
+        best_key = None
+        any_valid = False
+        for path in existing:
+            try:
+                candidate = load_file(path)
+            except CheckpointError:
+                continue
+            any_valid = True
+            value = candidate.early_stopping.get(metric)
+            if value is None:
+                value = candidate.metadata.get("metrics", {}).get(metric)
+            if value is None:
+                continue
+            value = float(value)
+            signed = value if mode == "min" else -value
+            # Lexicographic key: metric first, then *newer* beats older at
+            # equal metric (negated cursor), then filename for total order.
+            key = (signed, -candidate.epoch, -candidate.batch_index,
+                   tuple(-ord(c) for c in path.name))
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+        if not any_valid:
+            names = ", ".join(p.name for p in existing)
+            raise CheckpointError(
+                f"all {len(existing)} checkpoint(s) in {self.directory} "
+                f"are corrupt ({names}); no best checkpoint can be "
+                "selected — delete the directory and retrain, or restore "
+                "the files from a backup")
+        return best
 
     def load_best(self) -> Optional[TrainingCheckpoint]:
         """The ``best.npz`` checkpoint, or ``None`` if absent/corrupt."""

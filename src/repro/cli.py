@@ -14,6 +14,11 @@ compare
 profile
     Train briefly under the op profiler and print per-op / per-phase
     cost tables, writing a JSON report (see ``docs/observability.md``).
+serve
+    Serve trained checkpoints over HTTP with micro-batched inference
+    (see ``docs/serving.md``).
+query
+    Query a running ``serve`` instance and print the JSON response.
 
 Every field of :class:`repro.core.TrainConfig` is exposed as a flag on the
 training commands (``--learning-rate``, ``--weight-decay``, ...); the flag
@@ -38,6 +43,8 @@ Examples
     python -m repro.cli compare --market csi-mini \
         --models "Rank_LSTM,RSR_E,RT-GCN (T)" --runs 3
     python -m repro.cli profile --market nasdaq-mini --model "RT-GCN (T)"
+    python -m repro.cli serve --checkpoint-dir /tmp/ckpts --port 8151
+    python -m repro.cli query --top-k 10 --port 8151
 """
 
 from __future__ import annotations
@@ -50,7 +57,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from .baselines import available_baselines, get_spec, make_predictor
+from .baselines import (available_baselines, get_spec, make_predictor,
+                        rtgcn_strategies)
 from .core import TrainConfig
 from .data import MARKET_SPECS, available_markets, load_market
 from .eval import ranking_metrics, run_named_experiment
@@ -127,17 +135,15 @@ def cmd_markets(_: argparse.Namespace) -> int:
 
 
 def cmd_models(_: argparse.Namespace) -> int:
-    print(f"{'model':12s} {'category':8s} {'ranks?':6s} {'relations?':10s}")
+    print(f"{'model':12s} {'category':8s} {'ranks?':6s} {'relations?':10s} "
+          f"{'strategy':8s}")
     for name in available_baselines():
         spec = get_spec(name)
         print(f"{name:12s} {spec.category:8s} "
               f"{'yes' if spec.can_rank else 'no':6s} "
-              f"{'yes' if spec.uses_relations else 'no':10s}")
+              f"{'yes' if spec.uses_relations else 'no':10s} "
+              f"{spec.strategy or '-':8s}")
     return 0
-
-
-_STRATEGY_OF = {"RT-GCN (U)": "uniform", "RT-GCN (W)": "weight",
-                "RT-GCN (T)": "time"}
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -151,11 +157,12 @@ def cmd_train(args: argparse.Namespace) -> int:
                          or args.resume or args.crash_after)
     model = None
     trainer = None
-    if args.model in _STRATEGY_OF:
+    strategies = rtgcn_strategies()        # registry-driven, never a table
+    if args.model in strategies:
         # Build the RT-GCN directly so it can be checkpointed/resumed.
         from .core import RTGCN, Trainer
         model = RTGCN(dataset.relations, num_features=config.num_features,
-                      strategy=_STRATEGY_OF[args.model],
+                      strategy=strategies[args.model],
                       rng=np.random.default_rng(args.seed))
         trainer = Trainer(model, dataset, config)
         callbacks = []
@@ -165,7 +172,8 @@ def cmd_train(args: argparse.Namespace) -> int:
             callbacks.append(CheckpointCallback(
                 args.checkpoint_dir,
                 every_n_batches=args.checkpoint_every,
-                keep_last=args.keep_last))
+                keep_last=args.keep_last,
+                metadata={"model": args.model, "market": args.market}))
             if args.resume:
                 resume_from = args.checkpoint_dir
         elif args.resume:
@@ -198,6 +206,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         from .ckpt import save as save_ckpt
         checkpoint = trainer.state_dict()
         checkpoint.metadata = {
+            "model": args.model,
             "market": args.market,
             "metrics": {k: float(v) for k, v in metrics.items()
                         if not np.isnan(v)}}
@@ -284,6 +293,72 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve checkpoints over HTTP (see docs/serving.md)."""
+    from .serve import ModelRegistry, RankingHTTPServer, RankingService
+
+    registry = ModelRegistry(
+        args.checkpoint_dir,
+        memory_budget_bytes=(args.memory_budget_mb * 1024 * 1024
+                             if args.memory_budget_mb else None),
+        model=args.model, market=args.market)
+    available = registry.discover()
+    if not available:
+        raise SystemExit(f"no checkpoints in {args.checkpoint_dir}; run "
+                         "`repro.cli train --checkpoint-dir ...` first")
+    service = RankingService(registry, max_batch=args.max_batch,
+                             max_wait_ms=args.max_wait_ms,
+                             workers=args.workers,
+                             default_timeout=args.timeout)
+    service.registry.warm([args.version] if args.version else None)
+    server = RankingHTTPServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    print(f"serving {len(available)} checkpoint(s) from "
+          f"{args.checkpoint_dir} on http://{host}:{port}")
+    print(f"  loaded: {registry.loaded_versions()}")
+    print("  endpoints: /health /v1/models /v1/scores /v1/top_k "
+          "/v1/rank /v1/delta /v1/stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """One ranking query against a running server, printed as JSON."""
+    import json
+    from urllib.error import URLError
+    from urllib.parse import urlencode
+    from urllib.request import urlopen
+
+    params = {}
+    if args.top_k is not None:
+        params["k"] = args.top_k
+    if args.version:
+        params["version"] = args.version
+    if args.day is not None:
+        params["day"] = args.day
+    path = {"scores": "/v1/scores", "rank": "/v1/rank",
+            "delta": "/v1/delta", "stats": "/v1/stats",
+            "models": "/v1/models", "health": "/health"}.get(
+        args.endpoint, "/v1/top_k")
+    url = f"http://{args.host}:{args.port}{path}"
+    if params:
+        url += "?" + urlencode(params)
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except URLError as exc:
+        raise SystemExit(f"query failed: {exc} (is `repro.cli serve` "
+                         f"running on {args.host}:{args.port}?)")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if "error" not in payload else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RT-GCN reproduction command line")
@@ -330,6 +405,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "interrupted comparison at run k instead "
                               "of run 0")
 
+    serve = sub.add_parser(
+        "serve", help="serve checkpoints over HTTP (docs/serving.md)")
+    serve.add_argument("--checkpoint-dir", required=True,
+                       help="directory of checkpoint archives to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8151)
+    serve.add_argument("--version", default=None,
+                       help="checkpoint version to warm at boot "
+                            "(default: best, else newest)")
+    serve.add_argument("--model", default=None,
+                       help="model name override for archives whose "
+                            "metadata does not record it")
+    serve.add_argument("--market", default=None,
+                       help="market override for archives whose metadata "
+                            "does not record it")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch size cap")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="micro-batch coalescing window (0 = "
+                            "unbatched)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="batcher worker threads")
+    serve.add_argument("--timeout", type=float, default=10.0,
+                       help="per-request deadline before falling back to "
+                            "the last served ranking")
+    serve.add_argument("--memory-budget-mb", type=int, default=None,
+                       help="LRU-evict loaded models past this many MB "
+                            "of parameters")
+
+    query = sub.add_parser(
+        "query", help="query a running `serve` instance, print JSON")
+    query.add_argument("--endpoint", default="top_k",
+                       choices=["top_k", "scores", "rank", "delta",
+                                "stats", "models", "health"],
+                       help="which API to call (default: top_k)")
+    query.add_argument("--top-k", type=int, default=None, metavar="K",
+                       help="k for the top_k endpoint")
+    query.add_argument("--version", default=None,
+                       help="checkpoint version (default: server's best)")
+    query.add_argument("--day", type=int, default=None,
+                       help="trading day index (default: latest)")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=8151)
+    query.add_argument("--timeout", type=float, default=30.0)
+
     profile = sub.add_parser(
         "profile", help="profile per-op and per-phase cost of a short run")
     _add_train_options(profile)
@@ -356,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": cmd_train,
         "compare": cmd_compare,
         "profile": cmd_profile,
+        "serve": cmd_serve,
+        "query": cmd_query,
     }
     return handlers[args.command](args)
 

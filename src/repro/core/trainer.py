@@ -445,8 +445,13 @@ class Trainer:
                           RuntimeWarning, stacklevel=3)
             return False
         if cfg.nan_policy == "rollback":
-            checkpoint = (anchor.manager.latest_valid()
-                          if anchor is not None else None)
+            try:
+                checkpoint = (anchor.manager.latest_valid()
+                              if anchor is not None else None)
+            except Exception as exc:      # every archive corrupt
+                raise NonFiniteLossError(
+                    detail + f"; nan_policy='rollback' found no usable "
+                    f"checkpoint: {exc}") from exc
             if checkpoint is None:
                 raise NonFiniteLossError(
                     detail + "; nan_policy='rollback' needs a "

@@ -21,10 +21,19 @@ One process-global instance (:func:`adjacency_cache`) is shared by every
 strategy so two models over the same relation matrix reuse one another's
 work; ``stats()`` exposes hit/miss/invalidation counters for tests and
 the profiler report.
+
+The cache is **thread-safe**: ``repro.serve`` runs forward passes from
+thread-pool workers that all read (and occasionally invalidate) the one
+global instance, so every operation — including the read-modify-write
+inside ``get_or_compute`` and the LRU reordering inside ``get`` — holds
+an internal lock.  ``compute`` callables run *outside* the lock; two
+threads missing the same key concurrently may both compute it (last
+write wins), which is safe because entries are pure functions of the key.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional
 
@@ -32,65 +41,82 @@ from typing import Any, Callable, Dict, Hashable, Optional
 #: entry is O(nnz), so the bound is about hygiene, not memory pressure.
 DEFAULT_MAX_ENTRIES = 64
 
+_MISSING = object()
+
 
 class NormalizedAdjacencyCache:
-    """LRU mapping from graph keys to normalized-adjacency products."""
+    """Thread-safe LRU mapping from graph keys to normalized adjacencies."""
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key`` (counts as hit/miss, refreshes LRU order)."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return default
 
     def put(self, key: Hashable, value: Any) -> Any:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return value
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return value
 
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], Any]) -> Any:
-        """Return the cached value, computing and storing it on a miss."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
+        """Return the cached value, computing and storing it on a miss.
+
+        ``compute`` runs without holding the cache lock so a slow
+        normalization cannot stall concurrent readers of other keys.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+            self.misses += 1
         return self.put(key, compute())
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop ``key`` if present; returns whether an entry was removed."""
-        if key in self._entries:
-            del self._entries[key]
-            self.invalidations += 1
-            return True
-        return False
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.invalidations += 1
+                return True
+            return False
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses, "invalidations": self.invalidations}
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses,
+                    "invalidations": self.invalidations}
 
     def __repr__(self) -> str:
         return (f"NormalizedAdjacencyCache(entries={len(self._entries)}, "
@@ -98,18 +124,22 @@ class NormalizedAdjacencyCache:
 
 
 _GLOBAL_CACHE: Optional[NormalizedAdjacencyCache] = None
+_GLOBAL_CACHE_LOCK = threading.Lock()
 
 
 def adjacency_cache() -> NormalizedAdjacencyCache:
     """The process-global cache shared by every relation strategy."""
     global _GLOBAL_CACHE
     if _GLOBAL_CACHE is None:
-        _GLOBAL_CACHE = NormalizedAdjacencyCache()
+        with _GLOBAL_CACHE_LOCK:
+            if _GLOBAL_CACHE is None:
+                _GLOBAL_CACHE = NormalizedAdjacencyCache()
     return _GLOBAL_CACHE
 
 
 def reset_adjacency_cache() -> NormalizedAdjacencyCache:
     """Replace the global cache with a fresh one (test isolation)."""
     global _GLOBAL_CACHE
-    _GLOBAL_CACHE = NormalizedAdjacencyCache()
+    with _GLOBAL_CACHE_LOCK:
+        _GLOBAL_CACHE = NormalizedAdjacencyCache()
     return _GLOBAL_CACHE

@@ -1,0 +1,40 @@
+"""repro.serve — micro-batched inference serving for trained checkpoints.
+
+The serving stack, bottom to top:
+
+- :mod:`~repro.serve.registry` — :class:`ModelRegistry`: discover/verify
+  checkpoint archives, reconstruct models via the unified ``state_dict``
+  API, LRU-cache them under a memory budget;
+- :mod:`~repro.serve.engine` — :class:`InferenceEngine`: tape-free
+  forwards with explicit dense/sparse graph-mode dispatch;
+- :mod:`~repro.serve.batcher` — :class:`MicroBatcher`: coalesce
+  concurrent requests into shared forwards;
+- :mod:`~repro.serve.service` — :class:`RankingService`: the
+  scores/top-k/rank/delta facade with timeout fallback;
+- :mod:`~repro.serve.httpd` — stdlib JSON endpoint
+  (``repro.cli serve`` / ``repro.cli query`` wrap it);
+- :mod:`~repro.serve.telemetry` — :class:`ServingTelemetry`: latency
+  percentiles, batch-size histograms, schema-v1 reports.
+
+See ``docs/serving.md`` for the train → checkpoint → serve → query
+lifecycle.
+"""
+
+from .batcher import BatcherClosedError, MicroBatcher
+from .engine import InferenceEngine
+from .httpd import RankingHTTPServer, serve_forever
+from .registry import (ModelRegistry, RegistryError, ServableModel,
+                       build_servable, infer_rtgcn_architecture,
+                       resolve_strategy)
+from .service import RankingService, ServiceTimeoutError
+from .telemetry import ServingTelemetry
+
+__all__ = [
+    "ModelRegistry", "ServableModel", "RegistryError", "build_servable",
+    "infer_rtgcn_architecture", "resolve_strategy",
+    "InferenceEngine",
+    "MicroBatcher", "BatcherClosedError",
+    "RankingService", "ServiceTimeoutError",
+    "RankingHTTPServer", "serve_forever",
+    "ServingTelemetry",
+]

@@ -1,0 +1,93 @@
+"""Forward-only inference over a servable model.
+
+The engine is the only place in :mod:`repro.serve` that actually runs a
+model.  It pins down the two properties the serving path must guarantee:
+
+- **No autograd allocation.** Every forward runs under
+  :func:`repro.tensor.inference_mode`, so no gradient tape is built —
+  serving a thousand requests leaves the tape-node counter where it
+  started (a regression test asserts exactly this).
+- **Explicit graph-mode dispatch.** The registered config's
+  ``graph_mode`` (``dense``/``sparse``/``auto``) is applied to the model
+  once via :func:`repro.nn.set_graph_mode`; sparse and dense modes
+  produce bitwise-identical scores, so operators can pick per deployment
+  without revalidating the model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..nn import set_graph_mode
+from ..obs import trace
+from ..tensor import Tensor, inference_mode
+from .registry import ServableModel
+
+
+class InferenceEngine:
+    """Score one :class:`ServableModel` on demand.
+
+    Not a cache: every :meth:`scores` call is a real forward pass.
+    Deduplication of concurrent identical requests is the
+    :class:`~repro.serve.batcher.MicroBatcher`'s job, which keeps the
+    batch-size-1 baseline in the load-test honest.
+    """
+
+    def __init__(self, servable: ServableModel,
+                 graph_mode: Optional[str] = None):
+        self.servable = servable
+        self.graph_mode = graph_mode or servable.graph_mode
+        self.model = servable.model
+        self.model.eval()
+        if self.graph_mode != "auto":
+            set_graph_mode(self.model, self.graph_mode)
+        self.forwards = 0
+        self.forward_seconds = 0.0
+
+    @property
+    def dataset(self):
+        return self.servable.dataset
+
+    def last_day(self) -> int:
+        """The most recent day with a full lookback window."""
+        return self.dataset.num_days - 1
+
+    def resolve_day(self, day: Optional[int]) -> int:
+        last = self.last_day()
+        if day is None:
+            return last
+        day = int(day)
+        if day < 0:
+            day += self.dataset.num_days
+        window = self.servable.window
+        if not window - 1 <= day <= last:
+            raise ValueError(
+                f"day {day} outside servable range "
+                f"[{window - 1}, {last}] for market "
+                f"{self.dataset.market!r} (window={window})")
+        return day
+
+    def scores(self, day: Optional[int] = None) -> np.ndarray:
+        """Ranking scores for every stock at ``day``, shape ``(N,)``.
+
+        Runs tape-free; the returned array is detached by construction.
+        """
+        day = self.resolve_day(day)
+        features = self.dataset.features(day, self.servable.window,
+                                         self.servable.num_features)
+        start = time.perf_counter()
+        with inference_mode(), trace("inference"):
+            out = self.model(Tensor(features))
+        self.forwards += 1
+        self.forward_seconds += time.perf_counter() - start
+        return np.asarray(out.data, dtype=float).reshape(-1)
+
+    def stats(self) -> Dict[str, Any]:
+        return {"version": self.servable.version,
+                "model": self.servable.model_name,
+                "graph_mode": self.graph_mode,
+                "forwards": self.forwards,
+                "forward_seconds": self.forward_seconds}

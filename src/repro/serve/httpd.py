@@ -1,0 +1,136 @@
+"""Stdlib JSON/HTTP front-end for the :class:`RankingService`.
+
+One :class:`~http.server.ThreadingHTTPServer` (no third-party web
+framework — the whole repo is stdlib+NumPy) exposing:
+
+====================  ====================================================
+``GET /health``        liveness + loaded versions
+``GET /v1/models``     available / loaded versions with metadata
+``GET /v1/scores``     raw per-symbol scores
+``GET /v1/top_k``      the k best-ranked symbols (``?k=10``)
+``GET /v1/rank``       the full ranked universe
+``GET /v1/delta``      day-over-day rank movement
+``GET /v1/stats``      serving telemetry snapshot
+====================  ====================================================
+
+Ranking endpoints accept ``?version=<ckpt>&day=<int>`` (defaults: the
+registry's best version, the latest servable day).  Errors come back as
+``{"error": {"type", "message"}}`` with a meaningful status code, so a
+misaddressed query never manifests as an opaque 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .registry import RegistryError
+from .service import RankingService, ServiceTimeoutError
+
+
+def _json_bytes(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class RankingHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`RankingService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: RankingService):
+        super().__init__(address, _RankingHandler)
+        self.service = service
+
+    def shutdown(self) -> None:          # also drain the batcher
+        super().shutdown()
+        self.service.close()
+
+
+class _RankingHandler(BaseHTTPRequestHandler):
+    server: RankingHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default; serving telemetry supersedes stderr access logs
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        parsed = urlparse(self.path)
+        query = {key: values[-1]
+                 for key, values in parse_qs(parsed.query).items()}
+        try:
+            status, payload = self._route(parsed.path, query)
+        except (RegistryError, FileNotFoundError) as exc:
+            status, payload = 404, _error(exc)
+        except ServiceTimeoutError as exc:
+            status, payload = 503, _error(exc)
+        except ValueError as exc:
+            status, payload = 400, _error(exc)
+        except Exception as exc:  # noqa: BLE001 — JSON instead of stack dump
+            status, payload = 500, _error(exc)
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def _route(self, path: str, query: Dict[str, str]
+               ) -> Tuple[int, Dict[str, Any]]:
+        service = self.server.service
+        version = query.get("version")
+        day = _int_or_none(query.get("day"), "day")
+        if path == "/health":
+            return 200, {"status": "ok",
+                         "loaded": service.registry.loaded_versions()}
+        if path == "/v1/models":
+            registry = service.registry
+            return 200, {
+                "directory": str(registry.directory),
+                "loaded": registry.loaded_versions(),
+                "models": [registry.describe(v)
+                           for v in registry.discover()]}
+        if path == "/v1/scores":
+            return 200, service.predict_scores(version=version, day=day)
+        if path == "/v1/top_k":
+            k = _int_or_none(query.get("k"), "k")
+            return 200, service.top_k(k=10 if k is None else k,
+                                      version=version, day=day)
+        if path == "/v1/rank":
+            return 200, service.rank_universe(version=version, day=day)
+        if path == "/v1/delta":
+            return 200, service.rank_delta(version=version, day=day)
+        if path == "/v1/stats":
+            return 200, service.stats()
+        return 404, {"error": {"type": "NotFound",
+                               "message": f"no route for {path!r}"}}
+
+
+def _int_or_none(raw: Optional[str], name: str) -> Optional[int]:
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be an integer, "
+                         f"got {raw!r}") from None
+
+
+def _error(exc: BaseException) -> Dict[str, Any]:
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+def serve_forever(service: RankingService, host: str = "127.0.0.1",
+                  port: int = 8151) -> None:
+    """Blocking entry point used by ``repro.cli serve``."""
+    server = RankingHTTPServer((host, port), service)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,245 @@
+"""RankingService — the serving facade clients actually call.
+
+Ties the registry, engines, and micro-batcher together behind four
+ranking operations:
+
+- :meth:`~RankingService.predict_scores` — per-symbol scores for a day;
+- :meth:`~RankingService.top_k` — the k best-ranked symbols;
+- :meth:`~RankingService.rank_universe` — the full ranked universe;
+- :meth:`~RankingService.rank_delta` — day-over-day rank movement.
+
+All four funnel through one micro-batched score path keyed by
+``(version, day)``, so concurrent requests for the same ranking share a
+single forward pass.  Each request carries a deadline; on timeout the
+service degrades to the **last successfully served ranking** for that
+key (marked ``"stale": true``) rather than failing the client — a
+ranking a few seconds old is far more useful to a trading client than an
+error page.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .engine import InferenceEngine
+from .registry import ModelRegistry, RegistryError
+from .telemetry import ServingTelemetry
+
+ScoreKey = Tuple[str, int]               # (version, day)
+
+
+class ServiceTimeoutError(TimeoutError):
+    """A request missed its deadline and no fallback ranking existed."""
+
+
+class RankingService:
+    """Micro-batched ranking inference over a checkpoint directory.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`ModelRegistry`, or a checkpoint directory path to wrap
+        in one.
+    max_batch / max_wait_ms / workers:
+        Micro-batching knobs, passed to :class:`MicroBatcher`.
+        ``max_wait_ms=0, max_batch=1`` is the unbatched baseline.
+    default_timeout:
+        Per-request deadline in seconds; ``predict_scores(timeout=...)``
+        overrides per call.
+    """
+
+    def __init__(self, registry: Union[ModelRegistry, str, Path],
+                 max_batch: int = 32, max_wait_ms: float = 5.0,
+                 workers: int = 1, default_timeout: float = 10.0,
+                 telemetry: Optional[ServingTelemetry] = None):
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.telemetry = telemetry or ServingTelemetry()
+        self.default_timeout = float(default_timeout)
+        self._engines: Dict[str, InferenceEngine] = {}
+        self._engines_lock = threading.Lock()
+        self._last_served: Dict[ScoreKey, np.ndarray] = {}
+        self._last_served_lock = threading.Lock()
+        self._batcher = MicroBatcher(self._compute_scores,
+                                     max_batch=max_batch,
+                                     max_wait_ms=max_wait_ms,
+                                     workers=workers,
+                                     telemetry=self.telemetry)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # engine / batch plumbing
+    # ------------------------------------------------------------------
+    def engine(self, version: Optional[str] = None) -> InferenceEngine:
+        """The (cached) engine for a version; loads the model on miss."""
+        if version is None:
+            version = self.registry.default_version()
+        with self._engines_lock:
+            engine = self._engines.get(version)
+            if engine is None:
+                engine = InferenceEngine(self.registry.load(version))
+                self._engines[version] = engine
+            return engine
+
+    def _compute_scores(self, key: ScoreKey) -> np.ndarray:
+        version, day = key
+        scores = self.engine(version).scores(day)
+        with self._last_served_lock:
+            self._last_served[key] = scores
+        return scores
+
+    def _scores_for(self, op: str, version: Optional[str],
+                    day: Optional[int], timeout: Optional[float]
+                    ) -> Tuple[np.ndarray, InferenceEngine, int, bool]:
+        """``(scores, engine, day, stale)`` via the batched path."""
+        if self._closed:
+            raise RuntimeError("RankingService is closed")
+        start = time.perf_counter()
+        engine = self.engine(version)           # raises RegistryError early
+        day = engine.resolve_day(day)
+        key = (engine.servable.version, day)
+        depth = self._batcher.depth()
+        future = self._batcher.submit(key)
+        budget = self.default_timeout if timeout is None else float(timeout)
+        try:
+            scores = future.result(timeout=budget)
+            stale = False
+        except FutureTimeoutError:
+            future.cancel()
+            with self._last_served_lock:
+                fallback = self._last_served.get(key)
+            if fallback is None:
+                self.telemetry.record_error(op)
+                raise ServiceTimeoutError(
+                    f"no ranking for version={key[0]!r} day={day} within "
+                    f"{budget:.3f}s and nothing previously served to fall "
+                    "back on") from None
+            scores, stale = fallback, True
+        except BaseException:
+            self.telemetry.record_error(op)
+            raise
+        self.telemetry.record_request(op, time.perf_counter() - start,
+                                      queue_depth=depth, fallback=stale)
+        return scores, engine, day, stale
+
+    # ------------------------------------------------------------------
+    # ranking API
+    # ------------------------------------------------------------------
+    def predict_scores(self, version: Optional[str] = None,
+                       day: Optional[int] = None,
+                       timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Raw per-symbol scores at ``day`` (default: latest day)."""
+        scores, engine, day, stale = self._scores_for(
+            "predict_scores", version, day, timeout)
+        symbols = engine.dataset.universe.symbols
+        return self._envelope(engine, day, stale, scores={
+            symbol: float(score)
+            for symbol, score in zip(symbols, scores)})
+
+    def top_k(self, k: int = 10, version: Optional[str] = None,
+              day: Optional[int] = None,
+              timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The ``k`` highest-scored symbols, best first."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        scores, engine, day, stale = self._scores_for(
+            "top_k", version, day, timeout)
+        symbols = engine.dataset.universe.symbols
+        k = min(int(k), len(symbols))
+        order = np.argsort(-scores, kind="stable")[:k]
+        return self._envelope(engine, day, stale, k=k, top_k=[
+            {"rank": rank + 1, "symbol": symbols[i],
+             "score": float(scores[i])}
+            for rank, i in enumerate(order)])
+
+    def rank_universe(self, version: Optional[str] = None,
+                      day: Optional[int] = None,
+                      timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Every symbol with its rank (1 = best) and score."""
+        scores, engine, day, stale = self._scores_for(
+            "rank_universe", version, day, timeout)
+        symbols = engine.dataset.universe.symbols
+        order = np.argsort(-scores, kind="stable")
+        ranks = np.empty(len(symbols), dtype=int)
+        ranks[order] = np.arange(1, len(symbols) + 1)
+        return self._envelope(engine, day, stale, ranking=[
+            {"rank": int(ranks[i]), "symbol": symbols[i],
+             "score": float(scores[i])}
+            for i in order])
+
+    def rank_delta(self, version: Optional[str] = None,
+                   day: Optional[int] = None,
+                   timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Day-over-day rank movement: today's rank vs the prior day's.
+
+        ``delta > 0`` means the symbol climbed the ranking since
+        yesterday.  The two days' scores go through the same batched
+        path, so a burst of delta requests still coalesces.
+        """
+        engine = self.engine(version)
+        today = engine.resolve_day(day)
+        prior = today - 1
+        if prior < engine.servable.window - 1:
+            raise ValueError(
+                f"day {today} has no prior servable day to diff against")
+        scores, engine, today, stale_t = self._scores_for(
+            "rank_delta", version, today, timeout)
+        prev_scores, _, _, stale_p = self._scores_for(
+            "rank_delta", version, prior, timeout)
+        symbols = engine.dataset.universe.symbols
+
+        def ranks_of(values: np.ndarray) -> np.ndarray:
+            order = np.argsort(-values, kind="stable")
+            ranks = np.empty(len(values), dtype=int)
+            ranks[order] = np.arange(1, len(values) + 1)
+            return ranks
+
+        today_ranks, prior_ranks = ranks_of(scores), ranks_of(prev_scores)
+        deltas = prior_ranks - today_ranks
+        order = np.argsort(today_ranks, kind="stable")
+        return self._envelope(engine, today, stale_t or stale_p,
+                              prior_day=prior, deltas=[
+            {"symbol": symbols[i], "rank": int(today_ranks[i]),
+             "prior_rank": int(prior_ranks[i]), "delta": int(deltas[i]),
+             "score": float(scores[i])}
+            for i in order])
+
+    # ------------------------------------------------------------------
+    def _envelope(self, engine: InferenceEngine, day: int, stale: bool,
+                  **payload: Any) -> Dict[str, Any]:
+        return {"version": engine.servable.version,
+                "model": engine.servable.model_name,
+                "market": engine.dataset.market,
+                "day": day, "stale": stale, **payload}
+
+    def stats(self) -> Dict[str, Any]:
+        """Telemetry snapshot plus registry/engine/queue state."""
+        snap = self.telemetry.snapshot()
+        snap["registry"] = self.registry.stats()
+        with self._engines_lock:
+            snap["engines"] = [e.stats() for e in self._engines.values()]
+        snap["queue"] = {"depth": self._batcher.depth()}
+        return snap
+
+    def close(self) -> None:
+        """Drain the batcher and stop its workers; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._batcher.close()
+
+    def __enter__(self) -> "RankingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["RankingService", "ServiceTimeoutError", "RegistryError"]

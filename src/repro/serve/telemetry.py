@@ -1,0 +1,158 @@
+"""Serving telemetry: latency percentiles, queue depth, batch histograms.
+
+Every request that flows through :class:`~repro.serve.service.RankingService`
+and every coalesced forward executed by the
+:class:`~repro.serve.batcher.MicroBatcher` reports here.  A snapshot rolls
+the raw samples up into the numbers a latency dashboard wants — p50/p95/p99
+end-to-end latency, queue-depth distribution, a batch-size histogram that
+shows micro-batching actually coalescing, and the adjacency-cache hit rate —
+and :meth:`ServingTelemetry.report` publishes them through the schema-v1
+JSON sink of :mod:`repro.obs` so serving runs leave the same
+machine-diffable artifacts as training and benchmark runs.
+
+All recorders are thread-safe: they are called concurrently from client
+threads (request completions) and batcher workers (forward passes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..obs import RunReport, new_run_id
+
+#: retain this many most-recent latency / queue-depth samples; serving runs
+#: are unbounded streams, percentiles over a recent window are what a
+#: dashboard wants anyway.
+DEFAULT_MAX_SAMPLES = 16384
+
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _percentile_summary(samples) -> Dict[str, float]:
+    """``{count, mean, p50, p95, p99, max}`` of a sample window."""
+    if not samples:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0}
+    array = np.asarray(samples, dtype=float)
+    p50, p95, p99 = np.percentile(array, _PERCENTILES)
+    return {"count": int(array.size), "mean": float(array.mean()),
+            "p50": float(p50), "p95": float(p95), "p99": float(p99),
+            "max": float(array.max())}
+
+
+class ServingTelemetry:
+    """Thread-safe accumulator for one serving process's metrics."""
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=max_samples)
+        self._queue_depths = deque(maxlen=max_samples)
+        self._batch_sizes: Counter = Counter()
+        self._ops: Counter = Counter()
+        self.started_at = time.time()
+        self.requests = 0
+        self.fallbacks = 0
+        self.errors = 0
+        self.batches = 0
+        self.coalesced_requests = 0
+        self.forward_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # recorders
+    # ------------------------------------------------------------------
+    def record_request(self, op: str, latency_s: float,
+                       queue_depth: Optional[int] = None,
+                       fallback: bool = False) -> None:
+        """One client-visible request completed (op = scores/top_k/...)."""
+        with self._lock:
+            self.requests += 1
+            self._ops[op] += 1
+            self._latencies.append(float(latency_s))
+            if queue_depth is not None:
+                self._queue_depths.append(int(queue_depth))
+            if fallback:
+                self.fallbacks += 1
+
+    def record_error(self, op: str) -> None:
+        """A request failed with an exception (after retries/fallbacks)."""
+        with self._lock:
+            self.errors += 1
+            self._ops[op] += 1
+
+    def record_batch(self, coalesced: int, forward_seconds: float) -> None:
+        """One batched forward served ``coalesced`` requests at once."""
+        with self._lock:
+            self.batches += 1
+            self.coalesced_requests += int(coalesced)
+            self._batch_sizes[int(coalesced)] += 1
+            self.forward_seconds += float(forward_seconds)
+
+    # ------------------------------------------------------------------
+    # rollups
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time rollup of everything recorded so far."""
+        from ..graph.cache import adjacency_cache
+
+        with self._lock:
+            latency = _percentile_summary(self._latencies)
+            queue_depth = _percentile_summary(self._queue_depths)
+            batch_histogram = {str(size): count for size, count
+                               in sorted(self._batch_sizes.items())}
+            mean_batch = (self.coalesced_requests / self.batches
+                          if self.batches else 0.0)
+            elapsed = max(time.time() - self.started_at, 1e-9)
+            payload = {
+                "uptime_seconds": elapsed,
+                "requests": self.requests,
+                "errors": self.errors,
+                "fallbacks": self.fallbacks,
+                "requests_per_second": self.requests / elapsed,
+                "ops": dict(self._ops),
+                "latency_seconds": latency,
+                "queue_depth": queue_depth,
+                "batches": self.batches,
+                "mean_batch_size": mean_batch,
+                "batch_size_histogram": batch_histogram,
+                "forward_seconds": self.forward_seconds,
+            }
+        cache = adjacency_cache().stats()
+        lookups = cache["hits"] + cache["misses"]
+        payload["adjacency_cache"] = {
+            **cache,
+            "hit_rate": cache["hits"] / lookups if lookups else 0.0,
+        }
+        return payload
+
+    def report(self, config: Optional[Dict[str, Any]] = None,
+               run_id: Optional[str] = None) -> RunReport:
+        """The snapshot as a schema-v1 :class:`~repro.obs.RunReport`.
+
+        Scalar headline numbers go in ``metrics`` (the schema's flat
+        result map); the full structured snapshot — percentile blocks,
+        the batch-size histogram — rides under ``config["serving"]`` so
+        both mechanical diffing and ad-hoc inspection work.
+        """
+        snap = self.snapshot()
+        metrics = {
+            "requests": float(snap["requests"]),
+            "errors": float(snap["errors"]),
+            "fallbacks": float(snap["fallbacks"]),
+            "requests_per_second": snap["requests_per_second"],
+            "latency_p50_seconds": snap["latency_seconds"]["p50"],
+            "latency_p95_seconds": snap["latency_seconds"]["p95"],
+            "latency_p99_seconds": snap["latency_seconds"]["p99"],
+            "mean_batch_size": snap["mean_batch_size"],
+            "adjacency_cache_hit_rate":
+                snap["adjacency_cache"]["hit_rate"],
+        }
+        full_config = dict(config or {})
+        full_config["serving"] = snap
+        return RunReport(
+            run_id=run_id if run_id is not None else new_run_id("serve"),
+            kind="serving", config=full_config, metrics=metrics)

@@ -6,7 +6,8 @@ layer (:mod:`repro.tensor.ops`), gradient-mode switches, and numerical
 gradient checking used to validate every model component.
 """
 
-from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .grad_mode import (enable_grad, inference_mode, is_grad_enabled,
+                        no_grad, set_grad_enabled, tape_node_count)
 from .gradcheck import gradcheck, numerical_gradient
 from .ops import (binary_cross_entropy, conv1d, cross_entropy, dropout, elu,
                   huber_loss, l1_loss, leaky_relu, linear, log_softmax,
@@ -20,7 +21,8 @@ __all__ = [
     "Tensor", "concat", "stack", "where", "maximum", "einsum", "ensure_tensor",
     "SparsePattern", "SparseTensor", "spmm", "sddmm", "sparse_gather",
     "sparse_segment_sum",
-    "no_grad", "enable_grad", "is_grad_enabled", "set_grad_enabled",
+    "no_grad", "enable_grad", "inference_mode", "is_grad_enabled",
+    "set_grad_enabled", "tape_node_count",
     "gradcheck", "numerical_gradient",
     "softmax", "log_softmax", "relu", "sigmoid", "tanh", "leaky_relu", "elu",
     "dropout", "conv1d", "linear", "one_hot",

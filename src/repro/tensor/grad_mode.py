@@ -1,28 +1,64 @@
-"""Global gradient-mode switches for the autograd engine.
+"""Gradient-mode switches and tape accounting for the autograd engine.
 
 Mirrors the semantics of ``torch.no_grad`` / ``torch.enable_grad``: inside a
 ``no_grad()`` block, newly created tensors never record history even if their
-inputs require gradients.  The switch is a simple module-level flag because
-the reproduction is single-threaded by design.
+inputs require gradients.
+
+The switch is **thread-local**.  The original implementation used a plain
+module-level flag ("the reproduction is single-threaded by design"), which
+became a real bug once ``repro.serve`` introduced thread-based inference
+workers: a worker entering ``no_grad()`` would silently disable gradient
+recording in a concurrently training thread, and vice versa.  Each thread
+now starts with gradients enabled and flips only its own state.
+
+The module also counts *tape nodes* — tensors created with recorded history
+(parents + a backward closure).  :func:`tape_node_count` is the observable
+the serving regression tests assert on: a forward pass executed under
+``no_grad()`` / ``inference_mode()`` must not advance it, which is exactly
+the "no autograd allocation in serving" guarantee.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
-_grad_enabled: bool = True
+
+class _GradState(threading.local):
+    """Per-thread autograd state; every thread starts grad-enabled."""
+
+    def __init__(self):
+        self.enabled: bool = True
+        self.tape_nodes: int = 0
+
+
+_state = _GradState()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether autograd history is currently being recorded."""
-    return _grad_enabled
+    """Return whether this thread is currently recording autograd history."""
+    return _state.enabled
 
 
 def set_grad_enabled(mode: bool) -> None:
-    """Globally enable or disable autograd recording."""
-    global _grad_enabled
-    _grad_enabled = bool(mode)
+    """Enable or disable autograd recording for the calling thread."""
+    _state.enabled = bool(mode)
+
+
+def tape_node_count() -> int:
+    """Tensors created *with recorded history* by the calling thread.
+
+    Monotonically increasing; diff two readings around a code block to
+    measure how many autograd nodes that block allocated.  A forward pass
+    under :func:`no_grad` contributes zero.
+    """
+    return _state.tape_nodes
+
+
+def _note_tape_node() -> None:
+    """Record that one tensor with autograd history was created."""
+    _state.tape_nodes += 1
 
 
 @contextmanager
@@ -38,22 +74,32 @@ def no_grad() -> Iterator[None]:
     >>> y.requires_grad
     False
     """
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    previous = _state.enabled
+    _state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _state.enabled = previous
 
 
 @contextmanager
 def enable_grad() -> Iterator[None]:
     """Context manager that re-enables gradient recording inside ``no_grad``."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = True
+    previous = _state.enabled
+    _state.enabled = True
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _state.enabled = previous
+
+
+@contextmanager
+def inference_mode() -> Iterator[None]:
+    """Forward-only execution: gradients off, tape allocation asserted off.
+
+    Semantically :func:`no_grad` today; serving code uses this spelling so
+    the intent ("this block must never touch the autograd tape") survives
+    any future divergence between the two modes.
+    """
+    with no_grad():
+        yield

@@ -25,7 +25,7 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .grad_mode import is_grad_enabled
+from .grad_mode import _note_tape_node, is_grad_enabled
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -188,6 +188,7 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward = backward
+            _note_tape_node()
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -655,6 +656,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if requires:
         out._parents = tuple(tensors)
         out._backward = backward
+        _note_tape_node()
     return out
 
 
@@ -674,6 +676,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if requires:
         out._parents = tuple(tensors)
         out._backward = backward
+        _note_tape_node()
     return out
 
 
@@ -695,6 +698,7 @@ def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
     if requires:
         out._parents = (a, b)
         out._backward = backward
+        _note_tape_node()
     return out
 
 
@@ -718,6 +722,7 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
     if requires:
         out._parents = (a, b)
         out._backward = backward
+        _note_tape_node()
     return out
 
 
@@ -786,4 +791,5 @@ def einsum(subscripts: str, *operands: Tensor) -> Tensor:
     if requires:
         out._parents = tuple(tensors)
         out._backward = backward
+        _note_tape_node()
     return out

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.ckpt import (CheckpointManager, TrainingCheckpoint,
-                        corrupt_archive)
+from repro.ckpt import (CheckpointError, CheckpointManager,
+                        TrainingCheckpoint, corrupt_archive)
 
 
 def checkpoint_at(epoch, batch_index, value=0.0):
@@ -74,12 +74,15 @@ class TestRecovery:
         assert recovered.epoch == 0
         assert np.array_equal(recovered.model_state["w"], np.full(3, 1.0))
 
-    def test_latest_valid_none_when_all_corrupt(self, tmp_path):
+    def test_latest_valid_raises_when_all_corrupt(self, tmp_path):
+        # Every archive corrupt is unrecoverable data loss; it must be a
+        # loud error, not the same silent None as an empty directory.
         manager = CheckpointManager(tmp_path, keep_last=5)
         for epoch in range(2):
             corrupt_archive(manager.save(checkpoint_at(epoch, 0)),
                             mode="empty")
-        assert manager.latest_valid() is None
+        with pytest.raises(CheckpointError, match="all 2 checkpoint"):
+            manager.latest_valid()
 
     def test_load_best_none_when_corrupt(self, tmp_path):
         manager = CheckpointManager(tmp_path)
@@ -100,3 +103,71 @@ class TestTelemetry:
         assert (telemetry["checkpoint_bytes_written"]
                 >= 3 * telemetry["checkpoint_latest_bytes"])
         assert telemetry["checkpoint_write_seconds"] > 0
+
+
+def checkpoint_with_metric(epoch, batch_index, best_val=None, **metrics):
+    ckpt = checkpoint_at(epoch, batch_index, value=float(epoch))
+    if best_val is not None:
+        ckpt.early_stopping = {"best_val": best_val}
+    if metrics:
+        ckpt.metadata = {"metrics": metrics}
+    return ckpt
+
+
+class TestBestCheckpointSelection:
+    def test_picks_minimum_metric(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        manager.save(checkpoint_with_metric(0, 0, best_val=0.9))
+        manager.save(checkpoint_with_metric(1, 0, best_val=0.4))
+        manager.save(checkpoint_with_metric(2, 0, best_val=0.7))
+        assert manager.best_checkpoint().epoch == 1
+
+    def test_max_mode_reads_user_metrics(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        manager.save(checkpoint_with_metric(0, 0, MRR=0.31))
+        manager.save(checkpoint_with_metric(1, 0, MRR=0.44))
+        best = manager.best_checkpoint(metric="MRR", mode="max")
+        assert best.epoch == 1
+
+    def test_tie_breaks_to_newest_deterministically(self, tmp_path):
+        # Two checkpoints with the exact same best metric: the newer one
+        # (higher epoch/batch cursor) must win, every time.
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        manager.save(checkpoint_with_metric(0, 3, best_val=0.5))
+        manager.save(checkpoint_with_metric(2, 1, best_val=0.5))
+        manager.save(checkpoint_with_metric(1, 0, best_val=0.8))
+        for _ in range(3):                      # stable across calls
+            best = manager.best_checkpoint()
+            assert (best.epoch, best.batch_index) == (2, 1)
+
+    def test_skips_corrupt_and_metricless(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        manager.save(checkpoint_at(0, 0))                 # no metric
+        manager.save(checkpoint_with_metric(1, 0, best_val=0.2))
+        corrupt_archive(manager.save(
+            checkpoint_with_metric(2, 0, best_val=0.1)), mode="flip")
+        assert manager.best_checkpoint().epoch == 1
+
+    def test_none_when_metric_absent_everywhere(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        manager.save(checkpoint_at(0, 0))
+        assert manager.best_checkpoint() is None
+        assert manager.best_checkpoint(metric="MRR", mode="max") is None
+
+    def test_raises_when_all_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep_last=10)
+        for epoch in range(2):
+            corrupt_archive(manager.save(
+                checkpoint_with_metric(epoch, 0, best_val=0.5)),
+                mode="truncate")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            manager.best_checkpoint()
+
+    def test_rejects_unknown_mode(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ValueError, match="mode"):
+            manager.best_checkpoint(mode="median")
+
+    def test_empty_directory_returns_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "nothing").best_checkpoint() \
+            is None

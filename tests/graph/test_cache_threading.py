@@ -1,0 +1,133 @@
+"""Thread-safety of the normalized-adjacency cache.
+
+The serving path reads this cache from HTTP handler threads and batcher
+workers while training code may invalidate it; the stress tests here pin
+down that concurrent readers and an invalidating writer never corrupt the
+cache, lose counter updates, or serve another key's value.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph import NormalizedAdjacencyCache, reset_adjacency_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_global_cache():
+    yield reset_adjacency_cache()
+    reset_adjacency_cache()
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=fn) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not any(t.is_alive() for t in threads), "worker deadlocked"
+
+
+class TestConcurrentReaders:
+    def test_hammered_get_or_compute_returns_right_values(self):
+        # 8 readers × 200 lookups over 10 keys: every result must match
+        # its key (never another thread's value), and errors surface.
+        cache = NormalizedAdjacencyCache(max_entries=32)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def reader(worker_id):
+            def body():
+                barrier.wait(timeout=10.0)
+                rng = np.random.default_rng(worker_id)
+                for _ in range(200):
+                    key = int(rng.integers(0, 10))
+                    value = cache.get_or_compute(
+                        key, lambda k=key: np.full(4, float(k)))
+                    if not np.array_equal(value, np.full(4, float(key))):
+                        errors.append((worker_id, key, value))
+            return body
+
+        run_threads([reader(i) for i in range(8)])
+        assert errors == []
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 200
+
+    def test_counters_do_not_lose_updates(self):
+        # Pure hit traffic: with the entry pre-seeded, 8 × 500 lookups
+        # must count exactly 4000 hits (a torn counter would undercount).
+        cache = NormalizedAdjacencyCache()
+        cache.put("adj", np.eye(3))
+        barrier = threading.Barrier(8)
+
+        def reader():
+            barrier.wait(timeout=10.0)
+            for _ in range(500):
+                cache.get("adj")
+
+        run_threads([reader] * 8)
+        assert cache.stats()["hits"] == 8 * 500
+
+
+class TestInvalidationRace:
+    def test_readers_race_invalidator(self):
+        # Readers recompute-or-hit one key while a writer invalidates it
+        # as fast as it can.  Whatever interleaving happens, a reader
+        # must only ever observe the correct value for the key.
+        cache = NormalizedAdjacencyCache(max_entries=8)
+        barrier = threading.Barrier(5)
+        stop = threading.Event()
+        wrong = []
+
+        def reader(worker_id):
+            def body():
+                barrier.wait(timeout=10.0)
+                for _ in range(300):
+                    value = cache.get_or_compute(
+                        "contested", lambda: np.full(8, 7.0))
+                    if not np.array_equal(value, np.full(8, 7.0)):
+                        wrong.append((worker_id, value))
+            return body
+
+        def invalidator():
+            barrier.wait(timeout=10.0)
+            while not stop.is_set():
+                cache.invalidate("contested")
+
+        readers = [reader(i) for i in range(4)]
+        threads = [threading.Thread(target=fn) for fn in readers]
+        inval = threading.Thread(target=invalidator)
+        for thread in threads + [inval]:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        stop.set()
+        inval.join(timeout=10.0)
+        assert not inval.is_alive()
+        assert wrong == []
+        stats = cache.stats()
+        assert stats["invalidations"] >= 1
+        # conservation: every lookup was either a hit or a miss
+        assert stats["hits"] + stats["misses"] == 4 * 300
+
+    def test_clear_races_put_leaves_consistent_cache(self):
+        cache = NormalizedAdjacencyCache(max_entries=16)
+        barrier = threading.Barrier(4)
+
+        def writer(worker_id):
+            def body():
+                barrier.wait(timeout=10.0)
+                for i in range(200):
+                    cache.put((worker_id, i % 8), np.ones(2))
+            return body
+
+        def clearer():
+            barrier.wait(timeout=10.0)
+            for _ in range(100):
+                cache.clear()
+
+        run_threads([writer(0), writer(1), writer(2), clearer])
+        stats = cache.stats()
+        assert 0 <= stats["entries"] <= 16
+        assert len(cache) == stats["entries"]

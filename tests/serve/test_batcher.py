@@ -1,0 +1,132 @@
+"""MicroBatcher: coalescing, error routing, shutdown, backpressure."""
+
+import threading
+import time
+from concurrent.futures import wait
+
+import pytest
+
+from repro.serve import BatcherClosedError, MicroBatcher
+from repro.serve.telemetry import ServingTelemetry
+
+
+class CountingCompute:
+    """Stub compute that records every call and can be slowed down."""
+
+    def __init__(self, delay=0.0):
+        self.calls = []
+        self.delay = delay
+        self._lock = threading.Lock()
+
+    def __call__(self, key):
+        with self._lock:
+            self.calls.append(key)
+        if self.delay:
+            time.sleep(self.delay)
+        return ("result", key)
+
+
+class TestCoalescing:
+    def test_single_request_round_trips(self):
+        compute = CountingCompute()
+        with MicroBatcher(compute, max_wait_ms=1.0) as batcher:
+            assert batcher.submit("k").result(timeout=5.0) == \
+                ("result", "k")
+        assert compute.calls == ["k"]
+
+    def test_same_key_requests_share_one_compute(self):
+        # Slow first forward: requests piling up behind it coalesce into
+        # the next batch and resolve from a single compute call.
+        compute = CountingCompute(delay=0.05)
+        with MicroBatcher(compute, max_batch=64,
+                          max_wait_ms=20.0) as batcher:
+            futures = [batcher.submit("hot") for _ in range(16)]
+            results = {f.result(timeout=10.0) for f in futures}
+        assert results == {("result", "hot")}
+        assert len(compute.calls) < 16       # genuinely coalesced
+
+    def test_distinct_keys_each_computed(self):
+        compute = CountingCompute()
+        with MicroBatcher(compute, max_wait_ms=10.0) as batcher:
+            futures = {key: batcher.submit(key) for key in "abc"}
+            for key, future in futures.items():
+                assert future.result(timeout=5.0) == ("result", key)
+        assert sorted(compute.calls) == ["a", "b", "c"]
+
+    def test_zero_wait_is_unbatched_baseline(self):
+        compute = CountingCompute()
+        with MicroBatcher(compute, max_batch=1,
+                          max_wait_ms=0.0) as batcher:
+            futures = [batcher.submit("k") for _ in range(5)]
+            wait(futures, timeout=10.0)
+        assert len(compute.calls) == 5       # one forward per request
+
+    def test_batch_telemetry_recorded(self):
+        telemetry = ServingTelemetry()
+        compute = CountingCompute(delay=0.05)
+        with MicroBatcher(compute, max_batch=64, max_wait_ms=20.0,
+                          telemetry=telemetry) as batcher:
+            futures = [batcher.submit("hot") for _ in range(8)]
+            wait(futures, timeout=10.0)
+        snap = telemetry.snapshot()
+        assert snap["batches"] == len(compute.calls)
+        assert sum(int(k) * v for k, v
+                   in snap["batch_size_histogram"].items()) == 8
+
+
+class TestErrors:
+    def test_compute_error_routed_to_all_waiters(self):
+        def explode(key):
+            raise ValueError(f"bad key {key}")
+
+        with MicroBatcher(explode, max_wait_ms=10.0) as batcher:
+            futures = [batcher.submit("k") for _ in range(3)]
+            for future in futures:
+                with pytest.raises(ValueError, match="bad key"):
+                    future.result(timeout=5.0)
+
+    def test_error_on_one_key_spares_others(self):
+        def picky(key):
+            if key == "bad":
+                raise RuntimeError("nope")
+            return key
+
+        with MicroBatcher(picky, max_batch=8, max_wait_ms=30.0) as batcher:
+            good = batcher.submit("good")
+            bad = batcher.submit("bad")
+            assert good.result(timeout=5.0) == "good"
+            with pytest.raises(RuntimeError):
+                bad.result(timeout=5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda k: k, max_batch=0)
+        with pytest.raises(ValueError, match="workers"):
+            MicroBatcher(lambda k: k, workers=0)
+
+
+class TestShutdown:
+    def test_close_drains_queued_work(self):
+        compute = CountingCompute(delay=0.02)
+        batcher = MicroBatcher(compute, max_batch=4, max_wait_ms=5.0)
+        futures = [batcher.submit(i) for i in range(8)]
+        batcher.close(timeout=30.0)
+        for i, future in enumerate(futures):
+            assert future.result(timeout=1.0) == ("result", i)
+
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(lambda k: k)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit("k")
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda k: k)
+        batcher.close()
+        batcher.close()
+
+    def test_workers_exit_after_close(self):
+        batcher = MicroBatcher(lambda k: k, workers=3)
+        batcher.submit("k").result(timeout=5.0)
+        batcher.close(timeout=10.0)
+        assert not any(w.is_alive() for w in batcher._workers)

@@ -1,10 +1,13 @@
 """Gradient-mode switches and graph-recording behavior."""
 
+import threading
+
 import numpy as np
 import pytest
 
-from repro.tensor import (Tensor, enable_grad, is_grad_enabled, no_grad,
-                          set_grad_enabled)
+from repro.tensor import (Tensor, enable_grad, inference_mode,
+                          is_grad_enabled, no_grad, set_grad_enabled,
+                          tape_node_count)
 
 
 class TestNoGrad:
@@ -86,3 +89,105 @@ class TestGraphLifecycle:
             x = x + 1.0
         x.sum().backward()
         assert np.allclose(a.grad, [1.0])
+
+
+class TestTapeAllocation:
+    """Inference mode must allocate *zero* tape nodes — the property the
+    serving path relies on to keep memory flat across requests."""
+
+    def _forward(self, a, b):
+        return ((a @ b).relu().sum() * 2.0) + 1.0
+
+    def test_grad_mode_allocates_tape_nodes(self):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        b = Tensor(np.ones((4, 4)), requires_grad=True)
+        before = tape_node_count()
+        self._forward(a, b)
+        assert tape_node_count() > before
+
+    def test_inference_mode_allocates_none(self):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        b = Tensor(np.ones((4, 4)), requires_grad=True)
+        with inference_mode():
+            before = tape_node_count()
+            out = self._forward(a, b)
+        assert tape_node_count() == before
+        assert not out.requires_grad
+
+    def test_repeated_inference_forwards_no_tape_growth(self):
+        # The serving regression: a long stream of eval forwards must not
+        # grow the tape at all, request after request.
+        a = Tensor(np.ones((8, 8)), requires_grad=True)
+        b = Tensor(np.ones((8, 8)), requires_grad=True)
+        with inference_mode():
+            before = tape_node_count()
+            for _ in range(100):
+                self._forward(a, b)
+            assert tape_node_count() == before
+
+    def test_module_graph_builders_counted(self):
+        # concat/stack/where/maximum/einsum build tape nodes outside
+        # _make_child; the counter must see those too.
+        from repro.tensor import concat, einsum, maximum, stack, where
+
+        a = Tensor(np.ones((3, 3)), requires_grad=True)
+        b = Tensor(np.ones((3, 3)), requires_grad=True)
+        before = tape_node_count()
+        concat([a, b], axis=0)
+        stack([a, b], axis=0)
+        where(a.data > 0, a, b)
+        maximum(a, b)
+        einsum("ij,jk->ik", a, b)
+        assert tape_node_count() == before + 5
+        with inference_mode():
+            mid = tape_node_count()
+            concat([a, b], axis=0)
+            stack([a, b], axis=0)
+            where(a.data > 0, a, b)
+            maximum(a, b)
+            einsum("ij,jk->ik", a, b)
+            assert tape_node_count() == mid
+
+
+class TestThreadIsolation:
+    """Grad mode is per-thread: a serving worker's inference_mode must
+    never disable gradients in a concurrently training thread."""
+
+    def test_no_grad_does_not_leak_across_threads(self):
+        entered = threading.Event()
+        release = threading.Event()
+        states = {}
+
+        def worker():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5.0)
+                states["worker"] = is_grad_enabled()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        # main thread, while the worker sits inside no_grad:
+        states["main"] = is_grad_enabled()
+        a = Tensor([1.0], requires_grad=True)
+        states["main_records"] = (a * 2).requires_grad
+        release.set()
+        thread.join(timeout=5.0)
+        assert states == {"worker": False, "main": True,
+                          "main_records": True}
+
+    def test_tape_counter_is_per_thread(self):
+        results = {}
+
+        def worker():
+            start = tape_node_count()
+            a = Tensor([1.0], requires_grad=True)
+            (a * 2) + 1.0
+            results["grew"] = tape_node_count() - start
+
+        before = tape_node_count()
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=5.0)
+        assert results["grew"] == 2
+        assert tape_node_count() == before  # main thread unaffected

@@ -150,6 +150,105 @@ class TestCLI:
         assert "LSTM" in out
 
 
+class TestModelRegistrySync:
+    """`repro.cli models` must mirror repro.baselines.registry exactly —
+    a model registered there appears in the CLI with no CLI edit."""
+
+    def test_models_output_lists_every_registered_model(self, capsys):
+        from repro.baselines import available_baselines
+
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in available_baselines():
+            assert name in out, f"{name} missing from `models` output"
+
+    def test_models_output_has_no_unregistered_rows(self, capsys):
+        from repro.baselines import available_baselines
+
+        assert main(["models"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        names = {line[:12].strip() for line in lines}
+        registered = {name[:12].strip()
+                      for name in available_baselines()}
+        assert names == registered
+
+    def test_strategy_column_matches_registry(self, capsys):
+        from repro.baselines import get_spec, rtgcn_strategies
+
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name, strategy in rtgcn_strategies().items():
+            assert strategy == get_spec(name).strategy
+            assert strategy in out
+
+    def test_train_accepts_every_rtgcn_variant(self):
+        # The checkpointable-model set is rtgcn_strategies(), not a
+        # hand-kept table: every variant takes the trainer path.
+        from repro.baselines import rtgcn_strategies
+
+        strategies = rtgcn_strategies()
+        assert set(strategies.values()) == {"uniform", "weight", "time"}
+        for name in strategies:
+            code = main(["train", "--market", "csi-mini", "--model", name,
+                         "--epochs", "1", "--window", "6",
+                         "--max-train-days", "6"])
+            assert code == 0
+
+
+class TestServeQueryCLI:
+    @pytest.fixture(scope="class")
+    def ckpt_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-serve")
+        assert main(["train", "--market", "csi-mini", "--epochs", "1",
+                     "--window", "6", "--max-train-days", "8",
+                     "--checkpoint-dir", str(directory)]) == 0
+        return directory
+
+    def test_checkpoint_dir_archives_record_model_and_market(self,
+                                                             ckpt_dir):
+        from repro.ckpt import load
+
+        checkpoint = load(next(iter(sorted(ckpt_dir.glob("*.npz")))))
+        assert checkpoint.metadata["model"] == "RT-GCN (T)"
+        assert checkpoint.metadata["market"] == "csi-mini"
+
+    def test_query_round_trip(self, ckpt_dir, capsys):
+        import json
+        import threading
+
+        from repro.serve import (ModelRegistry, RankingHTTPServer,
+                                 RankingService)
+
+        service = RankingService(ModelRegistry(ckpt_dir))
+        server = RankingHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            port = str(server.server_address[1])
+            assert main(["query", "--top-k", "10",
+                         "--port", port]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert len(payload["top_k"]) == 10
+            assert payload["top_k"][0]["rank"] == 1
+            assert main(["query", "--endpoint", "health",
+                         "--port", port]) == 0
+            assert json.loads(
+                capsys.readouterr().out)["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+
+    def test_serve_refuses_empty_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoints"):
+            main(["serve", "--checkpoint-dir", str(tmp_path)])
+
+    def test_query_unreachable_server_exits_nonzero(self):
+        with pytest.raises(SystemExit, match="query failed"):
+            main(["query", "--port", "1", "--timeout", "1"])
+
+
 class TestConfigSurface:
     def test_every_trainconfig_field_has_a_flag(self):
         parser = build_parser()
