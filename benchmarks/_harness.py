@@ -8,6 +8,8 @@ to scale up:
 - ``RTGCN_BENCH_EPOCHS``  (default 12)  training epochs per run
 - ``RTGCN_BENCH_RUNS``    (default 3)   repeated runs per model (paper: 15)
 - ``RTGCN_BENCH_MARKETS`` (default "nasdaq-mini,nyse-mini,csi-mini")
+- ``RTGCN_BENCH_WORKERS`` (default 1)   worker processes per experiment
+  (results are bitwise-identical to serial; see docs/parallelism.md)
 
 Each bench prints the paper-style table and writes it under
 ``benchmarks/results/`` so the output survives pytest's capture.
@@ -43,15 +45,20 @@ BENCH_SEED = int(os.environ.get("RTGCN_BENCH_SEED", "0"))
 BENCH_PATIENCE = int(os.environ.get("RTGCN_BENCH_PATIENCE", "0"))
 BENCH_VALIDATION_DAYS = int(os.environ.get("RTGCN_BENCH_VALIDATION_DAYS",
                                            "30"))
+BENCH_WORKERS = int(os.environ.get("RTGCN_BENCH_WORKERS", "1"))
 
-_dataset_cache: Dict[str, StockDataset] = {}
+# Keyed by (market, seed): a bench that loads the same market under a
+# different seed (e.g. a sensitivity sweep overriding BENCH_SEED) must not
+# be served the cached dataset generated under the session seed.
+_dataset_cache: Dict[tuple, StockDataset] = {}
 
 
-def bench_dataset(market: str) -> StockDataset:
+def bench_dataset(market: str, seed: Optional[int] = None) -> StockDataset:
     """Load (and cache) a market preset for the bench session."""
-    if market not in _dataset_cache:
-        _dataset_cache[market] = load_market(market, seed=BENCH_SEED)
-    return _dataset_cache[market]
+    key = (market, BENCH_SEED if seed is None else seed)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = load_market(market, seed=key[1])
+    return _dataset_cache[key]
 
 
 def bench_config(**overrides) -> TrainConfig:

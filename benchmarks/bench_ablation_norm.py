@@ -19,8 +19,9 @@ from repro.core.relational import RelationalGraphConvolution
 from repro.graph import UniformStrategy
 from repro.eval import run_experiment
 
-from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
-                      bench_dataset, format_table, metric_row, publish)
+from _harness import (BENCH_MARKETS, BENCH_RUNS, BENCH_WORKERS,
+                      bench_config, bench_dataset, format_table, metric_row,
+                      publish)
 
 MARKET = BENCH_MARKETS[0]
 
@@ -50,7 +51,7 @@ def build_ablation():
         outputs[label] = run_experiment(
             label,
             lambda gen, r=renorm, l=layers: make_model(dataset, r, gen, l),
-            dataset, config, n_runs=BENCH_RUNS)
+            dataset, config, n_runs=BENCH_RUNS, workers=BENCH_WORKERS)
     return outputs
 
 

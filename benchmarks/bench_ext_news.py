@@ -16,8 +16,9 @@ from repro.core import RTGCN
 from repro.data import NewsAugmentedDataset, NewsConfig
 from repro.eval import run_experiment
 
-from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
-                      bench_dataset, format_table, metric_row, publish)
+from _harness import (BENCH_MARKETS, BENCH_RUNS, BENCH_WORKERS,
+                      bench_config, bench_dataset, format_table, metric_row,
+                      publish)
 
 MARKET = BENCH_MARKETS[0]
 
@@ -27,7 +28,7 @@ def run_variant(dataset, num_features, config):
         "RT-GCN (T)",
         lambda gen: RTGCN(dataset.relations, num_features=num_features,
                           strategy="time", relational_filters=16, rng=gen),
-        dataset, config, n_runs=BENCH_RUNS)
+        dataset, config, n_runs=BENCH_RUNS, workers=BENCH_WORKERS)
 
 
 def build_extension():

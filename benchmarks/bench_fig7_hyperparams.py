@@ -17,8 +17,8 @@ import pytest
 from repro.core import RTGCN
 from repro.eval import run_experiment
 
-from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
-                      bench_dataset, format_table, publish)
+from _harness import (BENCH_MARKETS, BENCH_RUNS, BENCH_WORKERS,
+                      bench_config, bench_dataset, format_table, publish)
 
 import os
 
@@ -38,7 +38,7 @@ def run_config(dataset, config):
         lambda gen: RTGCN(dataset.relations, strategy="time",
                           num_features=config.num_features,
                           relational_filters=16, rng=gen),
-        dataset, config, n_runs=SWEEP_RUNS)
+        dataset, config, n_runs=SWEEP_RUNS, workers=BENCH_WORKERS)
 
 
 def build_sweeps():

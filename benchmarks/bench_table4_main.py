@@ -21,8 +21,9 @@ from repro.baselines import TABLE_IV_MODELS, get_spec
 from repro.eval import compare_paired, run_named_experiment
 from repro.stats import improvement_percent
 
-from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
-                      bench_dataset, format_table, metric_row, publish)
+from _harness import (BENCH_MARKETS, BENCH_RUNS, BENCH_WORKERS,
+                      bench_config, bench_dataset, format_table, metric_row,
+                      publish)
 
 MARKET = BENCH_MARKETS[0]
 METRICS = ("MRR", "IRR-1", "IRR-5", "IRR-10")
@@ -34,7 +35,8 @@ def build_table4():
     results = {}
     for name in TABLE_IV_MODELS:
         results[name] = run_named_experiment(name, dataset, config,
-                                             n_runs=BENCH_RUNS)
+                                             n_runs=BENCH_RUNS,
+                                             workers=BENCH_WORKERS)
     return results
 
 

@@ -16,8 +16,9 @@ import pytest
 from repro.data import StockDataset
 from repro.eval import compare_to_published, run_named_experiment
 
-from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
-                      bench_dataset, format_table, metric_row, publish)
+from _harness import (BENCH_MARKETS, BENCH_RUNS, BENCH_WORKERS,
+                      bench_config, bench_dataset, format_table, metric_row,
+                      publish)
 
 MODELS = ["RSR_I", "RSR_E", "STHAN-SR", "RT-GCN (T)"]
 
@@ -40,7 +41,8 @@ def build_table5():
         dataset = industry_only(bench_dataset(market))
         outputs[dataset.market] = {
             name: run_named_experiment(name, dataset, config,
-                                       n_runs=BENCH_RUNS)
+                                       n_runs=BENCH_RUNS,
+                                       workers=BENCH_WORKERS)
             for name in MODELS}
     return outputs
 

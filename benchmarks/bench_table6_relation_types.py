@@ -18,8 +18,9 @@ from repro.core import RTGCN
 from repro.data import StockDataset
 from repro.eval import run_experiment, run_named_experiment
 
-from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
-                      bench_dataset, format_table, metric_row, publish)
+from _harness import (BENCH_MARKETS, BENCH_RUNS, BENCH_WORKERS,
+                      bench_config, bench_dataset, format_table, metric_row,
+                      publish)
 
 MARKET = BENCH_MARKETS[0]         # needs wiki relations -> US-style market
 STRATEGIES = ["uniform", "weight", "time"]
@@ -48,7 +49,8 @@ def build_table6():
     for source in ("wiki", "industry"):
         view = restricted(dataset, source)
         results = {"Rank_LSTM": run_named_experiment(
-            "Rank_LSTM", view, config, n_runs=BENCH_RUNS)}
+            "Rank_LSTM", view, config, n_runs=BENCH_RUNS,
+            workers=BENCH_WORKERS)}
         for strategy in STRATEGIES:
             label = f"RT-GCN ({strategy[0].upper()})"
             results[label] = run_experiment(
@@ -56,7 +58,7 @@ def build_table6():
                 lambda gen, s=strategy, v=view: RTGCN(
                     v.relations, strategy=s, relational_filters=16,
                     rng=gen),
-                view, config, n_runs=BENCH_RUNS)
+                view, config, n_runs=BENCH_RUNS, workers=BENCH_WORKERS)
         outputs[source] = results
     return outputs
 

@@ -13,8 +13,9 @@ import pytest
 from repro.core import RTGCN
 from repro.eval import run_experiment
 
-from _harness import (BENCH_MARKETS, BENCH_RUNS, bench_config,
-                      bench_dataset, format_table, metric_row, publish)
+from _harness import (BENCH_MARKETS, BENCH_RUNS, BENCH_WORKERS,
+                      bench_config, bench_dataset, format_table, metric_row,
+                      publish)
 
 VARIANTS = {
     "RT-GCN (U)": lambda rel, gen: RTGCN(rel, strategy="uniform",
@@ -37,7 +38,8 @@ def build_table7():
         outputs[market] = {
             name: run_experiment(
                 name, lambda gen, f=factory: f(dataset.relations, gen),
-                dataset, config, n_runs=BENCH_RUNS)
+                dataset, config, n_runs=BENCH_RUNS,
+                workers=BENCH_WORKERS)
             for name, factory in VARIANTS.items()}
     return outputs
 

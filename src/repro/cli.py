@@ -11,6 +11,10 @@ train
 compare
     Run several models under the shared protocol and print a Table-IV
     style comparison.
+sweep
+    Fan a model × market × seed sweep across worker processes with
+    results bitwise-identical to the serial loop (see
+    ``docs/parallelism.md``).
 profile
     Train briefly under the op profiler and print per-op / per-phase
     cost tables, writing a JSON report (see ``docs/observability.md``).
@@ -42,6 +46,8 @@ Examples
         --checkpoint-dir /tmp/ckpts --resume
     python -m repro.cli compare --market csi-mini \
         --models "Rank_LSTM,RSR_E,RT-GCN (T)" --runs 3
+    python -m repro.cli sweep --markets nasdaq-mini,csi-mini \
+        --models "Rank_LSTM,RT-GCN (T)" --runs 3 --workers 4
     python -m repro.cli profile --market nasdaq-mini --model "RT-GCN (T)"
     python -m repro.cli serve --checkpoint-dir /tmp/ckpts --port 8151
     python -m repro.cli query --top-k 10 --port 8151
@@ -95,10 +101,12 @@ _FIELD_HELP = {
 }
 
 
-def _add_train_options(parser: argparse.ArgumentParser) -> None:
+def _add_train_options(parser: argparse.ArgumentParser,
+                       include_market: bool = True) -> None:
     """Add ``--market`` plus one flag per :class:`TrainConfig` field."""
-    parser.add_argument("--market", default="nasdaq-mini",
-                        help="market preset (see `markets`)")
+    if include_market:
+        parser.add_argument("--market", default="nasdaq-mini",
+                            help="market preset (see `markets`)")
     for spec in dataclasses.fields(TrainConfig):
         flags = _FIELD_FLAGS.get(spec.name,
                                  ("--" + spec.name.replace("_", "-"),))
@@ -226,13 +234,47 @@ def cmd_compare(args: argparse.Namespace) -> int:
         result = run_named_experiment(name, dataset, config,
                                       n_runs=args.runs,
                                       base_seed=args.seed,
-                                      resume_dir=args.resume_dir)
+                                      resume_dir=args.resume_dir,
+                                      workers=args.workers)
         summary = result.summary()
         cells = []
         for key in ("MRR", "IRR-1", "IRR-5", "IRR-10"):
             mean = summary[key].mean
             cells.append("-" if np.isnan(mean) else f"{mean:+.3f}")
         print(f"{name:12s} " + " ".join(f"{c:>8s}" for c in cells))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Parallel model × market × seed sweep (see docs/parallelism.md)."""
+    from .parallel import run_experiments_parallel
+
+    models = [n.strip() for n in args.models.split(",") if n.strip()]
+    markets = [m.strip() for m in args.markets.split(",") if m.strip()]
+    config = _config_from_args(args)
+    print(f"sweep: {len(models)} model(s) × {len(markets)} market(s) × "
+          f"{args.runs} run(s)")
+    sweep = run_experiments_parallel(
+        models, markets, config=config, n_runs=args.runs,
+        base_seed=args.seed, workers=args.workers,
+        dataset_seed=args.seed, resume_dir=args.resume_dir,
+        telemetry_dir=args.telemetry_dir,
+        task_timeout=args.task_timeout)
+    print(f"\n{'market':14s} {'model':12s} {'MRR':>8s} {'IRR-1':>8s} "
+          f"{'IRR-5':>8s} {'IRR-10':>8s}")
+    for market, model, *means in sweep.table_rows():
+        cells = ["-" if np.isnan(m) else f"{m:+.3f}" for m in means]
+        print(f"{market:14s} {model:12s} "
+              + " ".join(f"{c:>8s}" for c in cells))
+    print(f"\n{sweep.workers} worker(s), {sweep.wall_seconds:.1f}s wall")
+    if sweep.telemetry is not None:
+        metrics = sweep.telemetry["metrics"]
+        print(f"utilization {metrics['utilization_mean']:.0%}, "
+              f"retries {metrics['retries']}, "
+              f"crashes {metrics['crashes']}")
+        if args.telemetry_dir:
+            print(f"telemetry report: {args.telemetry_dir}/"
+                  f"{sweep.telemetry['run_id']}.json")
     return 0
 
 
@@ -404,6 +446,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="journal completed runs here and resume an "
                               "interrupted comparison at run k instead "
                               "of run 0")
+    compare.add_argument("--workers", type=int, default=1,
+                         help="fan each model's runs across N worker "
+                              "processes (results identical to serial; "
+                              "see docs/parallelism.md)")
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel model × market × seed sweep "
+                      "(docs/parallelism.md)")
+    _add_train_options(sweep, include_market=False)
+    sweep.add_argument("--markets", default="nasdaq-mini",
+                       help="comma-separated market presets")
+    sweep.add_argument("--models", default="Rank_LSTM,RSR_E,RT-GCN (T)",
+                       help="comma-separated model names (see `models`)")
+    sweep.add_argument("--runs", type=int, default=3,
+                       help="repeated seeded runs per (model, market) "
+                            "cell")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: one per CPU, "
+                            "capped at the number of runs)")
+    sweep.add_argument("--resume-dir", default=None,
+                       help="journal completed runs per cell; a killed "
+                            "sweep re-executes only the missing runs")
+    sweep.add_argument("--telemetry-dir", default=None,
+                       help="write the executor's schema-v1 JSON report "
+                            "here (worker utilization, retries, per-run "
+                            "wall time)")
+    sweep.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and retry a run stuck longer than "
+                            "this (default: no hang detection)")
 
     serve = sub.add_parser(
         "serve", help="serve checkpoints over HTTP (docs/serving.md)")
@@ -475,6 +547,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "models": cmd_models,
         "train": cmd_train,
         "compare": cmd_compare,
+        "sweep": cmd_sweep,
         "profile": cmd_profile,
         "serve": cmd_serve,
         "query": cmd_query,

@@ -76,7 +76,8 @@ def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
                 base_config: Optional[TrainConfig] = None,
                 metric: str = "IRR-5",
                 validation_days: int = 30,
-                seed: int = 0) -> GridSearchResult:
+                seed: int = 0,
+                workers: int = 1) -> GridSearchResult:
     """Exhaustive search over ``param_grid`` scored on a validation tail.
 
     Parameters
@@ -92,15 +93,21 @@ def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
         Ranking metric to maximize on the validation tail.
     validation_days:
         Length of the training tail held out for selection.
+    workers:
+        Fan the grid points out across this many forked worker processes
+        (:class:`repro.parallel.ExperimentPool`).  Each point is seeded
+        purely by its combination index, so the evaluated scores — and
+        therefore the selected configuration — are bitwise-identical to
+        the serial search.
     """
     if not param_grid:
         raise ValueError("param_grid must contain at least one parameter")
     base = base_config if base_config is not None else TrainConfig()
     names = list(param_grid)
-    points: List[GridPoint] = []
-    for combo_index, values in enumerate(product(*(param_grid[n]
-                                                   for n in names))):
-        params = dict(zip(names, values))
+    combos = list(product(*(param_grid[n] for n in names)))
+
+    def evaluate_combo(combo_index: int) -> GridPoint:
+        params = dict(zip(names, combos[combo_index]))
         config = replace(base, **params)
         train_days, valid_days = validation_split(dataset, config.window,
                                                   validation_days)
@@ -112,7 +119,19 @@ def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
         predictions = trainer.predict(valid_days)
         actuals = np.stack([dataset.label(day) for day in valid_days])
         metrics = ranking_metrics(predictions, actuals)
-        points.append(GridPoint(params=params, metrics=metrics,
-                                score=metrics[metric]))
+        return GridPoint(params=params, metrics=metrics,
+                         score=metrics[metric])
+
+    if workers > 1 and len(combos) > 1:
+        from ..parallel import ExperimentPool, fork_available
+        if fork_available():
+            pool = ExperimentPool(min(workers, len(combos)),
+                                  evaluate_combo)
+            outcome = pool.run(list(range(len(combos))))
+            points = [outcome[i] for i in range(len(combos))]
+        else:
+            points = [evaluate_combo(i) for i in range(len(combos))]
+    else:
+        points = [evaluate_combo(i) for i in range(len(combos))]
     points.sort(key=lambda p: -p.score)
     return GridSearchResult(points=points, metric=metric)

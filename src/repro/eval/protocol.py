@@ -11,8 +11,10 @@ machinery.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -28,54 +30,102 @@ from .metrics import ranking_metrics
 
 ModelFactory = Callable[[np.random.Generator], Module]
 
-#: schema tag of the experiment-resume state file
-_EXPERIMENT_STATE_VERSION = 1
+#: schema tag of the experiment-resume state file (v2: runs are keyed by
+#: index so parallel workers may complete out of order, and the key
+#: carries a config fingerprint so incompatible resumes fail loudly)
+_EXPERIMENT_STATE_VERSION = 2
+
+
+class JournalMismatchError(RuntimeError):
+    """A resume journal exists but was written by a different protocol.
+
+    Mixing runs from different ``TrainConfig`` / ``base_seed`` /
+    ``n_runs`` invocations would silently corrupt the aggregate, so the
+    journal refuses: delete the journal file (or pick another
+    ``resume_dir``) to start over deliberately.
+    """
+
+
+def _experiment_fingerprint(config: Optional[TrainConfig], n_runs: int,
+                            base_seed: int) -> str:
+    """Stable digest of everything that shapes the per-run results."""
+    payload = {"config": asdict(config) if config is not None else None,
+               "n_runs": n_runs, "base_seed": base_seed}
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 class _ExperimentJournal:
     """Run-level resume state for a 15-run experiment.
 
-    Each completed run's metrics are appended to
+    Each completed run's metrics are recorded under its run index in
     ``<resume_dir>/experiment-<name>.json`` (written atomically through
     :func:`repro.ckpt.atomic_write_bytes`), so an interrupted experiment
-    continues at run *k* instead of run 0.  Runs are seeded purely by
-    their index, which is what makes skipping completed runs sound: run
-    *k* produces the same result whether or not runs ``0..k-1`` executed
-    in this process.
+    re-executes only the missing runs.  Runs are seeded purely by their
+    index, which is what makes skipping completed runs sound: run *k*
+    produces the same result whether or not any other run executed in
+    this process — and it is also what lets parallel workers record
+    completions out of order.
+
+    The journal key carries a fingerprint of the ``TrainConfig`` (plus
+    ``n_runs`` and ``base_seed``); re-opening a journal with a different
+    protocol raises :class:`JournalMismatchError` instead of silently
+    mixing incompatible runs.
     """
 
     def __init__(self, directory: Union[str, Path], name: str,
-                 n_runs: int, base_seed: int):
+                 n_runs: int, base_seed: int,
+                 fingerprint: Optional[str] = None):
         safe = "".join(c if c.isalnum() or c in "-_." else "_"
                        for c in name)
         self.path = Path(directory) / f"experiment-{safe}.json"
-        self.key = {"name": name, "n_runs": n_runs, "base_seed": base_seed}
-        self.runs: List[Dict[str, object]] = []
+        self.key = {"name": name, "n_runs": n_runs, "base_seed": base_seed,
+                    "fingerprint": fingerprint}
+        self.rows: Dict[int, Dict[str, object]] = {}
         if self.path.exists():
             try:
                 payload = json.loads(self.path.read_text())
             except json.JSONDecodeError:
                 payload = None   # half-written by a dead process: restart
-            if (payload
-                    and payload.get("version") == _EXPERIMENT_STATE_VERSION
-                    and payload.get("key") == self.key):
-                self.runs = list(payload.get("runs", []))
+            if payload is None:
+                pass
+            elif payload.get("version") != _EXPERIMENT_STATE_VERSION:
+                warnings.warn(
+                    f"ignoring resume journal {self.path} with schema "
+                    f"version {payload.get('version')!r} (expected "
+                    f"{_EXPERIMENT_STATE_VERSION}); the experiment "
+                    "restarts from run 0", RuntimeWarning, stacklevel=3)
+            elif payload.get("key") != self.key:
+                theirs = payload.get("key") or {}
+                diffs = sorted(set(theirs) | set(self.key))
+                detail = ", ".join(
+                    f"{k}: journal={theirs.get(k)!r} vs "
+                    f"requested={self.key.get(k)!r}"
+                    for k in diffs if theirs.get(k) != self.key.get(k))
+                raise JournalMismatchError(
+                    f"resume journal {self.path} was written by an "
+                    f"incompatible invocation ({detail}); refusing to "
+                    "mix runs from different protocols — delete the "
+                    "journal (or use a fresh resume_dir) to start over")
+            else:
+                self.rows = {int(row["run_index"]): dict(row)
+                             for row in payload.get("runs", [])}
 
     @property
     def completed(self) -> int:
-        return len(self.runs)
+        return len(self.rows)
 
     def record(self, run_index: int, metrics: Dict[str, float],
                train_seconds: float, test_seconds: float) -> None:
         from ..ckpt.checkpoint import atomic_write_bytes
 
-        self.runs.append({"run_index": run_index,
-                          "metrics": {k: float(v)
-                                      for k, v in metrics.items()},
-                          "train_seconds": float(train_seconds),
-                          "test_seconds": float(test_seconds)})
+        self.rows[int(run_index)] = {
+            "run_index": int(run_index),
+            "metrics": {k: float(v) for k, v in metrics.items()},
+            "train_seconds": float(train_seconds),
+            "test_seconds": float(test_seconds)}
         payload = {"version": _EXPERIMENT_STATE_VERSION, "key": self.key,
-                   "runs": self.runs}
+                   "runs": [self.rows[i] for i in sorted(self.rows)]}
         atomic_write_bytes(self.path,
                            (json.dumps(payload, indent=2) + "\n")
                            .encode("utf-8"))
@@ -92,6 +142,9 @@ class ExperimentResult:
     #: last run's raw result (TrainResult or PredictorResult — both expose
     #: ``predictions``, ``actuals`` and ``test_days``)
     last_result: Optional[object] = field(default=None, repr=False)
+    #: schema-v1 executor report (``RunReport.to_dict()``) when the runs
+    #: were fanned out with ``workers > 1``; ``None`` for serial runs
+    telemetry: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     def summary(self) -> Dict[str, RunSummary]:
         return summarize_runs(self.runs)
@@ -105,49 +158,109 @@ class ExperimentResult:
 
 def _run_protocol_loop(name: str, n_runs: int, base_seed: int,
                        resume_dir: Optional[Union[str, Path]],
-                       one_run: Callable[[int], "tuple"]
+                       one_run: Callable[[int], "tuple"],
+                       workers: int = 1,
+                       fingerprint: Optional[str] = None,
+                       telemetry_dir: Optional[Union[str, Path]] = None
                        ) -> ExperimentResult:
-    """Shared 15-run loop with optional run-level resume.
+    """Shared 15-run loop with optional run-level resume and fan-out.
 
     ``one_run(seed)`` executes a single seeded run and returns
     ``(metrics, result)``.  With ``resume_dir``, completed runs recorded
     by a previous (interrupted) invocation are loaded from the journal
     and skipped; seeds depend only on the run index, so the aggregate is
     identical to an uninterrupted experiment.
+
+    With ``workers > 1`` the missing runs are fanned out across forked
+    worker processes (:class:`repro.parallel.ExperimentPool`).  Every
+    run is seeded exactly as in the serial loop and nothing in a run
+    reads cross-run state, so the aggregated metrics are bitwise-equal
+    to serial execution; completed runs are journaled from the parent as
+    they arrive, and crashed workers are respawned with their run
+    retried (see docs/parallelism.md).
     """
-    journal = (_ExperimentJournal(resume_dir, name, n_runs, base_seed)
+    journal = (_ExperimentJournal(resume_dir, name, n_runs, base_seed,
+                                  fingerprint)
                if resume_dir is not None else None)
-    runs: List[Dict[str, float]] = []
-    train_times: List[float] = []
-    test_times: List[float] = []
+    rows: Dict[int, Dict[str, object]] = {}
+    if journal is not None:
+        rows = {index: row for index, row in journal.rows.items()
+                if 0 <= index < n_runs}
+    todo = [index for index in range(n_runs) if index not in rows]
     last = None
-    start_index = 0
-    if journal is not None and journal.completed:
-        start_index = min(journal.completed, n_runs)
-        for row in journal.runs[:start_index]:
-            runs.append(dict(row["metrics"]))
-            train_times.append(row["train_seconds"])
-            test_times.append(row["test_seconds"])
-    for run_index in range(start_index, n_runs):
+    pool = None
+    if workers > 1 and len(todo) > 1:
+        from ..parallel import ExperimentPool, fork_available
+        if not fork_available():
+            warnings.warn(
+                "repro.parallel needs the 'fork' start method, which "
+                "this platform lacks; running the experiment serially",
+                RuntimeWarning, stacklevel=3)
+        else:
+            keep_index = max(todo)
+
+            def run_task(run_index: int):
+                seed = base_seed * 1000 + run_index
+                metrics, result = one_run(seed)
+                # Ship the full result only for the final run (it backs
+                # ExperimentResult.last_result); metrics and timings are
+                # all the aggregate needs from the rest.
+                return (metrics, float(result.train_seconds),
+                        float(result.test_seconds),
+                        result if run_index == keep_index else None)
+
+            def on_result(run_index: int, payload) -> None:
+                metrics, train_s, test_s, _ = payload
+                if journal is not None:
+                    journal.record(run_index, metrics, train_s, test_s)
+
+            pool = ExperimentPool(min(workers, len(todo)), run_task)
+            outcome = pool.run(todo, on_result=on_result)
+            for run_index, payload in outcome.items():
+                metrics, train_s, test_s, result = payload
+                rows[run_index] = {"metrics": metrics,
+                                   "train_seconds": train_s,
+                                   "test_seconds": test_s}
+                if result is not None:
+                    last = result
+            todo = []
+    for run_index in todo:
         seed = base_seed * 1000 + run_index
         metrics, result = one_run(seed)
-        runs.append(metrics)
-        train_times.append(result.train_seconds)
-        test_times.append(result.test_seconds)
+        rows[run_index] = {"metrics": metrics,
+                           "train_seconds": result.train_seconds,
+                           "test_seconds": result.test_seconds}
         last = result
         if journal is not None:
             journal.record(run_index, metrics, result.train_seconds,
                            result.test_seconds)
-    return ExperimentResult(name=name, runs=runs,
-                            train_seconds=train_times,
-                            test_seconds=test_times, last_result=last)
+    telemetry = None
+    if pool is not None:
+        report = pool.telemetry.report(
+            kind="parallel",
+            config={"experiment": name, "n_runs": n_runs,
+                    "base_seed": base_seed,
+                    "workers": pool.telemetry.workers})
+        telemetry = report.to_dict()
+        if telemetry_dir is not None:
+            from ..obs import MetricsSink
+            MetricsSink(telemetry_dir).write(report)
+    ordered = [rows[index] for index in range(n_runs)]
+    return ExperimentResult(
+        name=name,
+        runs=[dict(row["metrics"]) for row in ordered],
+        train_seconds=[float(row["train_seconds"]) for row in ordered],
+        test_seconds=[float(row["test_seconds"]) for row in ordered],
+        last_result=last, telemetry=telemetry)
 
 
 def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
                    config: Optional[TrainConfig] = None, n_runs: int = 15,
                    base_seed: int = 0,
                    top_ns: Sequence[int] = (1, 5, 10),
-                   resume_dir: Optional[Union[str, Path]] = None
+                   resume_dir: Optional[Union[str, Path]] = None,
+                   workers: int = 1,
+                   telemetry_dir: Optional[Union[str, Path]] = None
                    ) -> ExperimentResult:
     """Train/evaluate a model ``n_runs`` times with independent seeds.
 
@@ -155,6 +268,13 @@ def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
     journaled there, and a re-invocation after a crash continues at run
     *k* instead of run 0 (``last_result`` is ``None`` when every run was
     restored from the journal).
+
+    ``workers > 1`` fans the runs out across forked worker processes;
+    every run keeps its serial seeding, so the aggregated metrics are
+    bitwise-identical to ``workers=1`` (dense and sparse graph modes
+    alike).  ``telemetry_dir`` additionally writes the executor's
+    schema-v1 :class:`~repro.obs.RunReport` there; the same payload is
+    available as ``ExperimentResult.telemetry``.
     """
     cfg = config if config is not None else TrainConfig()
 
@@ -166,21 +286,27 @@ def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
                                   top_ns=top_ns)
         return metrics, result
 
-    return _run_protocol_loop(name, n_runs, base_seed, resume_dir, one_run)
+    return _run_protocol_loop(
+        name, n_runs, base_seed, resume_dir, one_run, workers=workers,
+        fingerprint=_experiment_fingerprint(cfg, n_runs, base_seed),
+        telemetry_dir=telemetry_dir)
 
 
 def run_named_experiment(name: str, dataset: StockDataset,
                          config: Optional[TrainConfig] = None,
                          n_runs: int = 15, base_seed: int = 0,
                          top_ns: Sequence[int] = (1, 5, 10),
-                         resume_dir: Optional[Union[str, Path]] = None
+                         resume_dir: Optional[Union[str, Path]] = None,
+                         workers: int = 1,
+                         telemetry_dir: Optional[Union[str, Path]] = None
                          ) -> ExperimentResult:
     """Run a registry model (Table IV name) for ``n_runs`` seeded repeats.
 
     Classification models (``can_rank=False``) report ``MRR = NaN``,
     rendering as '-' in the printed tables, exactly like the paper.
-    ``resume_dir`` journals completed runs for run-level resume, as in
-    :func:`run_experiment`.
+    ``resume_dir`` journals completed runs for run-level resume, and
+    ``workers``/``telemetry_dir`` fan the runs out across processes, as
+    in :func:`run_experiment`.
     """
     from ..baselines.registry import get_spec, make_predictor
 
@@ -197,7 +323,10 @@ def run_named_experiment(name: str, dataset: StockDataset,
             metrics["MRR"] = float("nan")
         return metrics, result
 
-    return _run_protocol_loop(name, n_runs, base_seed, resume_dir, one_run)
+    return _run_protocol_loop(
+        name, n_runs, base_seed, resume_dir, one_run, workers=workers,
+        fingerprint=_experiment_fingerprint(cfg, n_runs, base_seed),
+        telemetry_dir=telemetry_dir)
 
 
 def compare_paired(ours: ExperimentResult, baseline: ExperimentResult,

@@ -1,0 +1,33 @@
+"""repro.parallel — multi-process experiment execution.
+
+A fault-tolerant, deterministic fan-out executor for the evaluation
+protocol's embarrassingly parallel workloads (repeated seeded runs,
+model × market sweeps, hyperparameter grids):
+
+- :class:`ExperimentPool` — forked worker processes with per-worker
+  pipes, bounded crash/hang retries, and schema-v1 telemetry;
+- :func:`run_experiments_parallel` / :class:`SweepResult` — the
+  (model × market × seed) sweep behind ``repro.cli sweep``;
+- :class:`PoolTelemetry` — worker utilization, queue depth, retry
+  counts, and per-run wall time as a :class:`repro.obs.RunReport`.
+
+Entry points one layer up: ``run_experiment(..., workers=N)`` /
+``run_named_experiment(..., workers=N)`` and
+``grid_search(..., workers=N)`` in :mod:`repro.eval`, and
+``RTGCN_BENCH_WORKERS`` for the benchmarks.  The determinism contract —
+parallel results bitwise-equal to serial — is documented in
+``docs/parallelism.md``.
+"""
+
+from .pool import (ExperimentPool, ParallelUnavailableError,
+                   TaskFailedError, WorkerCrashError, fork_available,
+                   resolve_workers)
+from .sweep import RunSpec, SweepResult, run_experiments_parallel
+from .telemetry import PoolTelemetry
+
+__all__ = [
+    "ExperimentPool", "PoolTelemetry",
+    "ParallelUnavailableError", "TaskFailedError", "WorkerCrashError",
+    "fork_available", "resolve_workers",
+    "RunSpec", "SweepResult", "run_experiments_parallel",
+]

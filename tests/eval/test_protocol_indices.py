@@ -157,28 +157,76 @@ class TestExperimentResume:
         assert len(resumed_calls) == 1    # only run 2 re-executed
         assert resumed.runs == baseline.runs    # aggregate is unchanged
 
-    def test_changed_protocol_invalidates_journal(self, csi_mini, tmp_path):
+    def test_changed_n_runs_rejected_loudly(self, csi_mini, tmp_path):
+        from repro.eval import JournalMismatchError
         cfg = quick_config()
         run_experiment("resume-check", self.factory(csi_mini), csi_mini,
                        cfg, n_runs=2, base_seed=1, resume_dir=tmp_path)
+        # Resuming under a different protocol must refuse, not silently
+        # mix runs from two different experiments.
+        with pytest.raises(JournalMismatchError, match="n_runs"):
+            run_experiment("resume-check", self.factory(csi_mini),
+                           csi_mini, cfg, n_runs=3, base_seed=1,
+                           resume_dir=tmp_path)
+
+    def test_changed_config_rejected_loudly(self, csi_mini, tmp_path):
+        from repro.eval import JournalMismatchError
+        run_experiment("resume-check", self.factory(csi_mini), csi_mini,
+                       quick_config(), n_runs=2, base_seed=1,
+                       resume_dir=tmp_path)
+        with pytest.raises(JournalMismatchError, match="fingerprint"):
+            run_experiment("resume-check", self.factory(csi_mini),
+                           csi_mini, quick_config(alpha=0.2), n_runs=2,
+                           base_seed=1, resume_dir=tmp_path)
+
+    def test_old_version_journal_restarts_with_warning(self, csi_mini,
+                                                       tmp_path):
+        import json
+        journal = tmp_path / "experiment-resume-check.json"
+        journal.write_text(json.dumps({
+            "version": 1,
+            "key": {"name": "resume-check", "n_runs": 2, "base_seed": 1},
+            "runs": []}))
+        with pytest.warns(RuntimeWarning, match="version"):
+            result = run_experiment("resume-check", self.factory(csi_mini),
+                                    csi_mini, quick_config(), n_runs=2,
+                                    base_seed=1, resume_dir=tmp_path)
+        assert len(result.runs) == 2
+
+    def test_corrupt_journal_restarts_cleanly(self, csi_mini, tmp_path):
+        journal = tmp_path / "experiment-resume-check.json"
+        journal.write_text('{"version": 2, "key": ')   # half-written
+        result = run_experiment("resume-check", self.factory(csi_mini),
+                                csi_mini, quick_config(), n_runs=2,
+                                base_seed=1, resume_dir=tmp_path)
+        assert len(result.runs) == 2
+
+    def test_out_of_order_journal_rows_resume(self, csi_mini, tmp_path):
+        """Parallel completion order must not confuse the resume logic."""
+        cfg = quick_config()
+        baseline = run_experiment("resume-check", self.factory(csi_mini),
+                                  csi_mini, cfg, n_runs=3, base_seed=1)
+
+        from repro.eval.protocol import (_experiment_fingerprint,
+                                         _ExperimentJournal)
+        fingerprint = _experiment_fingerprint(cfg, 3, 1)
+        journal = _ExperimentJournal(tmp_path, "resume-check", 3, 1,
+                                     fingerprint)
+        # Journal runs 2 then 0 — as a 2-worker pool might complete them.
+        for index in (2, 0):
+            journal.record(index, baseline.runs[index], 0.0, 0.0)
+
         calls = []
 
         def counting(gen):
             calls.append(1)
             return self.factory(csi_mini)(gen)
 
-        # Different n_runs -> different key -> the journal is ignored.
-        run_experiment("resume-check", counting, csi_mini, cfg, n_runs=3,
-                       base_seed=1, resume_dir=tmp_path)
-        assert len(calls) == 3
-
-    def test_corrupt_journal_restarts_cleanly(self, csi_mini, tmp_path):
-        journal = tmp_path / "experiment-resume-check.json"
-        journal.write_text('{"version": 1, "key": ')   # half-written
-        result = run_experiment("resume-check", self.factory(csi_mini),
-                                csi_mini, quick_config(), n_runs=2,
-                                base_seed=1, resume_dir=tmp_path)
-        assert len(result.runs) == 2
+        resumed = run_experiment("resume-check", counting, csi_mini, cfg,
+                                 n_runs=3, base_seed=1,
+                                 resume_dir=tmp_path)
+        assert len(calls) == 1          # only the missing run 1 executed
+        assert resumed.runs == baseline.runs
 
 
 class TestSpeed:

@@ -38,6 +38,24 @@ def _strict_load(path):
     return json.loads(path.read_text(), parse_constant=refuse)
 
 
+class TestDatasetCache:
+    def test_cache_keyed_by_market_and_seed(self, harness):
+        """A seed override must not be served another seed's dataset."""
+        default = harness.bench_dataset("csi-mini")
+        same = harness.bench_dataset("csi-mini")
+        assert same is default                        # cached
+        other = harness.bench_dataset("csi-mini", seed=1234)
+        assert other is not default
+        assert not np.array_equal(default.simulated.prices,
+                                  other.simulated.prices)
+        # The explicit session seed and the default hit the same entry.
+        assert harness.bench_dataset("csi-mini",
+                                     seed=harness.BENCH_SEED) is default
+
+    def test_bench_workers_default(self, harness):
+        assert harness.BENCH_WORKERS == 1   # opt-in via RTGCN_BENCH_WORKERS
+
+
 class TestSanitizeJson:
     def test_nan_and_inf_become_null(self, harness):
         payload = {"a": float("nan"), "b": float("inf"),

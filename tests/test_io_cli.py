@@ -149,6 +149,28 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "LSTM" in out
 
+    def test_sweep_command_quick(self, capsys):
+        code = main(["sweep", "--markets", "csi-mini",
+                     "--models", "LSTM", "--runs", "2", "--workers", "2",
+                     "--epochs", "1", "--window", "6",
+                     "--max-train-days", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "csi-mini" in out and "LSTM" in out
+        assert "worker(s)" in out
+
+    def test_sweep_telemetry_report_written(self, tmp_path, capsys):
+        code = main(["sweep", "--markets", "csi-mini",
+                     "--models", "LSTM", "--runs", "2", "--workers", "2",
+                     "--epochs", "1", "--window", "6",
+                     "--max-train-days", "8",
+                     "--telemetry-dir", str(tmp_path)])
+        assert code == 0
+        reports = list(tmp_path.glob("*.json"))
+        assert len(reports) == 1
+        from repro.obs import validate_report
+        validate_report(json.loads(reports[0].read_text()))
+
 
 class TestModelRegistrySync:
     """`repro.cli models` must mirror repro.baselines.registry exactly —
