@@ -12,14 +12,15 @@ to scale up:
   (results are bitwise-identical to serial; see docs/parallelism.md)
 
 Each bench prints the paper-style table and writes it under
-``benchmarks/results/`` so the output survives pytest's capture.
+``benchmarks/results/`` so the output survives pytest's capture.  Set
+``RTGCN_BENCH_STORE=/path/to/experiments.sqlite`` to additionally record
+every JSON artifact in the experiment store (``repro.store``), queryable
+via ``repro.cli db``.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import time
 import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -28,10 +29,14 @@ import numpy as np
 
 from repro.core import TrainConfig
 from repro.data import StockDataset, load_market
-from repro.eval.speed import MIN_MEASURABLE_SECONDS, SpeedMeasurement
-from repro.obs import SCHEMA_VERSION
+from repro.eval.speed import SpeedMeasurement
+from repro.store import (JsonSink, ResultSink, StoreSink, TeeSink,
+                         bench_envelope, sanitize_payload, speed_record)
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: set to a sqlite path to tee bench artifacts into the experiment store
+BENCH_STORE = os.environ.get("RTGCN_BENCH_STORE", "")
 
 BENCH_EPOCHS = int(os.environ.get("RTGCN_BENCH_EPOCHS", "12"))
 BENCH_RUNS = int(os.environ.get("RTGCN_BENCH_RUNS", "3"))
@@ -112,85 +117,65 @@ def publish(name: str, text: str) -> Path:
     return path
 
 
-def sanitize_json(value):
-    """Replace NaN/Inf floats with ``None``, recursively.
+def bench_settings() -> dict:
+    """The env-derived bench-scale knobs stamped into every artifact."""
+    return {"epochs": BENCH_EPOCHS, "runs": BENCH_RUNS,
+            "window": BENCH_WINDOW, "seed": BENCH_SEED}
 
-    ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens —
-    which are not JSON and crash strict parsers — or, with earlier
-    handling, the offending keys were dropped before serialization, hiding
-    that a measurement degenerated.  An explicit ``null`` keeps the key
-    visible so downstream regression tooling can distinguish "not
-    measured" from "measured fine".
+
+def bench_sink() -> ResultSink:
+    """The artifact sink every bench publishes through.
+
+    Always the byte-compatible ``results/<name>.json`` files; teed into
+    the experiment store when ``RTGCN_BENCH_STORE`` is set.
     """
-    if isinstance(value, dict):
-        return {key: sanitize_json(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [sanitize_json(item) for item in value]
-    if isinstance(value, (float, np.floating)):
-        return float(value) if np.isfinite(value) else None
-    if isinstance(value, np.integer):
-        return int(value)
-    return value
+    json_sink = JsonSink(RESULTS_DIR)
+    if BENCH_STORE:
+        return TeeSink(json_sink, StoreSink(BENCH_STORE))
+    return json_sink
 
 
-def publish_json(name: str, payload: dict) -> Path:
+def publish_result(name: str, payload: dict,
+                   sink: Optional[ResultSink] = None) -> Path:
     """Persist machine-readable telemetry as ``results/<name>.json``.
 
     Wraps ``payload`` in the :mod:`repro.obs` schema envelope
     (``schema_version``, ``benchmark``, ``created_at``, bench-scale
     settings) so future PRs can regress against these artifacts without
-    parsing the text tables.  Non-finite floats are written as ``null``
-    (see :func:`sanitize_json`); ``allow_nan=False`` guarantees no bare
-    ``NaN`` token can ever reach the artifact.
+    parsing the text tables, and routes it through the
+    :class:`~repro.store.ResultSink` layer: the JSON file bytes are
+    unchanged, and with ``RTGCN_BENCH_STORE`` set the same envelope also
+    lands in the experiment store's telemetry table.  Non-finite floats
+    are written as ``null`` — never a bare (non-JSON) ``NaN`` token.
     """
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    envelope = {
-        "schema_version": SCHEMA_VERSION,
-        "benchmark": name,
-        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "settings": {"epochs": BENCH_EPOCHS, "runs": BENCH_RUNS,
-                     "window": BENCH_WINDOW, "seed": BENCH_SEED},
-        **payload,
-    }
-    path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(sanitize_json(envelope), indent=2,
-                               sort_keys=True, allow_nan=False) + "\n")
-    return path
+    envelope = bench_envelope(name, payload, settings=bench_settings())
+    return (sink if sink is not None else bench_sink()).write_bench(
+        name, envelope)
+
+
+def sanitize_json(value):
+    """Deprecated alias of :func:`repro.store.sanitize_payload`."""
+    warnings.warn("benchmarks._harness.sanitize_json is deprecated; use "
+                  "repro.store.sanitize_payload", DeprecationWarning,
+                  stacklevel=2)
+    return sanitize_payload(value)
+
+
+def publish_json(name: str, payload: dict) -> Path:
+    """Deprecated alias of :func:`publish_result` (same file bytes)."""
+    warnings.warn("benchmarks._harness.publish_json is deprecated; use "
+                  "publish_result (ResultSink-backed, same artifact "
+                  "bytes)", DeprecationWarning, stacklevel=2)
+    return publish_result(name, payload)
 
 
 def speed_entry(measurement: SpeedMeasurement,
                 baseline: Optional[SpeedMeasurement] = None) -> dict:
-    """JSON-ready record of one :class:`SpeedMeasurement`.
-
-    Timings at or below the timer resolution are *degenerate*: any ratio
-    built from them is noise.  Instead of dropping such entries (the old
-    behavior, which made a degenerate run indistinguishable from a missing
-    one), the record keeps every key, reports the unusable speedups as
-    ``None`` and raises a ``degenerate_timing`` flag.
-    """
-    degenerate = (
-        measurement.train_seconds_per_epoch <= MIN_MEASURABLE_SECONDS
-        or measurement.test_seconds <= MIN_MEASURABLE_SECONDS)
-    entry = {
-        "name": measurement.name,
-        "train_seconds_per_epoch": measurement.train_seconds_per_epoch,
-        "test_seconds": measurement.test_seconds,
-        "phases": measurement.phases,
-        "degenerate_timing": degenerate,
-    }
-    if baseline is not None:
-        with warnings.catch_warnings():
-            # speedup_over already returns NaN for sub-resolution inputs;
-            # the flag above carries the signal, so the warning is noise
-            # inside a bench run.
-            warnings.simplefilter("ignore", RuntimeWarning)
-            speedup = measurement.speedup_over(baseline)
-        entry["speedup_over"] = baseline.name
-        entry["train_speedup"] = speedup["train"]
-        entry["test_speedup"] = speedup["test"]
-        entry["degenerate_timing"] = degenerate or any(
-            np.isnan(v) for v in speedup.values())
-    return entry
+    """Deprecated alias of :func:`repro.store.speed_record`."""
+    warnings.warn("benchmarks._harness.speed_entry is deprecated; use "
+                  "repro.store.speed_record", DeprecationWarning,
+                  stacklevel=2)
+    return speed_record(measurement, baseline)
 
 
 def checkpoint_telemetry(trainer, directory: Optional[Path] = None) -> dict:

@@ -22,7 +22,7 @@ from repro.obs import Tracer, use_tracer
 
 from _harness import (BENCH_MARKETS, bench_config, bench_dataset,
                       checkpoint_telemetry, format_table, publish,
-                      publish_json, speed_entry)
+                      publish_result, speed_record)
 
 MARKET = BENCH_MARKETS[0]
 
@@ -60,7 +60,7 @@ def test_fig5_speed_comparison(benchmark):
               "faster than RSR\nin training on NASDAQ; the convolution-vs-"
               "recurrence gap is the mechanism."))
     publish("fig5_speed", text)
-    publish_json("fig5_speed", {
+    publish_result("fig5_speed", {
         "market": MARKET,
         "models": {name: {"train_seconds": train_s,
                           "test_seconds": test_s,
@@ -117,10 +117,10 @@ def test_fig5_dense_vs_sparse_propagation():
     publish("fig5_speed_backends", text)
     from repro.core import Trainer
     import numpy as np
-    publish_json("fig5_speed_backends", {
+    publish_result("fig5_speed_backends", {
         "market": MARKET,
         "graph_density": float(density),
-        "backends": {mode: speed_entry(m, baseline=dense)
+        "backends": {mode: speed_record(m, baseline=dense)
                      for mode, m in measurements.items()},
         "sparse_vs_dense_train_speedup": ratio["train"],
         "checkpoint": checkpoint_telemetry(
@@ -129,4 +129,4 @@ def test_fig5_dense_vs_sparse_propagation():
 
     # Both backends must deliver real (non-degenerate) timings.
     for m in measurements.values():
-        assert not speed_entry(m)["degenerate_timing"]
+        assert not speed_record(m)["degenerate_timing"]

@@ -38,7 +38,7 @@ import numpy as np
 from repro.parallel import fork_available, run_experiments_parallel
 
 from _harness import (BENCH_EPOCHS, BENCH_MARKETS, BENCH_RUNS, BENCH_SEED,
-                      bench_config, format_table, publish, publish_json)
+                      bench_config, format_table, publish, publish_result)
 
 MARKET = BENCH_MARKETS[0]
 MODELS = os.environ.get("RTGCN_BENCH_SWEEP_MODELS",
@@ -185,7 +185,7 @@ def main() -> None:
               f"{demo['total_runs']} runs survived SIGKILL, resumed "
               f"sweep == serial: {resume_equal}"))
     publish("parallel_scale", table)
-    publish_json("parallel_scale", {
+    publish_result("parallel_scale", {
         "market": MARKET,
         "models": MODELS,
         "cpu_cores": cores,

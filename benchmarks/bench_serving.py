@@ -34,7 +34,7 @@ from repro.core import RTGCN, TrainConfig, Trainer
 from repro.serve import ModelRegistry, RankingService
 
 from _harness import (BENCH_SEED, bench_dataset, format_table, publish,
-                      publish_json)
+                      publish_result)
 
 SERVE_CLIENTS = int(os.environ.get("RTGCN_BENCH_SERVE_CLIENTS", "8"))
 SERVE_SECONDS = float(os.environ.get("RTGCN_BENCH_SERVE_SECONDS", "3.0"))
@@ -144,7 +144,7 @@ def main() -> None:
         note=f"batched/batch1 throughput: {speedup:.1f}x "
              f"(acceptance floor: 3x)")
     publish("serving", table)
-    publish_json("serving", {
+    publish_result("serving", {
         "market": SERVE_MARKET,
         "model": "RT-GCN (T)",
         "throughput_speedup": speedup,

@@ -32,7 +32,7 @@ from repro.graph import reset_adjacency_cache
 from repro.obs import OpProfiler
 
 from _harness import (BENCH_SEED, bench_config, format_table, publish,
-                      publish_json)
+                      publish_result)
 
 #: acceptance scale: ≥500 stocks at ≤5% graph density
 SCALE_STOCKS = int(os.environ.get("RTGCN_BENCH_SCALE_STOCKS", "500"))
@@ -120,7 +120,7 @@ def test_sparse_scale_speed_and_parity():
         sections.append(f"\nTop ops, {mode} backend (4-day profile)\n"
                         + prof.table(top=10))
     publish("sparse_scale", "\n".join(sections))
-    publish_json("sparse_scale", {
+    publish_result("sparse_scale", {
         "num_stocks": n,
         "graph_density": float(density),
         "train_days": TRAIN_DAYS,

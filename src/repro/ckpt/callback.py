@@ -40,13 +40,20 @@ class CheckpointCallback(TrainerCallback):
         Extra user metadata merged into every checkpoint saved (e.g. the
         registry model name and market, which :mod:`repro.serve` reads to
         reconstruct the model without operator overrides).
+    recorder:
+        Optional observer called after every save with ``(path,
+        epoch=..., batch_index=..., size_bytes=..., write_seconds=...,
+        is_best=...)`` — e.g.
+        :meth:`repro.store.StoreCallback.record_checkpoint`, which lands
+        each write in the experiment store's ``checkpoints`` table.
     """
 
     def __init__(self, directory_or_manager: Union[str, Path,
                                                    CheckpointManager],
                  every_n_batches: Optional[int] = None,
                  save_best: bool = True, keep_last: int = 3,
-                 metadata: Optional[Dict[str, object]] = None):
+                 metadata: Optional[Dict[str, object]] = None,
+                 recorder: Optional[object] = None):
         if isinstance(directory_or_manager, CheckpointManager):
             self.manager = directory_or_manager
         else:
@@ -57,6 +64,7 @@ class CheckpointCallback(TrainerCallback):
                              f"got {every_n_batches}")
         self.every_n_batches = every_n_batches
         self.save_best = save_best
+        self.recorder = recorder
         self.metadata = dict(metadata or {})
         self._batches_since_save = 0
         self._last_best_val: Optional[float] = None
@@ -92,4 +100,15 @@ class CheckpointCallback(TrainerCallback):
             if best_val is not None and best_val != self._last_best_val:
                 self._last_best_val = best_val
                 is_best = True
+        bytes_before = self.manager.bytes_written
+        seconds_before = self.manager.write_seconds
         self.last_path = self.manager.save(checkpoint, is_best=is_best)
+        if self.recorder is not None:
+            self.recorder(
+                self.last_path,
+                epoch=getattr(checkpoint, "epoch", None),
+                batch_index=getattr(checkpoint, "batch_index", None),
+                size_bytes=self.manager.bytes_written - bytes_before,
+                write_seconds=(self.manager.write_seconds
+                               - seconds_before),
+                is_best=is_best)

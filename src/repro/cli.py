@@ -23,6 +23,16 @@ serve
     (see ``docs/serving.md``).
 query
     Query a running ``serve`` instance and print the JSON response.
+db
+    Query, export, summarize, or migrate into the sqlite experiment
+    store (see ``docs/experiment-store.md``): ``db query``,
+    ``db export``, ``db report``, ``db migrate`` — all with a
+    consistent ``--format {table,json,csv}``.
+
+``train``, ``compare``, and ``sweep`` accept ``--store PATH`` to record
+every run (per-epoch losses included) in the experiment store;
+``compare``/``sweep`` add ``--no-dedup`` to force re-execution of runs
+the store already holds.
 
 Every field of :class:`repro.core.TrainConfig` is exposed as a flag on the
 training commands (``--learning-rate``, ``--weight-decay``, ...); the flag
@@ -124,6 +134,17 @@ def _add_train_options(parser: argparse.ArgumentParser,
                                 help=f"{help_text} (default: {default})")
 
 
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    """``--store`` / ``--no-dedup``, shared by compare and sweep."""
+    parser.add_argument("--store", default=None, metavar="DB",
+                        help="record every run in this sqlite experiment "
+                             "store and skip runs it already holds "
+                             "(docs/experiment-store.md)")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="with --store: re-execute runs even when "
+                             "the store already holds them")
+
+
 def _config_from_args(args: argparse.Namespace) -> TrainConfig:
     """Build a TrainConfig from the generated flags — every field, not a
     hand-copied subset."""
@@ -161,6 +182,13 @@ def cmd_train(args: argparse.Namespace) -> int:
     print(f"training {args.model} "
           f"({config.epochs} epochs, window {config.window}) ...")
 
+    store_cb = None
+    if args.store:
+        from .store import StoreCallback
+        store_cb = StoreCallback(
+            args.store, f"{args.model}@{args.market}", seed=args.seed,
+            config=dataclasses.asdict(config))
+
     wants_trainer = bool(args.checkpoint or args.checkpoint_dir
                          or args.resume or args.crash_after)
     model = None
@@ -175,13 +203,17 @@ def cmd_train(args: argparse.Namespace) -> int:
         trainer = Trainer(model, dataset, config)
         callbacks = []
         resume_from = None
+        if store_cb is not None:
+            callbacks.append(store_cb)
         if args.checkpoint_dir:
             from .ckpt import CheckpointCallback
             callbacks.append(CheckpointCallback(
                 args.checkpoint_dir,
                 every_n_batches=args.checkpoint_every,
                 keep_last=args.keep_last,
-                metadata={"model": args.model, "market": args.market}))
+                metadata={"model": args.model, "market": args.market},
+                recorder=(store_cb.record_checkpoint
+                          if store_cb is not None else None)))
             if args.resume:
                 resume_from = args.checkpoint_dir
         elif args.resume:
@@ -209,6 +241,11 @@ def cmd_train(args: argparse.Namespace) -> int:
     for key, value in metrics.items():
         rendered = "-" if np.isnan(value) else f"{value:+.4f}"
         print(f"  {key:7s} {rendered}")
+    if store_cb is not None:
+        store_cb.finalize(metrics, result.train_seconds,
+                          result.test_seconds)
+        print(f"run recorded in {store_cb.store.path} "
+              f"(fingerprint {store_cb.fingerprint})")
 
     if args.checkpoint and trainer is not None:
         from .ckpt import save as save_ckpt
@@ -235,7 +272,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
                                       n_runs=args.runs,
                                       base_seed=args.seed,
                                       resume_dir=args.resume_dir,
-                                      workers=args.workers)
+                                      workers=args.workers,
+                                      store=args.store or None,
+                                      dedup=not args.no_dedup)
         summary = result.summary()
         cells = []
         for key in ("MRR", "IRR-1", "IRR-5", "IRR-10"):
@@ -259,14 +298,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed, workers=args.workers,
         dataset_seed=args.seed, resume_dir=args.resume_dir,
         telemetry_dir=args.telemetry_dir,
-        task_timeout=args.task_timeout)
+        task_timeout=args.task_timeout,
+        store=args.store or None, dedup=not args.no_dedup)
     print(f"\n{'market':14s} {'model':12s} {'MRR':>8s} {'IRR-1':>8s} "
           f"{'IRR-5':>8s} {'IRR-10':>8s}")
     for market, model, *means in sweep.table_rows():
         cells = ["-" if np.isnan(m) else f"{m:+.3f}" for m in means]
         print(f"{market:14s} {model:12s} "
               + " ".join(f"{c:>8s}" for c in cells))
-    print(f"\n{sweep.workers} worker(s), {sweep.wall_seconds:.1f}s wall")
+    print(f"\n{sweep.workers} worker(s), {sweep.wall_seconds:.1f}s wall, "
+          f"{sweep.executed} run(s) executed, "
+          f"{sweep.restored} restored")
     if sweep.telemetry is not None:
         metrics = sweep.telemetry["metrics"]
         print(f"utilization {metrics['utilization_mean']:.0%}, "
@@ -367,6 +409,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         server.server_close()
+        if args.store:
+            from .store import StoreSink
+            report = service.telemetry.report(
+                config={"checkpoint_dir": str(args.checkpoint_dir),
+                        "max_batch": args.max_batch,
+                        "max_wait_ms": args.max_wait_ms,
+                        "workers": args.workers})
+            StoreSink(args.store).write_report(report)
+            print(f"serving telemetry recorded in {args.store} "
+                  f"(report {report.run_id})")
     return 0
 
 
@@ -399,6 +451,78 @@ def cmd_query(args: argparse.Namespace) -> int:
                          f"running on {args.host}:{args.port}?)")
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0 if "error" not in payload else 1
+
+
+def _db_filters(args: argparse.Namespace) -> dict:
+    return {name: getattr(args, name) for name
+            in ("experiment", "model", "market", "kind", "fingerprint",
+                "source")
+            if getattr(args, name, None) is not None}
+
+
+def _open_store(args: argparse.Namespace):
+    from .store import ExperimentStore
+    path = Path(args.db)
+    if not path.exists() and args.db_command != "migrate":
+        raise SystemExit(f"no experiment store at {path}; create one with "
+                         "`sweep --store`, `train --store`, or "
+                         "`db migrate`")
+    return ExperimentStore(path)
+
+
+def cmd_db(args: argparse.Namespace) -> int:
+    """Dispatch ``db query/export/report/migrate``."""
+    import json
+
+    from .store import (aggregate_runs, metric_names, migrate, query_runs,
+                        render_rows, store_report)
+
+    store = _open_store(args)
+    if args.db_command == "migrate":
+        stats = migrate(store, [Path(s) for s in args.sources])
+        for key, value in stats.to_dict().items():
+            print(f"{key:20s} {value}")
+        return 0
+
+    if args.db_command == "report":
+        payload = store_report(store)
+        if args.format == "json":
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"store: {payload['path']}")
+            print("\ntables")
+            print(render_rows([payload["tables"]], args.format))
+            if payload["experiments"]:
+                print("\nexperiments")
+                print(render_rows(payload["experiments"], args.format))
+            if payload["telemetry_kinds"]:
+                print("\ntelemetry")
+                print(render_rows([payload["telemetry_kinds"]],
+                                  args.format))
+        return 0
+
+    filters = _db_filters(args)
+    names = ([m.strip() for m in args.metrics.split(",") if m.strip()]
+             if args.metrics else metric_names(store, **filters))
+    if args.db_command == "query" and args.aggregate:
+        group_by = tuple(g.strip() for g in args.group_by.split(",")
+                         if g.strip())
+        rows = [{**dict(zip(group_by, agg.group)), "metric": agg.metric,
+                 "runs": agg.count, "mean": agg.mean, "std": agg.std,
+                 "min": agg.minimum, "max": agg.maximum}
+                for agg in aggregate_runs(store, metrics=names,
+                                          group_by=group_by, **filters)]
+    else:
+        rows = [run.row(names) for run in query_runs(store, **filters)]
+
+    rendered = render_rows(rows, args.format)
+    output = getattr(args, "output", None)
+    if output:
+        Path(output).write_text(rendered + "\n")
+        print(f"{len(rows)} row(s) written to {output}")
+    else:
+        print(rendered)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -434,6 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="fault injection: hard-exit after N batches "
                             "(for testing checkpoint recovery)")
+    train.add_argument("--store", default=None, metavar="DB",
+                       help="record the run (per-epoch losses, metrics, "
+                            "checkpoint writes) in this sqlite "
+                            "experiment store")
 
     compare = sub.add_parser("compare", help="compare several models")
     _add_train_options(compare)
@@ -450,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan each model's runs across N worker "
                               "processes (results identical to serial; "
                               "see docs/parallelism.md)")
+    _add_store_options(compare)
 
     sweep = sub.add_parser(
         "sweep", help="parallel model × market × seed sweep "
@@ -476,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="kill and retry a run stuck longer than "
                             "this (default: no hang detection)")
+    _add_store_options(sweep)
 
     serve = sub.add_parser(
         "serve", help="serve checkpoints over HTTP (docs/serving.md)")
@@ -505,6 +635,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--memory-budget-mb", type=int, default=None,
                        help="LRU-evict loaded models past this many MB "
                             "of parameters")
+    serve.add_argument("--store", default=None, metavar="DB",
+                       help="record the serving telemetry report in this "
+                            "sqlite experiment store on shutdown")
 
     query = sub.add_parser(
         "query", help="query a running `serve` instance, print JSON")
@@ -521,6 +654,64 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=8151)
     query.add_argument("--timeout", type=float, default=30.0)
+
+    db = sub.add_parser(
+        "db", help="query/export/report/migrate the sqlite experiment "
+                   "store (docs/experiment-store.md)")
+    db.add_argument("--db", default="experiments.sqlite", metavar="PATH",
+                    help="experiment store path "
+                         "(default: ./experiments.sqlite)")
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+
+    def _add_db_common(p, formats=("table", "json", "csv")):
+        p.add_argument("--format", default=formats[0], choices=formats,
+                       help=f"output format (default: {formats[0]})")
+
+    def _add_db_filter_flags(p):
+        p.add_argument("--experiment", default=None,
+                       help="exact experiment name, e.g. "
+                            "'Rank_LSTM@nasdaq-mini'")
+        p.add_argument("--model", default=None, help="model name filter")
+        p.add_argument("--market", default=None,
+                       help="market preset filter")
+        p.add_argument("--kind", default=None,
+                       help="run kind: experiment | train | grid")
+        p.add_argument("--source", default=None,
+                       help="row provenance: live | journal-v2 | "
+                            "migrated")
+        p.add_argument("--fingerprint", default=None,
+                       help="config fingerprint filter")
+        p.add_argument("--metrics", default=None,
+                       help="comma-separated metric columns (default: "
+                            "all present)")
+
+    db_query = db_sub.add_parser(
+        "query", help="print matching runs (or aggregates)")
+    _add_db_filter_flags(db_query)
+    _add_db_common(db_query)
+    db_query.add_argument("--aggregate", action="store_true",
+                          help="mean/std/min/max per group instead of "
+                               "per-run rows")
+    db_query.add_argument("--group-by", default="experiment",
+                          help="comma-separated grouping fields for "
+                               "--aggregate (default: experiment)")
+
+    db_export = db_sub.add_parser(
+        "export", help="dump matching runs to a file or stdout")
+    _add_db_filter_flags(db_export)
+    _add_db_common(db_export, formats=("json", "csv", "table"))
+    db_export.add_argument("--output", default=None, metavar="FILE",
+                           help="write here instead of stdout")
+
+    db_report = db_sub.add_parser(
+        "report", help="table counts and per-experiment summary")
+    _add_db_common(db_report, formats=("table", "json"))
+
+    db_migrate = db_sub.add_parser(
+        "migrate", help="ingest journal-v2 / obs-report / bench JSON "
+                        "files (idempotent)")
+    db_migrate.add_argument("sources", nargs="+", metavar="PATH",
+                            help="JSON files or directories of them")
 
     profile = sub.add_parser(
         "profile", help="profile per-op and per-phase cost of a short run")
@@ -551,8 +742,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "serve": cmd_serve,
         "query": cmd_query,
+        "db": cmd_db,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `db export | head`); devnull
+        # the stream so the interpreter's shutdown flush stays quiet.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

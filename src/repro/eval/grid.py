@@ -70,6 +70,29 @@ def validation_split(dataset: StockDataset, window: int,
     return train_days[:-validation_days], train_days[-validation_days:]
 
 
+def _grid_fingerprint(base: TrainConfig, param_grid: Dict[str, Sequence],
+                      metric: str, validation_days: int, seed: int,
+                      market: str) -> str:
+    """Natural key for one grid search in the experiment store.
+
+    Digests everything that determines the evaluated scores: the base
+    config, the full grid (so point indices are stable), the selection
+    metric, the validation split, the seed, and the market.
+    """
+    import hashlib
+    import json
+    from dataclasses import asdict
+
+    payload = {"config": asdict(base),
+               "grid": {name: [repr(v) for v in param_grid[name]]
+                        for name in sorted(param_grid)},
+               "metric": metric, "validation_days": validation_days,
+               "seed": seed, "market": market}
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")).hexdigest()
+    return f"grid-{digest[:16]}"
+
+
 def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
                 dataset: StockDataset,
                 param_grid: Dict[str, Sequence],
@@ -77,7 +100,9 @@ def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
                 metric: str = "IRR-5",
                 validation_days: int = 30,
                 seed: int = 0,
-                workers: int = 1) -> GridSearchResult:
+                workers: int = 1,
+                store: Optional[object] = None,
+                dedup: bool = True) -> GridSearchResult:
     """Exhaustive search over ``param_grid`` scored on a validation tail.
 
     Parameters
@@ -99,6 +124,12 @@ def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
         purely by its combination index, so the evaluated scores — and
         therefore the selected configuration — are bitwise-identical to
         the serial search.
+    store:
+        An :class:`~repro.store.ExperimentStore` (or path) that records
+        every evaluated point (``kind='grid'``).  With ``dedup=True`` a
+        re-run restores already-stored points instead of retraining
+        them; the restored scores are bitwise-equal (sqlite REAL is the
+        same IEEE-754 double).
     """
     if not param_grid:
         raise ValueError("param_grid must contain at least one parameter")
@@ -122,16 +153,59 @@ def grid_search(factory: Callable[[np.random.Generator, TrainConfig], Module],
         return GridPoint(params=params, metrics=metrics,
                          score=metrics[metric])
 
-    if workers > 1 and len(combos) > 1:
-        from ..parallel import ExperimentPool, fork_available
-        if fork_available():
-            pool = ExperimentPool(min(workers, len(combos)),
-                                  evaluate_combo)
-            outcome = pool.run(list(range(len(combos))))
-            points = [outcome[i] for i in range(len(combos))]
+    store_sink = None
+    fingerprint = None
+    experiment = f"grid@{dataset.market}"
+    restored: Dict[int, GridPoint] = {}
+    if store is not None:
+        from ..store import StoreSink
+
+        store_sink = StoreSink(store)
+        fingerprint = _grid_fingerprint(base, param_grid, metric,
+                                        validation_days, seed,
+                                        dataset.market)
+        if dedup:
+            for index, run in store_sink.store.completed_runs(
+                    fingerprint, experiment).items():
+                if 0 <= index < len(combos) and metric in run.metrics:
+                    restored[index] = GridPoint(
+                        params=dict(zip(names, combos[index])),
+                        metrics=dict(run.metrics),
+                        score=run.metrics[metric])
+
+    pending = [i for i in range(len(combos)) if i not in restored]
+    evaluated: Dict[int, GridPoint] = {}
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            from ..parallel import ExperimentPool, fork_available
+            if fork_available():
+                pool = ExperimentPool(min(workers, len(pending)),
+                                      lambda task: evaluate_combo(
+                                          pending[task]))
+                outcome = pool.run(list(range(len(pending))))
+                evaluated = {pending[i]: outcome[i]
+                             for i in range(len(pending))}
+            else:
+                evaluated = {i: evaluate_combo(i) for i in pending}
         else:
-            points = [evaluate_combo(i) for i in range(len(combos))]
-    else:
-        points = [evaluate_combo(i) for i in range(len(combos))]
+            evaluated = {i: evaluate_combo(i) for i in pending}
+
+    if store_sink is not None:
+        from ..store import RunRecord
+
+        for index, point in evaluated.items():
+            store_sink.write_run(RunRecord(
+                experiment=experiment, run_index=index,
+                metrics=dict(point.metrics),
+                train_seconds=float("nan"), test_seconds=float("nan"),
+                fingerprint=fingerprint, seed=seed * 10000 + index,
+                kind="grid",
+                config={**{name: repr(value) for name, value
+                           in point.params.items()},
+                        "metric": metric,
+                        "validation_days": validation_days},
+                n_runs=len(combos), base_seed=seed))
+
+    points = [restored.get(i) or evaluated[i] for i in range(len(combos))]
     points.sort(key=lambda p: -p.score)
     return GridSearchResult(points=points, metric=metric)

@@ -46,13 +46,42 @@ class JournalMismatchError(RuntimeError):
     """
 
 
+def _fingerprint_payload(config: Optional[TrainConfig], n_runs: int,
+                         base_seed: int) -> Dict[str, object]:
+    """The fields the fingerprint digests, kept so a mismatch can name
+    the exact offending field instead of two opaque hashes."""
+    return {"config": asdict(config) if config is not None else None,
+            "n_runs": n_runs, "base_seed": base_seed}
+
+
 def _experiment_fingerprint(config: Optional[TrainConfig], n_runs: int,
                             base_seed: int) -> str:
     """Stable digest of everything that shapes the per-run results."""
-    payload = {"config": asdict(config) if config is not None else None,
-               "n_runs": n_runs, "base_seed": base_seed}
+    payload = _fingerprint_payload(config, n_runs, base_seed)
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprint_field_diffs(theirs: Optional[Dict[str, object]],
+                             ours: Optional[Dict[str, object]]
+                             ) -> List[str]:
+    """Human-readable per-field diffs of two fingerprint payloads.
+
+    Only ``config.*`` entries are reported — ``n_runs`` and
+    ``base_seed`` live in the journal key itself and are diffed there.
+    """
+    if not isinstance(theirs, dict) or not isinstance(ours, dict):
+        return []
+    their_config = theirs.get("config") or {}
+    our_config = ours.get("config") or {}
+    if not isinstance(their_config, dict) or \
+            not isinstance(our_config, dict):
+        return [f"config: journal={theirs.get('config')!r} vs "
+                f"requested={ours.get('config')!r}"]
+    return [f"config.{key}: journal={their_config.get(key)!r} vs "
+            f"requested={our_config.get(key)!r}"
+            for key in sorted(set(their_config) | set(our_config))
+            if their_config.get(key) != our_config.get(key)]
 
 
 class _ExperimentJournal:
@@ -75,12 +104,17 @@ class _ExperimentJournal:
 
     def __init__(self, directory: Union[str, Path], name: str,
                  n_runs: int, base_seed: int,
-                 fingerprint: Optional[str] = None):
+                 fingerprint: Optional[str] = None,
+                 fingerprint_fields: Optional[Dict[str, object]] = None):
         safe = "".join(c if c.isalnum() or c in "-_." else "_"
                        for c in name)
         self.path = Path(directory) / f"experiment-{safe}.json"
         self.key = {"name": name, "n_runs": n_runs, "base_seed": base_seed,
                     "fingerprint": fingerprint}
+        #: the fingerprint's raw payload (see ``_fingerprint_payload``);
+        #: persisted alongside the key — *not* part of key equality —
+        #: so an incompatible resume can name the offending field
+        self.fields = fingerprint_fields
         self.rows: Dict[int, Dict[str, object]] = {}
         if self.path.exists():
             try:
@@ -98,10 +132,18 @@ class _ExperimentJournal:
             elif payload.get("key") != self.key:
                 theirs = payload.get("key") or {}
                 diffs = sorted(set(theirs) | set(self.key))
-                detail = ", ".join(
-                    f"{k}: journal={theirs.get(k)!r} vs "
-                    f"requested={self.key.get(k)!r}"
-                    for k in diffs if theirs.get(k) != self.key.get(k))
+                parts = [f"{k}: journal={theirs.get(k)!r} vs "
+                         f"requested={self.key.get(k)!r}"
+                         for k in diffs
+                         if theirs.get(k) != self.key.get(k)]
+                if theirs.get("fingerprint") != self.key.get("fingerprint"):
+                    # Resolve the opaque digests into the exact config
+                    # field(s) that diverged, when both sides recorded
+                    # their fingerprint payloads.
+                    field_diffs = _fingerprint_field_diffs(
+                        payload.get("fingerprint_fields"), self.fields)
+                    parts.extend(field_diffs)
+                detail = ", ".join(parts)
                 raise JournalMismatchError(
                     f"resume journal {self.path} was written by an "
                     f"incompatible invocation ({detail}); refusing to "
@@ -126,9 +168,19 @@ class _ExperimentJournal:
             "test_seconds": float(test_seconds)}
         payload = {"version": _EXPERIMENT_STATE_VERSION, "key": self.key,
                    "runs": [self.rows[i] for i in sorted(self.rows)]}
+        if self.fields is not None:
+            payload["fingerprint_fields"] = self.fields
         atomic_write_bytes(self.path,
                            (json.dumps(payload, indent=2) + "\n")
                            .encode("utf-8"))
+
+
+def _epoch_losses(result: object) -> Optional[List[float]]:
+    """Per-epoch losses from a TrainResult or PredictorResult, if any."""
+    losses = getattr(result, "epoch_losses", None)
+    if losses is None:
+        losses = getattr(result, "extras", {}).get("epoch_losses")
+    return [float(x) for x in losses] if losses is not None else None
 
 
 @dataclass
@@ -161,7 +213,10 @@ def _run_protocol_loop(name: str, n_runs: int, base_seed: int,
                        one_run: Callable[[int], "tuple"],
                        workers: int = 1,
                        fingerprint: Optional[str] = None,
-                       telemetry_dir: Optional[Union[str, Path]] = None
+                       telemetry_dir: Optional[Union[str, Path]] = None,
+                       store: Optional[object] = None,
+                       dedup: bool = True,
+                       config: Optional[TrainConfig] = None
                        ) -> ExperimentResult:
     """Shared 15-run loop with optional run-level resume and fan-out.
 
@@ -178,14 +233,55 @@ def _run_protocol_loop(name: str, n_runs: int, base_seed: int,
     to serial execution; completed runs are journaled from the parent as
     they arrive, and crashed workers are respawned with their run
     retried (see docs/parallelism.md).
+
+    ``store`` (an :class:`~repro.store.ExperimentStore` or its path)
+    writes every completed run through to the experiment database; with
+    ``dedup=True`` runs already stored under this protocol's fingerprint
+    are restored instead of executed — the cross-invocation analogue of
+    the journal (see docs/experiment-store.md).
     """
+    fields = (_fingerprint_payload(config, n_runs, base_seed)
+              if config is not None else None)
     journal = (_ExperimentJournal(resume_dir, name, n_runs, base_seed,
-                                  fingerprint)
+                                  fingerprint, fingerprint_fields=fields)
                if resume_dir is not None else None)
+    store_sink = None
+    if store is not None:
+        from ..store import StoreSink
+        store_sink = StoreSink(store)
     rows: Dict[int, Dict[str, object]] = {}
     if journal is not None:
         rows = {index: row for index, row in journal.rows.items()
                 if 0 <= index < n_runs}
+    if store_sink is not None and dedup and fingerprint is not None:
+        for index, stored in store_sink.store.completed_runs(
+                fingerprint, name).items():
+            if 0 <= index < n_runs and index not in rows:
+                rows[index] = {
+                    "metrics": dict(stored.metrics),
+                    "train_seconds": (stored.train_seconds
+                                      if stored.train_seconds is not None
+                                      else float("nan")),
+                    "test_seconds": (stored.test_seconds
+                                     if stored.test_seconds is not None
+                                     else float("nan"))}
+    config_dict = asdict(config) if config is not None else None
+
+    def persist(run_index: int, metrics: Dict[str, float],
+                train_s: float, test_s: float,
+                epoch_losses: Optional[List[float]] = None) -> None:
+        if journal is not None:
+            journal.record(run_index, metrics, train_s, test_s)
+        if store_sink is not None:
+            from ..store import RunRecord
+            store_sink.write_run(RunRecord(
+                experiment=name, run_index=run_index,
+                metrics=dict(metrics), train_seconds=float(train_s),
+                test_seconds=float(test_s), fingerprint=fingerprint,
+                seed=base_seed * 1000 + run_index, config=config_dict,
+                n_runs=n_runs, base_seed=base_seed,
+                epoch_losses=epoch_losses))
+
     todo = [index for index in range(n_runs) if index not in rows]
     last = None
     pool = None
@@ -203,21 +299,22 @@ def _run_protocol_loop(name: str, n_runs: int, base_seed: int,
                 seed = base_seed * 1000 + run_index
                 metrics, result = one_run(seed)
                 # Ship the full result only for the final run (it backs
-                # ExperimentResult.last_result); metrics and timings are
-                # all the aggregate needs from the rest.
+                # ExperimentResult.last_result); metrics, timings, and
+                # epoch losses are all the aggregate/store need from the
+                # rest.
                 return (metrics, float(result.train_seconds),
                         float(result.test_seconds),
+                        _epoch_losses(result),
                         result if run_index == keep_index else None)
 
             def on_result(run_index: int, payload) -> None:
-                metrics, train_s, test_s, _ = payload
-                if journal is not None:
-                    journal.record(run_index, metrics, train_s, test_s)
+                metrics, train_s, test_s, losses, _ = payload
+                persist(run_index, metrics, train_s, test_s, losses)
 
             pool = ExperimentPool(min(workers, len(todo)), run_task)
             outcome = pool.run(todo, on_result=on_result)
             for run_index, payload in outcome.items():
-                metrics, train_s, test_s, result = payload
+                metrics, train_s, test_s, _, result = payload
                 rows[run_index] = {"metrics": metrics,
                                    "train_seconds": train_s,
                                    "test_seconds": test_s}
@@ -231,9 +328,8 @@ def _run_protocol_loop(name: str, n_runs: int, base_seed: int,
                            "train_seconds": result.train_seconds,
                            "test_seconds": result.test_seconds}
         last = result
-        if journal is not None:
-            journal.record(run_index, metrics, result.train_seconds,
-                           result.test_seconds)
+        persist(run_index, metrics, result.train_seconds,
+                result.test_seconds, _epoch_losses(result))
     telemetry = None
     if pool is not None:
         report = pool.telemetry.report(
@@ -245,6 +341,8 @@ def _run_protocol_loop(name: str, n_runs: int, base_seed: int,
         if telemetry_dir is not None:
             from ..obs import MetricsSink
             MetricsSink(telemetry_dir).write(report)
+        if store_sink is not None:
+            store_sink.write_report(report)
     ordered = [rows[index] for index in range(n_runs)]
     return ExperimentResult(
         name=name,
@@ -260,7 +358,8 @@ def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
                    top_ns: Sequence[int] = (1, 5, 10),
                    resume_dir: Optional[Union[str, Path]] = None,
                    workers: int = 1,
-                   telemetry_dir: Optional[Union[str, Path]] = None
+                   telemetry_dir: Optional[Union[str, Path]] = None,
+                   store: Optional[object] = None, dedup: bool = True
                    ) -> ExperimentResult:
     """Train/evaluate a model ``n_runs`` times with independent seeds.
 
@@ -275,21 +374,35 @@ def run_experiment(name: str, factory: ModelFactory, dataset: StockDataset,
     alike).  ``telemetry_dir`` additionally writes the executor's
     schema-v1 :class:`~repro.obs.RunReport` there; the same payload is
     available as ``ExperimentResult.telemetry``.
+
+    ``store`` writes every run through the experiment database
+    (docs/experiment-store.md): per-epoch losses stream write-through
+    from ``Trainer.fit``, run metrics land on completion, and with
+    ``dedup=True`` a re-invocation restores already-stored runs (by
+    config fingerprint) instead of executing them.
     """
     cfg = config if config is not None else TrainConfig()
+    fingerprint = _experiment_fingerprint(cfg, n_runs, base_seed)
 
     def one_run(seed: int):
         model = factory(fork_rng(seed))
         run_cfg = replace(cfg, seed=seed)
-        result = Trainer(model, dataset, run_cfg).run()
+        callbacks = []
+        if store is not None:
+            from ..store import StoreCallback
+            callbacks.append(StoreCallback(
+                store, name, fingerprint=fingerprint,
+                run_index=seed - base_seed * 1000, seed=seed,
+                kind="experiment", config=asdict(run_cfg)))
+        result = Trainer(model, dataset, run_cfg).run(callbacks=callbacks)
         metrics = ranking_metrics(result.predictions, result.actuals,
                                   top_ns=top_ns)
         return metrics, result
 
     return _run_protocol_loop(
         name, n_runs, base_seed, resume_dir, one_run, workers=workers,
-        fingerprint=_experiment_fingerprint(cfg, n_runs, base_seed),
-        telemetry_dir=telemetry_dir)
+        fingerprint=fingerprint, telemetry_dir=telemetry_dir,
+        store=store, dedup=dedup, config=cfg)
 
 
 def run_named_experiment(name: str, dataset: StockDataset,
@@ -298,15 +411,17 @@ def run_named_experiment(name: str, dataset: StockDataset,
                          top_ns: Sequence[int] = (1, 5, 10),
                          resume_dir: Optional[Union[str, Path]] = None,
                          workers: int = 1,
-                         telemetry_dir: Optional[Union[str, Path]] = None
-                         ) -> ExperimentResult:
+                         telemetry_dir: Optional[Union[str, Path]] = None,
+                         store: Optional[object] = None,
+                         dedup: bool = True) -> ExperimentResult:
     """Run a registry model (Table IV name) for ``n_runs`` seeded repeats.
 
     Classification models (``can_rank=False``) report ``MRR = NaN``,
     rendering as '-' in the printed tables, exactly like the paper.
-    ``resume_dir`` journals completed runs for run-level resume, and
-    ``workers``/``telemetry_dir`` fan the runs out across processes, as
-    in :func:`run_experiment`.
+    ``resume_dir`` journals completed runs for run-level resume,
+    ``workers``/``telemetry_dir`` fan the runs out across processes, and
+    ``store``/``dedup`` write through (and restore from) the experiment
+    database, as in :func:`run_experiment`.
     """
     from ..baselines.registry import get_spec, make_predictor
 
@@ -326,7 +441,8 @@ def run_named_experiment(name: str, dataset: StockDataset,
     return _run_protocol_loop(
         name, n_runs, base_seed, resume_dir, one_run, workers=workers,
         fingerprint=_experiment_fingerprint(cfg, n_runs, base_seed),
-        telemetry_dir=telemetry_dir)
+        telemetry_dir=telemetry_dir, store=store, dedup=dedup,
+        config=cfg)
 
 
 def compare_paired(ours: ExperimentResult, baseline: ExperimentResult,

@@ -25,7 +25,7 @@ the missing runs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from itertools import product
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -55,6 +55,11 @@ class SweepResult:
     #: serial sweeps)
     telemetry: Optional[Dict[str, object]] = field(default=None,
                                                    repr=False)
+    #: runs actually trained this invocation (0 when the journal/store
+    #: already held every row — the dedup acceptance criterion)
+    executed: int = 0
+    #: runs restored from the journal and/or experiment store
+    restored: int = 0
 
     def cells(self) -> List[Tuple[str, str]]:
         return list(self.results)
@@ -77,7 +82,8 @@ def run_experiments_parallel(
         dataset_seed: int = 0, top_ns: Sequence[int] = (1, 5, 10),
         resume_dir: Optional[Union[str, Path]] = None,
         telemetry_dir: Optional[Union[str, Path]] = None,
-        max_attempts: int = 3, task_timeout: Optional[float] = None
+        max_attempts: int = 3, task_timeout: Optional[float] = None,
+        store: Optional[object] = None, dedup: bool = True
         ) -> SweepResult:
     """Run every (model, market) cell ``n_runs`` times, in parallel.
 
@@ -86,6 +92,14 @@ def run_experiments_parallel(
     nesting sequential loops.  ``workers=None`` uses one worker per CPU
     (capped at the number of runs); ``workers=1`` — or a platform
     without ``fork`` — degrades to a serial loop with identical results.
+
+    ``store`` (an :class:`~repro.store.ExperimentStore` or a path)
+    writes every completed run through the experiment database, and with
+    ``dedup=True`` restores runs already stored under each cell's config
+    fingerprint instead of executing them: re-running a finished sweep
+    trains nothing and returns identical (bitwise) metrics straight from
+    sqlite.  ``dedup=False`` forces re-execution (results overwrite the
+    stored rows).  See docs/experiment-store.md.
 
     Returns a :class:`SweepResult` whose per-cell
     :class:`~repro.eval.ExperimentResult` objects are bitwise-equal to
@@ -97,7 +111,7 @@ def run_experiments_parallel(
     from ..data import load_market
     from ..eval.metrics import ranking_metrics
     from ..eval.protocol import (ExperimentResult, _experiment_fingerprint,
-                                 _ExperimentJournal)
+                                 _ExperimentJournal, _fingerprint_payload)
 
     models = [str(m) for m in models]
     markets = [str(m) for m in markets]
@@ -117,6 +131,11 @@ def run_experiments_parallel(
                 for market in markets}
 
     cells = [(model, market) for market in markets for model in models]
+    fingerprints = {model: _experiment_fingerprint(adapted[model], n_runs,
+                                                   base_seed)
+                    for model in models}
+    fields = {model: _fingerprint_payload(adapted[model], n_runs, base_seed)
+              for model in models}
     journals = {}
     rows: Dict[Tuple[str, str], Dict[int, Dict[str, object]]] = {
         cell: {} for cell in cells}
@@ -124,11 +143,27 @@ def run_experiments_parallel(
         for model, market in cells:
             journal = _ExperimentJournal(
                 resume_dir, f"{model}@{market}", n_runs, base_seed,
-                _experiment_fingerprint(adapted[model], n_runs, base_seed))
+                fingerprints[model], fingerprint_fields=fields[model])
             journals[(model, market)] = journal
             rows[(model, market)] = {
                 index: row for index, row in journal.rows.items()
                 if 0 <= index < n_runs}
+
+    store_sink = None
+    if store is not None:
+        from ..store import StoreSink
+
+        store_sink = StoreSink(store)
+        if dedup:
+            for model, market in cells:
+                stored = store_sink.store.completed_runs(
+                    fingerprints[model], f"{model}@{market}")
+                for index, stored_run in stored.items():
+                    if 0 <= index < n_runs:
+                        rows[(model, market)].setdefault(index, {
+                            "metrics": dict(stored_run.metrics),
+                            "train_seconds": stored_run.train_seconds,
+                            "test_seconds": stored_run.test_seconds})
 
     specs: List[RunSpec] = []
     for model, market in cells:
@@ -136,6 +171,7 @@ def run_experiments_parallel(
             if run_index not in rows[(model, market)]:
                 specs.append(RunSpec(model, market, run_index,
                                      base_seed * 1000 + run_index))
+    restored = len(cells) * n_runs - len(specs)
 
     def run_spec(task: int):
         spec = specs[task]
@@ -159,6 +195,16 @@ def run_experiments_parallel(
         journal = journals.get((spec.model, spec.market))
         if journal is not None:
             journal.record(spec.run_index, metrics, train_s, test_s)
+        if store_sink is not None:
+            from ..store import RunRecord
+
+            store_sink.write_run(RunRecord(
+                experiment=f"{spec.model}@{spec.market}",
+                run_index=spec.run_index, metrics=dict(metrics),
+                train_seconds=train_s, test_seconds=test_s,
+                fingerprint=fingerprints[spec.model], seed=spec.seed,
+                config=asdict(adapted[spec.model]), n_runs=n_runs,
+                base_seed=base_seed))
 
     n_workers = resolve_workers(workers, len(specs))
     telemetry = None
@@ -180,6 +226,8 @@ def run_experiments_parallel(
             if telemetry_dir is not None:
                 from ..obs import MetricsSink
                 MetricsSink(telemetry_dir).write(report)
+            if store_sink is not None:
+                store_sink.write_report(report)
         else:
             n_workers = 1
             for task in range(len(specs)):
@@ -197,4 +245,5 @@ def run_experiments_parallel(
             test_seconds=[float(row["test_seconds"]) for row in ordered])
     return SweepResult(results=results, workers=n_workers,
                        wall_seconds=time.perf_counter() - started,
-                       telemetry=telemetry)
+                       telemetry=telemetry, executed=len(specs),
+                       restored=restored)

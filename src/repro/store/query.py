@@ -1,0 +1,261 @@
+"""Typed read side of the experiment store.
+
+The write path (:mod:`repro.store.db`) speaks SQL; consumers shouldn't
+have to.  This module surfaces the store as frozen dataclasses —
+:class:`StoredRun` per run, :class:`AggregateRow` per (group, metric) —
+plus the tabular exporters behind ``repro.cli db query/export/report``.
+
+Metric values round-trip bitwise: sqlite REAL is an IEEE-754 double and
+``NULL`` encodes NaN, so ``query_runs`` reconstructs exactly the floats
+the protocol computed (the acceptance criterion for dedup'd sweeps).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Tuple)
+
+from .db import _from_db_value
+
+if TYPE_CHECKING:                                    # pragma: no cover
+    from .db import ExperimentStore
+
+#: the Table-IV headline metrics, used as the default column order
+DEFAULT_METRICS = ("MRR", "IRR-1", "IRR-5", "IRR-10")
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One run row joined with its metrics."""
+
+    id: int
+    fingerprint: str
+    experiment: str
+    model: Optional[str]
+    market: Optional[str]
+    kind: str
+    run_index: int
+    seed: Optional[int]
+    train_seconds: Optional[float]
+    test_seconds: Optional[float]
+    source: str
+    created_at: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        """The metric's value, NaN when absent (renders as '-')."""
+        return self.metrics.get(name, float("nan"))
+
+    def row(self, metric_names: Sequence[str] = DEFAULT_METRICS
+            ) -> Dict[str, Any]:
+        """Flat export record (JSON/CSV friendly)."""
+        return {"experiment": self.experiment, "model": self.model,
+                "market": self.market, "kind": self.kind,
+                "run_index": self.run_index, "seed": self.seed,
+                "fingerprint": self.fingerprint, "source": self.source,
+                "train_seconds": self.train_seconds,
+                "test_seconds": self.test_seconds,
+                **{name: self.metric(name) for name in metric_names}}
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Summary of one metric over one group of runs."""
+
+    group: Tuple[str, ...]
+    metric: str
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def _row_filters(experiment: Optional[str] = None,
+                 model: Optional[str] = None,
+                 market: Optional[str] = None,
+                 kind: Optional[str] = None,
+                 fingerprint: Optional[str] = None,
+                 source: Optional[str] = None) -> Tuple[str, list]:
+    clauses, params = [], []
+    for column, value in (("experiment", experiment), ("model", model),
+                          ("market", market), ("kind", kind),
+                          ("fingerprint", fingerprint),
+                          ("source", source)):
+        if value is not None:
+            clauses.append(f"runs.{column} = ?")
+            params.append(value)
+    where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+    return where, params
+
+
+def query_runs(store: "ExperimentStore", **filters) -> List[StoredRun]:
+    """Runs matching the filters, each with its full metric dict.
+
+    Filters: ``experiment``, ``model``, ``market``, ``kind``,
+    ``fingerprint``, ``source`` — all exact matches, all optional.
+    Runs come back ordered by ``(experiment, run_index)`` so aggregation
+    over them is deterministic.
+    """
+    where, params = _row_filters(**filters)
+    rows = store.execute(
+        "SELECT runs.* FROM runs" + where
+        + " ORDER BY runs.experiment, runs.run_index, runs.id", params)
+    if not rows:
+        return []
+    by_id: Dict[int, Dict[str, float]] = {row["id"]: {} for row in rows}
+    placeholders = ",".join("?" * len(by_id))
+    for metric in store.execute(
+            f"SELECT run_id, name, value FROM metrics"
+            f" WHERE run_id IN ({placeholders})", list(by_id)):
+        by_id[metric["run_id"]][metric["name"]] = _from_db_value(
+            metric["value"])
+    return [StoredRun(
+        id=row["id"], fingerprint=row["fingerprint"],
+        experiment=row["experiment"], model=row["model"],
+        market=row["market"], kind=row["kind"],
+        run_index=row["run_index"], seed=row["seed"],
+        train_seconds=row["train_seconds"],
+        test_seconds=row["test_seconds"], source=row["source"],
+        created_at=row["created_at"], metrics=by_id[row["id"]])
+        for row in rows]
+
+
+def metric_names(store: "ExperimentStore", **filters) -> List[str]:
+    """Every metric name present on the matching runs.
+
+    The Table-IV headline metrics come first (in their canonical order)
+    so rendered tables match the paper's layout; the rest follow
+    alphabetically.
+    """
+    where, params = _row_filters(**filters)
+    names = {row["name"] for row in store.execute(
+        "SELECT DISTINCT metrics.name FROM metrics"
+        " JOIN runs ON runs.id = metrics.run_id" + where, params)}
+    head = [name for name in DEFAULT_METRICS if name in names]
+    tail = sorted(names.difference(DEFAULT_METRICS))
+    return head + tail
+
+
+def aggregate_runs(store: "ExperimentStore",
+                   metrics: Optional[Sequence[str]] = None,
+                   group_by: Sequence[str] = ("experiment",),
+                   **filters) -> List[AggregateRow]:
+    """Mean/std/min/max of each metric per group.
+
+    ``group_by`` names :class:`StoredRun` fields (``experiment``,
+    ``model``, ``market``, ``kind``, ``fingerprint``, ``source``).
+    NaN metric values are excluded from the aggregate (they encode "not
+    applicable", e.g. MRR for classifiers), mirroring how the printed
+    tables render them as '-'.
+
+    The mean/std are computed by ``np.mean``/``np.std`` over runs
+    ordered by ``run_index`` — the exact reduction
+    ``ExperimentResult.mean`` and ``repro.stats.summarize_runs``
+    perform — so a store-backed aggregate is bitwise-equal to the
+    serial protocol's (given the same finite values).
+    """
+    import numpy as np
+
+    runs = query_runs(store, **filters)
+    names = list(metrics) if metrics is not None else metric_names(
+        store, **filters)
+    groups: Dict[Tuple[str, ...], List[StoredRun]] = {}
+    for run in runs:
+        key = tuple(str(getattr(run, g)) for g in group_by)
+        groups.setdefault(key, []).append(run)
+    out: List[AggregateRow] = []
+    for key in sorted(groups):
+        members = groups[key]
+        for name in names:
+            values = [run.metrics[name] for run in members
+                      if name in run.metrics
+                      and not math.isnan(run.metrics[name])]
+            if not values:
+                out.append(AggregateRow(key, name, 0, float("nan"),
+                                        float("nan"), float("nan"),
+                                        float("nan")))
+                continue
+            array = np.asarray(values, dtype=float)
+            out.append(AggregateRow(key, name, int(array.size),
+                                    float(np.mean(array)),
+                                    float(np.std(array)),
+                                    float(array.min()),
+                                    float(array.max())))
+    return out
+
+
+def store_report(store: "ExperimentStore") -> Dict[str, Any]:
+    """The ``db report`` payload: table counts plus per-experiment rows."""
+    experiments = store.execute(
+        "SELECT experiment, fingerprint, kind, source,"
+        " COUNT(*) AS runs, MIN(run_index) AS first_run,"
+        " MAX(run_index) AS last_run"
+        " FROM runs GROUP BY experiment, fingerprint, kind, source"
+        " ORDER BY experiment, fingerprint")
+    telemetry = store.execute(
+        "SELECT kind, COUNT(*) AS n FROM telemetry GROUP BY kind"
+        " ORDER BY kind")
+    return {
+        "path": str(store.path),
+        "tables": store.counts(),
+        "experiments": [dict(row) for row in experiments],
+        "telemetry_kinds": {row["kind"]: row["n"] for row in telemetry},
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering (shared by the CLI's --format {table,json,csv})
+# ----------------------------------------------------------------------
+def render_rows(rows: List[Dict[str, Any]], fmt: str = "table") -> str:
+    """Render homogeneous dict-rows as an aligned table, JSON, or CSV."""
+    if fmt == "json":
+        return json.dumps(_sanitize(rows), indent=2, sort_keys=False,
+                          allow_nan=False)
+    headers = list(rows[0]) if rows else []
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _cell(v) for k, v in row.items()})
+        return buffer.getvalue().rstrip("\n")
+    if fmt != "table":
+        raise ValueError(f"unknown format {fmt!r}; expected table, json "
+                         "or csv")
+    if not rows:
+        return "(no rows)"
+    rendered = [[_cell(row.get(h)) for h in headers] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rendered))
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+              for row in rendered]
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:+.4f}" if abs(value) < 100 else f"{value:.2f}"
+    return str(value)
+
+
+def _sanitize(value: Any) -> Any:
+    """NaN/Inf -> None so the JSON output is strictly parseable."""
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value

@@ -1,0 +1,133 @@
+"""The experiment store's sqlite schema (version 1).
+
+One database file holds every result the repo produces — protocol runs,
+sweep cells, grid points, bench artifacts, pool/serving telemetry — in
+five relational tables plus a ``meta`` key/value table:
+
+``configs``
+    One row per *protocol fingerprint*: the sha256 digest of the
+    ``TrainConfig`` + ``n_runs`` + ``base_seed`` that shapes a family of
+    runs (the same digest the journal-v2 resume files carry).  The
+    fingerprint is the natural key that makes dedup-by-fingerprint work:
+    a re-run of a sweep looks its configs up here before executing
+    anything.
+``runs``
+    One row per completed seeded run, unique on ``(fingerprint,
+    experiment, run_index)``.  ``experiment`` is the protocol name
+    (``"RT-GCN (T)@nasdaq-mini"``); when it has the ``model@market``
+    shape the two halves are denormalised into their own columns so
+    queries can group by market without string surgery.
+``metrics``
+    The run's scalar result metrics (MRR, IRR-k, ...), one row per
+    metric.  ``NULL`` encodes NaN (sqlite REAL cannot hold it); readers
+    surface it as ``float("nan")`` again, so classification models'
+    ``MRR = NaN`` round-trips.
+``epochs``
+    Per-epoch mean training loss, streamed write-through from
+    ``Trainer.fit`` by :class:`~repro.store.callback.StoreCallback` (or
+    backfilled from a ``TrainResult``).
+``checkpoints``
+    Checkpoint writes (path, cursor, size, write latency, best flag) so
+    artifact-size regressions are queryable next to speed regressions.
+``telemetry``
+    Whole schema-v1 :class:`~repro.obs.RunReport` documents — pool
+    executor reports, serving rollups, benchmark artifacts — stored as
+    JSON, unique on the report id so re-migration never duplicates.
+
+REAL columns store IEEE-754 doubles exactly, which is what lets the
+acceptance criterion hold: metrics read back from the store are
+*bitwise* equal to what the serial protocol computed.
+"""
+
+from __future__ import annotations
+
+#: bump when a table/column is added, renamed, or removed
+STORE_SCHEMA_VERSION = 1
+
+#: executed statement-by-statement by :meth:`ExperimentStore._ensure_schema`
+DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS configs (
+    fingerprint TEXT PRIMARY KEY,
+    config_json TEXT,
+    n_runs      INTEGER,
+    base_seed   INTEGER,
+    created_at  TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS runs (
+    id            INTEGER PRIMARY KEY,
+    fingerprint   TEXT NOT NULL,
+    experiment    TEXT NOT NULL,
+    model         TEXT,
+    market        TEXT,
+    kind          TEXT NOT NULL DEFAULT 'experiment',
+    run_index     INTEGER NOT NULL,
+    seed          INTEGER,
+    train_seconds REAL,
+    test_seconds  REAL,
+    source        TEXT NOT NULL DEFAULT 'live',
+    created_at    TEXT NOT NULL,
+    UNIQUE (fingerprint, experiment, run_index)
+);
+
+CREATE INDEX IF NOT EXISTS idx_runs_experiment ON runs (experiment);
+CREATE INDEX IF NOT EXISTS idx_runs_model_market ON runs (model, market);
+
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    name   TEXT NOT NULL,
+    value  REAL,
+    PRIMARY KEY (run_id, name)
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS epochs (
+    run_id INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    epoch  INTEGER NOT NULL,
+    loss   REAL,
+    PRIMARY KEY (run_id, epoch)
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS checkpoints (
+    id            INTEGER PRIMARY KEY,
+    run_id        INTEGER REFERENCES runs (id) ON DELETE SET NULL,
+    path          TEXT NOT NULL,
+    epoch         INTEGER,
+    batch_index   INTEGER,
+    bytes         INTEGER,
+    write_seconds REAL,
+    is_best       INTEGER NOT NULL DEFAULT 0,
+    created_at    TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS telemetry (
+    id          INTEGER PRIMARY KEY,
+    report_id   TEXT NOT NULL UNIQUE,
+    kind        TEXT NOT NULL,
+    report_json TEXT NOT NULL,
+    created_at  TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_telemetry_kind ON telemetry (kind);
+"""
+
+#: every table the DDL creates, in a stable reporting order
+TABLES = ("configs", "runs", "metrics", "epochs", "checkpoints",
+          "telemetry")
+
+
+def split_experiment(experiment: str) -> tuple:
+    """``"model@market" -> (model, market)``; else ``(None, None)``.
+
+    Only the *last* ``@`` splits, so model names containing ``@`` (none
+    today, but nothing forbids them) keep their prefix intact.
+    """
+    if "@" in experiment:
+        model, _, market = experiment.rpartition("@")
+        if model and market:
+            return model, market
+    return None, None

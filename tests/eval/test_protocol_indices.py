@@ -174,6 +174,29 @@ class TestExperimentResume:
         run_experiment("resume-check", self.factory(csi_mini), csi_mini,
                        quick_config(), n_runs=2, base_seed=1,
                        resume_dir=tmp_path)
+        # The error must name the *field* that diverged, not just report
+        # an opaque digest mismatch.
+        with pytest.raises(JournalMismatchError,
+                           match=r"config\.alpha: journal=0\.1 vs "
+                                 r"requested=0\.2"):
+            run_experiment("resume-check", self.factory(csi_mini),
+                           csi_mini, quick_config(alpha=0.2), n_runs=2,
+                           base_seed=1, resume_dir=tmp_path)
+
+    def test_pre_fields_journal_reports_digest_only(self, csi_mini,
+                                                    tmp_path):
+        """Journals written before fingerprint_fields still refuse with
+        the plain digest message (no crash on the missing payload)."""
+        import json
+
+        from repro.eval import JournalMismatchError
+        run_experiment("resume-check", self.factory(csi_mini), csi_mini,
+                       quick_config(), n_runs=2, base_seed=1,
+                       resume_dir=tmp_path)
+        journal = tmp_path / "experiment-resume-check.json"
+        payload = json.loads(journal.read_text())
+        payload.pop("fingerprint_fields", None)
+        journal.write_text(json.dumps(payload))
         with pytest.raises(JournalMismatchError, match="fingerprint"):
             run_experiment("resume-check", self.factory(csi_mini),
                            csi_mini, quick_config(alpha=0.2), n_runs=2,

@@ -1,0 +1,79 @@
+"""StoreCallback: write-through Trainer.fit integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import RTGCN, TrainConfig, Trainer
+from repro.store import ExperimentStore, StoreCallback, query_runs
+
+
+def quick_config(**overrides):
+    defaults = dict(window=6, epochs=2, max_train_days=8, seed=0)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+def make_trainer(dataset, config):
+    model = RTGCN(dataset.relations, strategy="uniform",
+                  relational_filters=4, rng=np.random.default_rng(0))
+    return Trainer(model, dataset, config)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore(tmp_path / "exp.sqlite")
+
+
+class TestStoreCallback:
+    def test_epochs_streamed_during_fit(self, nasdaq_mini, store):
+        config = quick_config()
+        callback = StoreCallback(store, "cb@nasdaq-mini", seed=0)
+        make_trainer(nasdaq_mini, config).run(callbacks=[callback])
+        epochs = store.execute(
+            "SELECT epoch, loss FROM epochs WHERE run_id = ?"
+            " ORDER BY epoch", [callback.run_id])
+        assert [row["epoch"] for row in epochs] == [0, 1]
+        assert all(np.isfinite(row["loss"]) for row in epochs)
+
+    def test_finalize_attaches_metrics_to_streamed_run(self, nasdaq_mini,
+                                                       store):
+        config = quick_config()
+        callback = StoreCallback(store, "cb@nasdaq-mini", seed=0)
+        make_trainer(nasdaq_mini, config).run(callbacks=[callback])
+        run_id = callback.finalize({"MRR": 0.5}, train_seconds=1.0,
+                                   test_seconds=0.2)
+        assert run_id == callback.run_id      # same natural key, same row
+        run = query_runs(store, experiment="cb@nasdaq-mini")[0]
+        assert run.metrics["MRR"] == 0.5
+        assert store.counts()["epochs"] == 2
+
+    def test_config_derived_from_trainer_when_absent(self, nasdaq_mini,
+                                                     store):
+        config = quick_config(epochs=1)
+        callback = StoreCallback(store, "cb@nasdaq-mini", seed=0)
+        make_trainer(nasdaq_mini, config).run(callbacks=[callback])
+        stored = store.execute("SELECT config_json FROM configs")
+        import json
+        assert json.loads(stored[0]["config_json"])["window"] == 6
+
+    def test_checkpoint_recorder_wiring(self, nasdaq_mini, store,
+                                        tmp_path):
+        from repro.ckpt import CheckpointCallback
+        config = quick_config(epochs=1)
+        store_cb = StoreCallback(store, "cb@nasdaq-mini", seed=0)
+        ckpt_cb = CheckpointCallback(tmp_path / "ckpts",
+                                     recorder=store_cb.record_checkpoint)
+        make_trainer(nasdaq_mini, config).run(
+            callbacks=[store_cb, ckpt_cb])
+        rows = store.execute(
+            "SELECT run_id, path, bytes, write_seconds FROM checkpoints")
+        assert len(rows) >= 1                 # epoch end + fit end saves
+        assert all(row["run_id"] == store_cb.run_id for row in rows)
+        assert all(row["bytes"] > 0 for row in rows)
+
+    def test_fallback_fingerprint_stable(self):
+        from repro.store import fallback_fingerprint
+        a = fallback_fingerprint("e", {"window": 6}, 0)
+        b = fallback_fingerprint("e", {"window": 6}, 0)
+        c = fallback_fingerprint("e", {"window": 7}, 0)
+        assert a == b != c

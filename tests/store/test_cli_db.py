@@ -1,0 +1,129 @@
+"""``repro.cli db`` verbs and the store flags on sweep/compare/train."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store import ExperimentStore, query_runs
+
+
+def seed_store(path):
+    store = ExperimentStore(path)
+    for run_index, mrr in enumerate((0.1, 0.2)):
+        store.record_run("Rank_LSTM@nasdaq-mini", "fp", run_index,
+                         {"MRR": mrr, "IRR-5": mrr * 2}, seed=run_index,
+                         train_seconds=1.0, test_seconds=0.1)
+    return store
+
+
+class TestDbQuery:
+    def test_table_output(self, tmp_path, capsys):
+        db = tmp_path / "exp.sqlite"
+        seed_store(db)
+        assert main(["db", "--db", str(db), "query"]) == 0
+        out = capsys.readouterr().out
+        assert "Rank_LSTM@nasdaq-mini" in out
+        assert "+0.1000" in out
+
+    def test_json_aggregate(self, tmp_path, capsys):
+        db = tmp_path / "exp.sqlite"
+        seed_store(db)
+        assert main(["db", "--db", str(db), "query", "--aggregate",
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        mrr = next(r for r in rows if r["metric"] == "MRR")
+        assert mrr["runs"] == 2
+        assert mrr["mean"] == pytest.approx(0.15)
+
+    def test_filters(self, tmp_path, capsys):
+        db = tmp_path / "exp.sqlite"
+        seed_store(db)
+        assert main(["db", "--db", str(db), "query", "--market",
+                     "nowhere", "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_missing_store_is_a_clear_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no experiment store"):
+            main(["db", "--db", str(tmp_path / "nope.sqlite"), "query"])
+
+
+class TestDbExportReport:
+    def test_export_csv_to_file(self, tmp_path, capsys):
+        db = tmp_path / "exp.sqlite"
+        seed_store(db)
+        out_file = tmp_path / "runs.csv"
+        assert main(["db", "--db", str(db), "export", "--format", "csv",
+                     "--output", str(out_file)]) == 0
+        lines = out_file.read_text().splitlines()
+        assert lines[0].startswith("experiment,")
+        assert len(lines) == 3
+
+    def test_report(self, tmp_path, capsys):
+        db = tmp_path / "exp.sqlite"
+        seed_store(db)
+        assert main(["db", "--db", str(db), "report", "--format",
+                     "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tables"]["runs"] == 2
+
+
+class TestDbMigrate:
+    def test_migrate_journal(self, tmp_path, capsys):
+        journal = tmp_path / "experiment-x.json"
+        journal.write_text(json.dumps({
+            "version": 2,
+            "key": {"name": "x", "n_runs": 1, "base_seed": 0,
+                    "fingerprint": "abc"},
+            "runs": [{"run_index": 0, "metrics": {"MRR": 0.5},
+                      "train_seconds": 1.0, "test_seconds": 0.1}]}))
+        db = tmp_path / "exp.sqlite"
+        assert main(["db", "--db", str(db), "migrate",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "journals" in out
+        assert len(query_runs(ExperimentStore(db))) == 1
+
+
+class TestStoreFlags:
+    def test_sweep_store_dedups_second_invocation(self, tmp_path,
+                                                  capsys):
+        db = tmp_path / "exp.sqlite"
+        argv = ["sweep", "--markets", "nasdaq-mini", "--models",
+                "Rank_LSTM", "--runs", "2", "--workers", "2", "--epochs",
+                "1", "--max-train-days", "8", "--store", str(db)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 run(s) executed, 0 restored" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 run(s) executed, 2 restored" in second
+        # Identical table: the restored metrics render bitwise-equal.
+        table = [line for line in first.splitlines()
+                 if line.startswith("nasdaq-mini")]
+        assert table == [line for line in second.splitlines()
+                         if line.startswith("nasdaq-mini")]
+
+    def test_compare_store_flag(self, tmp_path, capsys):
+        db = tmp_path / "exp.sqlite"
+        assert main(["compare", "--market", "nasdaq-mini", "--models",
+                     "Rank_LSTM", "--runs", "1", "--epochs", "1",
+                     "--max-train-days", "8", "--store", str(db)]) == 0
+        runs = query_runs(ExperimentStore(db))
+        assert [run.experiment for run in runs] == ["Rank_LSTM"]
+
+    def test_train_store_records_epochs_and_checkpoints(self, tmp_path,
+                                                        capsys):
+        db = tmp_path / "exp.sqlite"
+        assert main(["train", "--market", "nasdaq-mini", "--model",
+                     "RT-GCN (T)", "--epochs", "1", "--max-train-days",
+                     "8", "--store", str(db), "--checkpoint-dir",
+                     str(tmp_path / "ckpts")]) == 0
+        store = ExperimentStore(db)
+        counts = store.counts()
+        assert counts["runs"] == 1
+        assert counts["epochs"] == 1
+        assert counts["checkpoints"] >= 1
+        run = query_runs(store)[0]
+        assert run.kind == "train"
+        assert "MRR" in run.metrics

@@ -1,0 +1,177 @@
+"""ExperimentStore write path: WAL concurrency, UPSERTs, NaN encoding."""
+
+import math
+import os
+
+import pytest
+
+from repro.store import ExperimentStore, StoreError, query_runs
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore(tmp_path / "exp.sqlite")
+
+
+class TestSchema:
+    def test_creates_all_tables(self, store):
+        counts = store.counts()
+        assert set(counts) == {"configs", "runs", "metrics", "epochs",
+                               "checkpoints", "telemetry"}
+        assert all(n == 0 for n in counts.values())
+
+    def test_wal_mode_active(self, store):
+        mode = store.execute("PRAGMA journal_mode")[0][0]
+        assert mode == "wal"
+
+    def test_schema_version_stamped(self, store):
+        from repro.store import STORE_SCHEMA_VERSION
+        rows = store.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'")
+        assert int(rows[0][0]) == STORE_SCHEMA_VERSION
+
+    def test_future_schema_version_refused(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        first = ExperimentStore(path)
+        conn = first.connection
+        with first.transaction():
+            conn.execute("UPDATE meta SET value = '999'"
+                         " WHERE key = 'schema_version'")
+        first.close()
+        with pytest.raises(StoreError, match="schema version"):
+            ExperimentStore(path).connection
+
+
+class TestRecordRun:
+    def test_metrics_round_trip_bitwise(self, store):
+        metrics = {"MRR": 0.1 + 0.2, "IRR-5": -1.2345678901234567e-5}
+        store.record_run("e", "fp", 0, metrics)
+        run = query_runs(store, experiment="e")[0]
+        assert run.metrics["MRR"] == metrics["MRR"]
+        assert run.metrics["IRR-5"] == metrics["IRR-5"]
+
+    def test_nan_metric_round_trips_as_nan(self, store):
+        store.record_run("e", "fp", 0, {"MRR": float("nan"),
+                                        "IRR-5": 0.5})
+        run = query_runs(store, experiment="e")[0]
+        assert math.isnan(run.metrics["MRR"])
+        assert run.metrics["IRR-5"] == 0.5
+
+    def test_upsert_preserves_row_id_and_epochs(self, store):
+        run_id = store.start_run("e", "fp", 0, seed=3)
+        store.record_epoch(run_id, 0, 1.5)
+        store.record_epoch(run_id, 1, 0.75)
+        # Finalizing under the same natural key keeps the id, so the
+        # streamed epoch rows stay attached.
+        final_id = store.record_run("e", "fp", 0, {"MRR": 0.2},
+                                    train_seconds=1.0, test_seconds=0.5)
+        assert final_id == run_id
+        epochs = store.execute(
+            "SELECT epoch, loss FROM epochs WHERE run_id = ?"
+            " ORDER BY epoch", [run_id])
+        assert [(r["epoch"], r["loss"]) for r in epochs] == [(0, 1.5),
+                                                             (1, 0.75)]
+
+    def test_upsert_keeps_timings_when_rerecorded_without(self, store):
+        store.record_run("e", "fp", 0, {"MRR": 0.2}, train_seconds=2.5,
+                         test_seconds=0.5)
+        store.record_run("e", "fp", 0, {"MRR": 0.3})
+        run = query_runs(store, experiment="e")[0]
+        assert run.train_seconds == 2.5
+        assert run.metrics["MRR"] == 0.3
+
+    def test_experiment_name_denormalized(self, store):
+        store.record_run("RT-GCN (T)@nasdaq-mini", "fp", 0, {"MRR": 0.1})
+        run = query_runs(store)[0]
+        assert run.model == "RT-GCN (T)"
+        assert run.market == "nasdaq-mini"
+
+    def test_config_registered_once(self, store):
+        cfg = {"window": 10, "alpha": 0.1}
+        store.record_run("e", "fp", 0, {"MRR": 0.1}, config=cfg,
+                         n_runs=2, base_seed=0)
+        store.record_run("e", "fp", 1, {"MRR": 0.2}, config=cfg,
+                         n_runs=2, base_seed=0)
+        assert store.counts()["configs"] == 1
+
+    def test_completed_runs_excludes_metricless_rows(self, store):
+        store.start_run("e", "fp", 0)               # opened, never done
+        store.record_run("e", "fp", 1, {"MRR": 0.5})
+        done = store.completed_runs("fp", "e")
+        assert list(done) == [1]
+
+
+class TestForkSafety:
+    def test_connection_reopened_per_pid(self, store):
+        parent_conn = store.connection
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:                                   # child
+            os.close(read_fd)
+            status = 1
+            try:
+                child_conn = store.connection
+                if child_conn is not parent_conn:
+                    store.record_run("forked", "fp", 0, {"MRR": 0.1})
+                    status = 0
+            finally:
+                os.write(write_fd, bytes([status]))
+                os._exit(status)
+        os.close(write_fd)
+        assert os.read(read_fd, 1) == b"\x00"
+        os.waitpid(pid, 0)
+        assert len(query_runs(store, experiment="forked")) == 1
+
+    def test_concurrent_forked_writers_consistent(self, store):
+        """N forked workers each stream per-epoch metrics into one WAL
+        database; afterwards every row must be present and consistent."""
+        workers, epochs = 4, 25
+        # Parent provisions the schema before the forks race on it.
+        store.connection
+        pids = []
+        for worker in range(workers):
+            pid = os.fork()
+            if pid == 0:
+                status = 1
+                try:
+                    run_id = store.start_run("stress", "fp", worker,
+                                             seed=worker)
+                    for epoch in range(epochs):
+                        store.record_epoch(run_id, epoch,
+                                           worker + epoch / 1000)
+                    store.record_run("stress", "fp", worker,
+                                     {"MRR": worker / 10},
+                                     train_seconds=1.0, test_seconds=0.1)
+                    status = 0
+                finally:
+                    os._exit(status)
+            pids.append(pid)
+        for pid in pids:
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+
+        runs = query_runs(store, experiment="stress")
+        assert [r.run_index for r in runs] == list(range(workers))
+        assert [r.metrics["MRR"] for r in runs] == [
+            w / 10 for w in range(workers)]
+        epoch_counts = store.execute(
+            "SELECT runs.run_index AS i, COUNT(*) AS n FROM epochs"
+            " JOIN runs ON runs.id = epochs.run_id"
+            " GROUP BY runs.run_index ORDER BY i")
+        assert [(r["i"], r["n"]) for r in epoch_counts] == [
+            (w, epochs) for w in range(workers)]
+        # WAL integrity after the concurrent writes
+        assert store.execute("PRAGMA integrity_check")[0][0] == "ok"
+
+
+class TestReports:
+    def test_report_upsert_replaces_by_id(self, store):
+        store.record_report({"run_id": "r1", "kind": "parallel",
+                             "metrics": {"a": 1}})
+        store.record_report({"run_id": "r1", "kind": "parallel",
+                             "metrics": {"a": 2}})
+        assert store.counts()["telemetry"] == 1
+
+    def test_non_dict_report_rejected(self, store):
+        with pytest.raises(StoreError, match="dict"):
+            store.record_report([1, 2, 3])

@@ -1,0 +1,168 @@
+"""Dedup-by-fingerprint: the store's acceptance criterion.
+
+Running the same sweep twice against one store must execute zero runs
+the second time, and the stored metrics must be bitwise-identical to a
+serial no-store run of the same protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig
+from repro.eval import run_experiment, run_named_experiment
+from repro.parallel import fork_available, run_experiments_parallel
+from repro.store import ExperimentStore, aggregate_runs, query_runs
+
+pytestmark = pytest.mark.skipif(not fork_available(),
+                                reason="needs os.fork")
+
+
+def quick_config(**overrides):
+    defaults = dict(window=6, epochs=1, max_train_days=8, seed=0)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+class TestSweepDedup:
+    def test_second_sweep_executes_zero_runs(self, tmp_path):
+        cfg = quick_config()
+        db = tmp_path / "exp.sqlite"
+        first = run_experiments_parallel(
+            ["Rank_LSTM"], ["nasdaq-mini"], config=cfg, n_runs=2,
+            workers=2, dataset_seed=7, store=db)
+        assert (first.executed, first.restored) == (2, 0)
+
+        second = run_experiments_parallel(
+            ["Rank_LSTM"], ["nasdaq-mini"], config=cfg, n_runs=2,
+            workers=2, dataset_seed=7, store=db)
+        assert (second.executed, second.restored) == (0, 2)
+        assert second.telemetry is None       # no pool was ever started
+
+        key = ("Rank_LSTM", "nasdaq-mini")
+        assert second.results[key].runs == first.results[key].runs
+
+    def test_stored_aggregate_bitwise_equals_serial_no_store(self,
+                                                             tmp_path):
+        cfg = quick_config()
+        db = tmp_path / "exp.sqlite"
+        run_experiments_parallel(["Rank_LSTM"], ["nasdaq-mini"],
+                                 config=cfg, n_runs=2, workers=2,
+                                 dataset_seed=7, store=db)
+        serial = run_experiments_parallel(["Rank_LSTM"], ["nasdaq-mini"],
+                                          config=cfg, n_runs=2, workers=1,
+                                          dataset_seed=7)
+        expected = serial.results[("Rank_LSTM", "nasdaq-mini")]
+        agg = {row.metric: row
+               for row in aggregate_runs(ExperimentStore(db))}
+        for metric in ("MRR", "IRR-1", "IRR-5", "IRR-10"):
+            assert agg[metric].mean == expected.mean(metric)
+
+    def test_no_dedup_forces_reexecution(self, tmp_path):
+        cfg = quick_config()
+        db = tmp_path / "exp.sqlite"
+        run_experiments_parallel(["Rank_LSTM"], ["nasdaq-mini"],
+                                 config=cfg, n_runs=2, workers=1,
+                                 dataset_seed=7, store=db)
+        again = run_experiments_parallel(["Rank_LSTM"], ["nasdaq-mini"],
+                                         config=cfg, n_runs=2, workers=1,
+                                         dataset_seed=7, store=db,
+                                         dedup=False)
+        assert (again.executed, again.restored) == (2, 0)
+
+    def test_different_config_not_deduped(self, tmp_path):
+        db = tmp_path / "exp.sqlite"
+        run_experiments_parallel(["Rank_LSTM"], ["nasdaq-mini"],
+                                 config=quick_config(), n_runs=1,
+                                 workers=1, dataset_seed=7, store=db)
+        other = run_experiments_parallel(
+            ["Rank_LSTM"], ["nasdaq-mini"], config=quick_config(alpha=0.2),
+            n_runs=1, workers=1, dataset_seed=7, store=db)
+        assert other.executed == 1            # new fingerprint, new runs
+        fingerprints = {run.fingerprint
+                        for run in query_runs(ExperimentStore(db))}
+        assert len(fingerprints) == 2
+
+
+class TestProtocolDedup:
+    def test_named_experiment_restores_from_store(self, nasdaq_mini,
+                                                  tmp_path):
+        cfg = quick_config()
+        db = tmp_path / "exp.sqlite"
+        first = run_named_experiment("Rank_LSTM", nasdaq_mini, cfg,
+                                     n_runs=2, workers=1, store=db)
+        second = run_named_experiment("Rank_LSTM", nasdaq_mini, cfg,
+                                      n_runs=2, workers=1, store=db)
+        assert second.runs == first.runs
+        # Still exactly two stored rows: the restore executed nothing.
+        assert len(query_runs(ExperimentStore(db))) == 2
+
+    def test_store_does_not_change_results(self, nasdaq_mini, tmp_path):
+        cfg = quick_config()
+        with_store = run_named_experiment(
+            "Rank_LSTM", nasdaq_mini, cfg, n_runs=2, workers=1,
+            store=tmp_path / "exp.sqlite")
+        plain = run_named_experiment("Rank_LSTM", nasdaq_mini, cfg,
+                                     n_runs=2, workers=1)
+        assert with_store.runs == plain.runs    # metrics bitwise-equal
+        # (timings are wall-clock and legitimately differ between runs)
+
+    def test_run_experiment_parallel_store_matches_serial(self, csi_mini,
+                                                          tmp_path):
+        from repro.core import RTGCN
+
+        def factory(gen):
+            return RTGCN(csi_mini.relations, strategy="uniform",
+                         relational_filters=4, rng=gen)
+
+        cfg = quick_config()
+        db = tmp_path / "exp.sqlite"
+        par = run_experiment("dd", factory, csi_mini, cfg, n_runs=2,
+                             workers=2, store=db)
+        ser = run_experiment("dd", factory, csi_mini, cfg, n_runs=2,
+                             workers=1)
+        assert par.runs == ser.runs
+        # Second parallel invocation restores everything from the store.
+        again = run_experiment("dd", factory, csi_mini, cfg, n_runs=2,
+                               workers=2, store=db)
+        assert again.runs == ser.runs
+
+    def test_trainer_epochs_streamed_through_protocol(self, csi_mini,
+                                                      tmp_path):
+        """run_experiment attaches a StoreCallback per run, so epoch
+        losses land in the store alongside the run metrics."""
+        from repro.core import RTGCN
+
+        def factory(gen):
+            return RTGCN(csi_mini.relations, strategy="uniform",
+                         relational_filters=4, rng=gen)
+
+        db = tmp_path / "exp.sqlite"
+        run_experiment("dd", factory, csi_mini, quick_config(epochs=2),
+                       n_runs=2, workers=1, store=db)
+        store = ExperimentStore(db)
+        assert store.counts()["epochs"] == 4          # 2 runs x 2 epochs
+
+
+class TestGridDedup:
+    def test_grid_restores_points(self, nasdaq_mini, tmp_path):
+        from repro.core import RTGCN
+        from repro.eval.grid import grid_search
+
+        def factory(rng, config):
+            return RTGCN(nasdaq_mini.relations, strategy="uniform",
+                         relational_filters=4, rng=rng)
+
+        cfg = quick_config()
+        db = tmp_path / "exp.sqlite"
+        grid = {"window": (4, 6)}
+        first = grid_search(factory, nasdaq_mini, grid, base_config=cfg,
+                            validation_days=5, store=db)
+        second = grid_search(factory, nasdaq_mini, grid, base_config=cfg,
+                             validation_days=5, store=db)
+        plain = grid_search(factory, nasdaq_mini, grid, base_config=cfg,
+                            validation_days=5)
+        assert [p.score for p in second.points] == [
+            p.score for p in first.points] == [
+            p.score for p in plain.points]
+        runs = query_runs(ExperimentStore(db), kind="grid")
+        assert len(runs) == 2                 # one row per grid point

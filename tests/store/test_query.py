@@ -1,0 +1,99 @@
+"""Typed read side: filters, aggregation parity, renderers."""
+
+import csv
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.store import (ExperimentStore, aggregate_runs, metric_names,
+                         query_runs, render_rows, store_report)
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ExperimentStore(tmp_path / "exp.sqlite")
+    for run_index, mrr in enumerate((0.1, 0.3, 0.2)):
+        s.record_run("A@m1", "fpA", run_index,
+                     {"MRR": mrr, "IRR-5": mrr * 2},
+                     seed=run_index, train_seconds=1.0, test_seconds=0.1)
+    s.record_run("B@m2", "fpB", 0, {"MRR": float("nan"), "IRR-5": 0.9},
+                 kind="train")
+    return s
+
+
+class TestQueryRuns:
+    def test_filters_compose(self, store):
+        assert len(query_runs(store)) == 4
+        assert len(query_runs(store, experiment="A@m1")) == 3
+        assert len(query_runs(store, model="B", market="m2")) == 1
+        assert len(query_runs(store, kind="train")) == 1
+        assert query_runs(store, experiment="nope") == []
+
+    def test_ordered_by_experiment_then_index(self, store):
+        runs = query_runs(store)
+        assert [(r.experiment, r.run_index) for r in runs] == [
+            ("A@m1", 0), ("A@m1", 1), ("A@m1", 2), ("B@m2", 0)]
+
+    def test_metric_names_headline_first(self, store):
+        assert metric_names(store) == ["MRR", "IRR-5"]
+
+
+class TestAggregate:
+    def test_mean_matches_numpy_bitwise(self, store):
+        values = np.asarray([0.1, 0.3, 0.2], dtype=float)
+        agg = {row.metric: row for row
+               in aggregate_runs(store, experiment="A@m1")}
+        assert agg["MRR"].mean == float(np.mean(values))
+        assert agg["MRR"].std == float(np.std(values))
+        assert agg["MRR"].count == 3
+
+    def test_nan_excluded_from_aggregate(self, store):
+        agg = {row.metric: row for row
+               in aggregate_runs(store, experiment="B@m2")}
+        assert agg["MRR"].count == 0
+        assert math.isnan(agg["MRR"].mean)
+        assert agg["IRR-5"].mean == 0.9
+
+    def test_group_by_market(self, store):
+        rows = aggregate_runs(store, metrics=["IRR-5"],
+                              group_by=("market",))
+        assert [row.group for row in rows] == [("m1",), ("m2",)]
+
+
+class TestRender:
+    def test_table_renders_nan_as_dash(self, store):
+        rows = [run.row(["MRR"]) for run in query_runs(store,
+                                                       experiment="B@m2")]
+        text = render_rows(rows, "table")
+        assert text.splitlines()[-1].rstrip().endswith("-")
+
+    def test_json_is_strict(self, store):
+        rows = [run.row() for run in query_runs(store)]
+        parsed = json.loads(render_rows(rows, "json"))
+        assert len(parsed) == 4
+        assert parsed[-1]["MRR"] is None            # NaN -> null
+
+    def test_csv_round_trips(self, store):
+        rows = [run.row(["MRR", "IRR-5"]) for run in query_runs(store)]
+        parsed = list(csv.DictReader(io.StringIO(
+            render_rows(rows, "csv"))))
+        assert len(parsed) == 4
+        assert parsed[0]["experiment"] == "A@m1"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            render_rows([], "yaml")
+
+    def test_empty_table(self):
+        assert render_rows([], "table") == "(no rows)"
+
+
+class TestStoreReport:
+    def test_counts_and_experiments(self, store):
+        payload = store_report(store)
+        assert payload["tables"]["runs"] == 4
+        names = [row["experiment"] for row in payload["experiments"]]
+        assert names == ["A@m1", "B@m2"]

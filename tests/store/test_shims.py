@@ -1,0 +1,62 @@
+"""The legacy bench-harness entry points are deprecation shims now."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]
+                       / "benchmarks"))
+import _harness as harness                              # noqa: E402
+
+from repro.eval.speed import SpeedMeasurement           # noqa: E402
+
+
+class TestShimsWarnButDelegate:
+    def test_publish_json_warns_and_writes_same_bytes(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path / "old")
+        with pytest.warns(DeprecationWarning, match="publish_result"):
+            old_path = harness.publish_json("t", {"x": 1.5})
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path / "new")
+        new_path = harness.publish_result("t", {"x": 1.5})
+        old = json.loads(old_path.read_text())
+        new = json.loads(new_path.read_text())
+        # created_at is a timestamp; everything else must match exactly.
+        old.pop("created_at"), new.pop("created_at")
+        assert old == new
+
+    def test_sanitize_json_warns(self):
+        with pytest.warns(DeprecationWarning, match="sanitize_payload"):
+            out = harness.sanitize_json({"a": float("nan")})
+        assert out == {"a": None}
+
+    def test_speed_entry_warns_and_matches_speed_record(self):
+        from repro.store import speed_record
+        ours = SpeedMeasurement("m", 2.0, 0.5)
+        base = SpeedMeasurement("base", 4.0, 1.0)
+        with pytest.warns(DeprecationWarning, match="speed_record"):
+            shimmed = harness.speed_entry(ours, baseline=base)
+        assert shimmed == speed_record(ours, baseline=base)
+
+
+class TestBenchStoreTee:
+    def test_bench_sink_tees_into_store(self, tmp_path, monkeypatch):
+        from repro.store import ExperimentStore
+        db = tmp_path / "bench.sqlite"
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path / "results")
+        monkeypatch.setattr(harness, "BENCH_STORE", str(db))
+        path = harness.publish_result("speed", {"x": 1})
+        assert path == tmp_path / "results" / "speed.json"
+        store = ExperimentStore(db)
+        rows = store.execute(
+            "SELECT report_id, kind FROM telemetry")
+        assert [(r["report_id"], r["kind"]) for r in rows] == [
+            ("bench:speed", "benchmark")]
+
+    def test_no_store_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        monkeypatch.setattr(harness, "BENCH_STORE", "")
+        from repro.store import JsonSink
+        assert isinstance(harness.bench_sink(), JsonSink)
