@@ -11,20 +11,34 @@ Paper shape targets:
   models), faster than Rank_LSTM and RSR.
 """
 
+import os
+import time
 from dataclasses import replace
 
+import numpy as np
 import pytest
 
 from repro.baselines import RANKING_MODELS, make_predictor
-from repro.core import RTGCN
+from repro.core import RTGCN, Trainer
+from repro.data import load_market
 from repro.eval.speed import measure_speed
-from repro.obs import Tracer, use_tracer
+from repro.graph import reset_adjacency_cache
+from repro.obs import OpProfiler, Tracer, use_tracer
+from repro.tensor import arena, arena_stats, reset_arena
 
-from _harness import (BENCH_MARKETS, bench_config, bench_dataset,
+from _harness import (BENCH_MARKETS, BENCH_SEED, bench_config, bench_dataset,
                       checkpoint_telemetry, format_table, publish,
                       publish_result, speed_record)
 
 MARKET = BENCH_MARKETS[0]
+
+#: fused/dtype acceptance scale: paper-size universe, dense backend
+FUSED_STOCKS = int(os.environ.get("RTGCN_BENCH_FUSED_STOCKS", "500"))
+FUSED_DAYS = int(os.environ.get("RTGCN_BENCH_FUSED_DAYS", "10"))
+#: floor for the fp32-fused vs fp64-unfused per-epoch speedup
+MIN_FUSED_SPEEDUP = 1.5
+#: documented fp32 tolerance on epoch losses (docs/performance.md)
+FLOAT32_LOSS_RTOL = 1e-3
 
 
 def measure_all():
@@ -130,3 +144,123 @@ def test_fig5_dense_vs_sparse_propagation():
     # Both backends must deliver real (non-degenerate) timings.
     for m in measurements.values():
         assert not speed_record(m)["degenerate_timing"]
+
+
+# ----------------------------------------------------------------------
+# Fused kernels / dtype policy / buffer arena acceptance
+# ----------------------------------------------------------------------
+def _fused_dataset():
+    """A paper-scale universe for the dense-propagation numerics bench."""
+    return load_market("nasdaq", seed=BENCH_SEED, spec_overrides=dict(
+        num_stocks=FUSED_STOCKS, num_industries=60,
+        industry_pair_ratio=0.025, wiki_types=20, wiki_pair_ratio=0.003,
+        train_days=FUSED_DAYS, test_days=5))
+
+
+def _fused_trainer(dataset, config):
+    reset_adjacency_cache()
+    model = RTGCN(dataset.relations, num_features=config.num_features,
+                  strategy="time", graph_mode="dense",
+                  rng=np.random.default_rng(BENCH_SEED))
+    return Trainer(model, dataset, config)
+
+
+def _timed_fit(dataset, config):
+    trainer = _fused_trainer(dataset, config)
+    start = time.perf_counter()
+    losses = trainer.fit()
+    return time.perf_counter() - start, [float(x) for x in losses]
+
+
+def _op_table(dataset, config, days=3):
+    """Per-op profile of a short run under ``config``'s numerics."""
+    trainer = _fused_trainer(dataset,
+                             replace(config, max_train_days=days))
+    with OpProfiler() as prof:
+        trainer.fit()
+    return prof
+
+
+def test_fig5_fused_dtype_speed():
+    """The PR's acceptance claims, on one dense paper-scale epoch:
+
+    1. fp32-fused trains >= 1.5x faster per epoch than fp64-unfused;
+    2. fused and unfused losses are bitwise-equal under float64;
+    3. fp32-fused losses match fp64 within the documented tolerance;
+    4. with the arena warm, a steady-state epoch allocates nothing on
+       the backward path (miss counter stays at zero).
+    """
+    dataset = _fused_dataset()
+    base_config = bench_config(epochs=1, window=10, graph_mode="dense",
+                               early_stopping_patience=None,
+                               max_train_days=FUSED_DAYS)
+    variants = {
+        "fp64 unfused": replace(base_config, dtype_policy="float64",
+                                fused_kernels=False),
+        "fp64 fused": replace(base_config, dtype_policy="float64",
+                              fused_kernels=True),
+        "fp32 fused+arena": replace(base_config, dtype_policy="float32",
+                                    fused_kernels=True, buffer_arena=True),
+    }
+
+    seconds, losses = {}, {}
+    for name, config in variants.items():
+        seconds[name], losses[name] = _timed_fit(dataset, config)
+    speedup = seconds["fp64 unfused"] / seconds["fp32 fused+arena"]
+    fp32_gap = float(np.max(np.abs(
+        np.subtract(losses["fp32 fused+arena"], losses["fp64 unfused"]))
+        / np.abs(losses["fp64 unfused"])))
+
+    # Arena steady state: keep the pool alive across two fits (the outer
+    # context stops Trainer.fit's inner one from dropping it), warm up
+    # with the first, then count allocations during the second.
+    arena_config = replace(variants["fp32 fused+arena"], max_train_days=4)
+    with arena():
+        trainer = _fused_trainer(dataset, arena_config)
+        trainer.fit()
+        reset_arena()
+        trainer.fit()
+        steady = arena_stats()
+
+    profiles = {name: _op_table(dataset, config)
+                for name, config in variants.items()}
+
+    rows = [[name, f"{seconds[name]:.2f}s",
+             f"{seconds['fp64 unfused'] / seconds[name]:.2f}x",
+             f"{losses[name][0]:.6e}"]
+            for name in variants]
+    sections = [format_table(
+        f"Figure 5 addendum — fused kernels & dtype policy, "
+        f"{dataset.relations.num_stocks} stocks, dense, "
+        f"{FUSED_DAYS}-day epoch",
+        ["Variant", "Epoch", "vs fp64 unfused", "Epoch loss"], rows,
+        note=(f"fp32 relative loss gap {fp32_gap:.2e} (tolerance "
+              f"{FLOAT32_LOSS_RTOL:.0e}); arena steady-state misses "
+              f"{steady['misses']} (hits {steady['hits']})"))]
+    for name, prof in profiles.items():
+        sections.append(f"\nTop ops, {name} (3-day profile)\n"
+                        + prof.table(top=10))
+    publish("fig5_fused_dtype", "\n".join(sections))
+    publish_result("fig5_fused_dtype", {
+        "num_stocks": dataset.relations.num_stocks,
+        "train_days": FUSED_DAYS,
+        "epoch_seconds": seconds,
+        "epoch_losses": losses,
+        "fp32_fused_vs_fp64_unfused_speedup": speedup,
+        "fp32_relative_loss_gap": fp32_gap,
+        "arena_steady_state": steady,
+        "ops": {name: prof.as_rows() for name, prof in profiles.items()},
+    })
+
+    # 1. speed: fp32 + fusion clears the acceptance floor.
+    assert speedup >= MIN_FUSED_SPEEDUP, (
+        f"fp32-fused epoch only {speedup:.2f}x faster than fp64-unfused")
+    # 2. float64 fusion is bitwise-neutral on the training trajectory.
+    assert losses["fp64 fused"] == losses["fp64 unfused"], (
+        "fused float64 training diverged from the composed ops")
+    # 3. fp32 stays within the documented tolerance of the fp64 run.
+    assert fp32_gap <= FLOAT32_LOSS_RTOL, (
+        f"fp32 loss gap {fp32_gap:.3e} exceeds {FLOAT32_LOSS_RTOL:.0e}")
+    # 4. a warm arena allocates nothing at steady state.
+    assert steady["misses"] == 0, steady
+    assert steady["hits"] > 0

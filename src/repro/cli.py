@@ -108,6 +108,11 @@ _FIELD_HELP = {
     "nan_policy": "on NaN/Inf loss: raise | ignore | rollback "
                   "(rollback needs --checkpoint-dir)",
     "max_rollbacks": "NaN-guard rollback budget before giving up",
+    "dtype_policy": "numeric policy: float64 | float32 | mixed "
+                    "(fp32 storage, fp64 accumulation; "
+                    "see docs/performance.md)",
+    "fused_kernels": "use the fused autograd kernels",
+    "buffer_arena": "recycle backward buffers through the arena",
 }
 
 
@@ -356,6 +361,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                              key=lambda kv: -kv[1]["seconds"]):
         print(f"{name:16s} {stat['count']:9d} {stat['seconds']:10.4f}")
 
+    arena = profiler.arena_summary()
     report = RunReport(
         run_id=new_run_id("profile"), kind="profile",
         config={"market": args.market, "model": args.model,
@@ -364,7 +370,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
                       in result.extras.get("epoch_losses", [])],
         phases=phases, ops=profiler.as_rows(),
         metrics={"train_seconds": result.train_seconds,
-                 "test_seconds": result.test_seconds})
+                 "test_seconds": result.test_seconds,
+                 "arena_hit_rate": arena["hit_rate"],
+                 "arena_hits": arena["hits"],
+                 "arena_misses": arena["misses"],
+                 "arena_bytes_reused": arena["bytes_reused"]})
     if args.json_path is not None:
         import json
         path = Path(args.json_path)

@@ -31,7 +31,8 @@ from ..nn.module import Module
 from ..nn.random import get_rng
 from ..obs.tracer import trace
 from ..optim import Adam, clip_grad_norm_
-from ..tensor import Tensor, no_grad
+from ..tensor import (Tensor, arena, default_dtype, dtype_policy,
+                      fused_kernels, no_grad)
 from .callbacks import CallbackList, ProgressCallback, TrainerCallback
 from .losses import combined_loss
 
@@ -81,6 +82,14 @@ class TrainConfig:
     # most `max_rollbacks` times before raising.
     nan_policy: str = "raise"
     max_rollbacks: int = 3
+    # Numerics (see docs/performance.md): the dtype policy active for the
+    # whole run ("float64", "float32", or "mixed" — fp32 storage with fp64
+    # accumulation in reductions), whether the fused autograd kernels are
+    # used (bitwise-equal to the composed ops under float64), and whether
+    # backward temporaries are recycled through the buffer arena.
+    dtype_policy: str = "float64"
+    fused_kernels: bool = True
+    buffer_arena: bool = False
 
 
 @dataclass
@@ -138,6 +147,11 @@ class Trainer:
             # Force the configured backend onto every graph module; "auto"
             # leaves the model's own (density-dispatched) modes untouched.
             set_graph_mode(model, self.config.graph_mode)
+        # Cast the model to the policy's storage dtype up front (also
+        # validates the policy name).  Adam state is allocated lazily with
+        # ``zeros_like(param.data)``, so it follows automatically.
+        with dtype_policy(self.config.dtype_policy):
+            model.astype(default_dtype())
         self.loss_fn = loss_fn
         self.train_days_override = (list(train_days)
                                     if train_days is not None else None)
@@ -325,7 +339,22 @@ class Trainer:
         passes checksum verification).  A resumed fit replays nothing and
         skips nothing: per-epoch losses are bitwise-identical to the run
         that was never interrupted.
+
+        The whole loop runs under the config's numerics settings:
+        ``dtype_policy`` (activated as the thread's dtype policy),
+        ``fused_kernels``, and — when ``buffer_arena`` is set — the
+        backward buffer arena.
         """
+        cfg = self.config
+        with dtype_policy(cfg.dtype_policy), \
+                fused_kernels(cfg.fused_kernels):
+            if cfg.buffer_arena:
+                with arena():
+                    return self._fit_loop(callbacks, resume_from)
+            return self._fit_loop(callbacks, resume_from)
+
+    def _fit_loop(self, callbacks: Optional[Sequence[TrainerCallback]],
+                  resume_from: "Any") -> List[float]:
         cfg = self.config
         events = CallbackList(callbacks or ())
         train_days, validation_days = self._training_days()
@@ -512,7 +541,8 @@ class Trainer:
             _, days = self.dataset.split(cfg.window)
         self.model.eval()
         total = 0.0
-        with no_grad():
+        with dtype_policy(cfg.dtype_policy), \
+                fused_kernels(cfg.fused_kernels), no_grad():
             for day in days:
                 with trace("data_prep"):
                     features = self.dataset.features(int(day), cfg.window,
@@ -531,7 +561,8 @@ class Trainer:
         cfg = self.config
         self.model.eval()
         rows = []
-        with no_grad():
+        with dtype_policy(cfg.dtype_policy), \
+                fused_kernels(cfg.fused_kernels), no_grad():
             for day in days:
                 with trace("data_prep"):
                     features = self.dataset.features(int(day), cfg.window,

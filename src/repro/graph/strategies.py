@@ -43,7 +43,7 @@ import numpy as np
 from ..nn import init
 from ..nn.module import Module, Parameter
 from ..nn.random import get_rng
-from ..tensor import Tensor, concat, einsum, ensure_tensor
+from ..tensor import Tensor, concat, default_dtype, einsum, ensure_tensor
 from ..tensor.sparse import (SparsePattern, SparseTensor, resolve_graph_mode,
                              sddmm)
 from .adjacency import (normalize_adjacency, normalize_sparse_adjacency,
@@ -139,15 +139,19 @@ class UniformStrategy(RelationStrategy):
         self.renormalize = renormalize
 
     def _dense_normalized(self) -> Tensor:
+        # The storage dtype is part of the key: the same graph trained
+        # under different dtype policies must not share one cached tensor
+        # (a float64 adjacency served into a float32 run would silently
+        # re-promote every propagation).
         key = ("uniform", self.relations.cache_token(), self.renormalize,
-               "dense")
+               "dense", default_dtype().str)
         return adjacency_cache().get_or_compute(
             key, lambda: Tensor(normalize_adjacency(
                 self._mask, add_loops=self.renormalize)))
 
     def _sparse_normalized(self) -> SparseTensor:
         key = ("uniform", self.relations.cache_token(), self.renormalize,
-               "sparse")
+               "sparse", default_dtype().str)
         return adjacency_cache().get_or_compute(
             key, lambda: SparseTensor.from_dense(
                 self._dense_normalized().data))

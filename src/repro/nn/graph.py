@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..tensor import Tensor, einsum, ensure_tensor, linear, softmax
+from ..tensor.fused import fused_enabled, gcn_propagate_fused
 from ..tensor.sparse import (SparsePattern, SparseTensor, resolve_graph_mode,
                              sparse_gather, sparse_segment_sum, spmm)
 from . import init
@@ -85,6 +86,8 @@ class GraphConv(Module):
             if adj.pattern.shape[1] != x.shape[-2]:
                 raise ValueError(f"adjacency size {adj.pattern.shape[1]} "
                                  f"does not match node count {x.shape[-2]}")
+            if fused_enabled():
+                return gcn_propagate_fused(x, adj, self.weight, self.bias)
             support = linear(x, self.weight)  # (..., N, C_out)
             out = spmm(adj, support)          # (..., N, C_out)
         else:
@@ -92,6 +95,8 @@ class GraphConv(Module):
             if adj.shape[-1] != x.shape[-2]:
                 raise ValueError(f"adjacency size {adj.shape[-1]} does not "
                                  f"match node count {x.shape[-2]}")
+            if fused_enabled():
+                return gcn_propagate_fused(x, adj, self.weight, self.bias)
             support = linear(x, self.weight)      # (..., N, C_out)
             out = adj @ support                   # (..., N, C_out)
         if self.bias is not None:

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from ..tensor import Tensor, linear
+from ..tensor.fused import affine_act_fused, fused_enabled
 from . import init
 from .module import Module, Parameter
 from .random import get_rng
@@ -46,6 +47,8 @@ class Linear(Module):
         if x.shape[-1] != self.in_features:
             raise ValueError(f"expected last dim {self.in_features}, got "
                              f"{x.shape[-1]}")
+        if fused_enabled():
+            return affine_act_fused(x, self.weight, self.bias)
         return linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:

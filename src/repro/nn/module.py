@@ -123,6 +123,30 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter's storage to ``dtype`` in place.
+
+        Parameter objects keep their identity (optimizers bound to them stay
+        valid); pending gradients are dropped rather than cast.  Plain
+        floating :class:`~repro.tensor.Tensor` attributes (constant buffers
+        like relation masks) are cast too — a float64 buffer left behind
+        would re-promote every op that touches it and defeat a float32 run.
+        """
+        target = np.dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != target:
+                param.data = param.data.astype(target)
+                param.zero_grad()
+        from ..tensor.tensor import Tensor as _Tensor
+        for module in self.modules():
+            for name, value in vars(module).items():
+                if (isinstance(value, _Tensor)
+                        and not isinstance(value, Parameter)
+                        and np.issubdtype(value.data.dtype, np.floating)
+                        and value.data.dtype != target):
+                    setattr(module, name, value.astype(target))
+        return self
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------

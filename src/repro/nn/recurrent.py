@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..tensor import Tensor, concat, linear, sigmoid, stack, tanh
+from ..tensor.fused import fused_enabled, gru_cell_fused, lstm_cell_fused
 from . import init
 from .module import Module, Parameter
 from .random import get_rng
@@ -38,6 +39,10 @@ class LSTMCell(Module):
     def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]
                 ) -> Tuple[Tensor, Tensor]:
         h_prev, c_prev = state
+        if fused_enabled():
+            return lstm_cell_fused(x, h_prev, c_prev, self.weight_ih,
+                                   self.weight_hh, self.bias,
+                                   self.hidden_size)
         gates = (linear(x, self.weight_ih)
                  + linear(h_prev, self.weight_hh) + self.bias)
         H = self.hidden_size
@@ -117,6 +122,10 @@ class GRUCell(Module):
         init.xavier_uniform_(self.weight_hh, rng=gen)
 
     def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        if fused_enabled():
+            return gru_cell_fused(x, h_prev, self.weight_ih, self.weight_hh,
+                                  self.bias_ih, self.bias_hh,
+                                  self.hidden_size)
         H = self.hidden_size
         gi = linear(x, self.weight_ih) + self.bias_ih
         gh = linear(h_prev, self.weight_hh) + self.bias_hh

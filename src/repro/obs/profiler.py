@@ -33,9 +33,11 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..tensor import fused as _fused_module
 from ..tensor import ops as _ops_module
 from ..tensor import sparse as _sparse_module
 from ..tensor import tensor as _tensor_module
+from ..tensor.arena import arena_stats
 from ..tensor.tensor import Tensor
 
 #: ``Tensor`` methods treated as primitives, mapped to their report names.
@@ -69,6 +71,20 @@ _SPARSE_PRIMITIVES: Dict[str, str] = {
     "spmm": "spmm", "sddmm": "sddmm",
     "sparse_segment_sum": "segment_sum", "sparse_gather": "sparse_gather",
 }
+
+#: fused composite nodes of :mod:`repro.tensor.fused`.  Each is a single
+#: tape node (two for the LSTM's h/c pair), so its row replaces the chain
+#: of primitive rows the composed path would have produced — a profile of
+#: a fused run attributes the whole cell/propagation to one labeled op.
+_FUSED_PRIMITIVES: Dict[str, str] = {
+    "affine_act_fused": "affine_act_fused",
+    "lstm_cell_fused": "lstm_cell_fused",
+    "gru_cell_fused": "gru_cell_fused",
+    "gcn_propagate_fused": "gcn_propagate_fused",
+}
+
+#: arena counters whose install→report deltas the profiler exposes.
+_ARENA_COUNTERS = ("hits", "misses", "released", "bytes_reused")
 
 _active_profiler: Optional["OpProfiler"] = None
 
@@ -106,6 +122,8 @@ class OpProfiler:
         self.records: Dict[Tuple[str, str], OpStat] = {}
         self._patches: List[Tuple[object, str, object]] = []
         self._installed = False
+        self._arena_start: Optional[Dict[str, int]] = None
+        self._arena_end: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # recording
@@ -125,17 +143,24 @@ class OpProfiler:
             start = time.perf_counter()
             out = fn(*args, **kwargs)
             elapsed = time.perf_counter() - start
-            if isinstance(out, Tensor):
-                profiler._record(name, "forward", elapsed, out.data.nbytes)
-                inner = out._backward
-                if inner is not None:
-                    def timed_backward(grad, _inner=inner):
-                        b_start = time.perf_counter()
-                        _inner(grad)
-                        profiler._record(name, "backward",
-                                         time.perf_counter() - b_start,
-                                         grad.nbytes)
-                    out._backward = timed_backward
+            # Fused cells return a tuple of Tensors (LSTM's (h, c)); time
+            # each output's backward under the same op name.
+            outputs = (out,) if isinstance(out, Tensor) else (
+                tuple(t for t in out if isinstance(t, Tensor))
+                if isinstance(out, tuple) else ())
+            if outputs:
+                profiler._record(name, "forward", elapsed,
+                                 sum(t.data.nbytes for t in outputs))
+                for tensor in outputs:
+                    inner = tensor._backward
+                    if inner is not None:
+                        def timed_backward(grad, _inner=inner):
+                            b_start = time.perf_counter()
+                            _inner(grad)
+                            profiler._record(name, "backward",
+                                             time.perf_counter() - b_start,
+                                             grad.nbytes)
+                        tensor._backward = timed_backward
             else:
                 profiler._record(name, "forward", elapsed, 0)
             return out
@@ -158,6 +183,8 @@ class OpProfiler:
                                "profilers cannot nest")
         _active_profiler = self
         self._installed = True
+        self._arena_start = arena_stats()
+        self._arena_end = None
 
         # Tensor methods: wrap each original once, then rebind every class
         # attribute that refers to it (catches __radd__ = __add__ aliases).
@@ -173,7 +200,8 @@ class OpProfiler:
         # Module-level functions: rebind every repro module-global that is
         # the same object as the canonical definition in its home module.
         for home, mapping in ((_tensor_module, _FUNCTION_PRIMITIVES),
-                              (_sparse_module, _SPARSE_PRIMITIVES)):
+                              (_sparse_module, _SPARSE_PRIMITIVES),
+                              (_fused_module, _FUSED_PRIMITIVES)):
             for attr, name in mapping.items():
                 original = getattr(home, attr)
                 replacement = self._wrap(original, name)
@@ -202,6 +230,7 @@ class OpProfiler:
             setattr(owner, attr, original)
         self._patches.clear()
         self._installed = False
+        self._arena_end = arena_stats()
         if _active_profiler is self:
             _active_profiler = None
 
@@ -218,6 +247,24 @@ class OpProfiler:
         """Seconds across every recorded primitive and pass."""
         return sum(stat.seconds for stat in self.records.values())
 
+    def arena_summary(self) -> Dict[str, object]:
+        """Buffer-arena activity while this profiler was installed.
+
+        Counter deltas between install and uninstall (or "now" while still
+        installed), plus the derived ``hit_rate`` — ``hits / (hits +
+        misses)`` of backward-buffer acquisitions, 0.0 when the arena saw
+        no traffic.
+        """
+        start = self._arena_start or {key: 0 for key in _ARENA_COUNTERS}
+        end = self._arena_end if self._arena_end is not None \
+            else arena_stats()
+        delta = {key: end[key] - start.get(key, 0)
+                 for key in _ARENA_COUNTERS}
+        acquired = delta["hits"] + delta["misses"]
+        delta["hit_rate"] = delta["hits"] / acquired if acquired else 0.0
+        delta["enabled"] = bool(end.get("enabled"))
+        return delta
+
     def as_rows(self) -> List[Dict[str, object]]:
         """JSON-ready rows sorted by descending seconds."""
         rows = [{"op": op, "pass": pass_, "count": stat.count,
@@ -231,13 +278,19 @@ class OpProfiler:
         rows = self.as_rows()
         if top is not None:
             rows = rows[:top]
-        lines = [f"{'op':16s} {'pass':8s} {'count':>9s} {'seconds':>10s} "
+        lines = [f"{'op':20s} {'pass':8s} {'count':>9s} {'seconds':>10s} "
                  f"{'MB':>10s}"]
         lines.append("-" * len(lines[0]))
         for row in rows:
-            lines.append(f"{row['op']:16s} {row['pass']:8s} "
+            lines.append(f"{row['op']:20s} {row['pass']:8s} "
                          f"{row['count']:9d} {row['seconds']:10.4f} "
                          f"{row['bytes'] / 1e6:10.2f}")
+        summary = self.arena_summary()
+        if summary["enabled"] or summary["hits"] or summary["misses"]:
+            lines.append(
+                f"arena: hit_rate={summary['hit_rate']:.1%} "
+                f"hits={summary['hits']} misses={summary['misses']} "
+                f"reused={summary['bytes_reused'] / 1e6:.2f} MB")
         return "\n".join(lines)
 
 

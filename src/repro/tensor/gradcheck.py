@@ -3,20 +3,49 @@
 ``gradcheck`` compares analytic gradients produced by ``Tensor.backward``
 against central finite differences.  It is used throughout the test-suite to
 validate every layer and loss the reproduction defines.
+
+Tolerances are dtype-aware: the default finite-difference step and the
+comparison tolerances are chosen from the widest floating dtype among the
+checked inputs, so checks run under the ``float32`` policy don't spuriously
+fail from truncation noise (central differences in fp32 carry ~1e-3 error at
+a well-chosen step; fp64 supports 1e-6 steps).  Explicit ``eps``/``atol``/
+``rtol`` arguments always win.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .tensor import Tensor
 
+#: per-dtype defaults: (eps, atol, rtol)
+_DTYPE_DEFAULTS = {
+    np.dtype(np.float64): (1e-6, 1e-5, 1e-4),
+    np.dtype(np.float32): (1e-3, 1e-2, 1e-2),
+}
+
+
+def _defaults_for(dtype: np.dtype) -> Tuple[float, float, float]:
+    return _DTYPE_DEFAULTS.get(np.dtype(dtype),
+                               _DTYPE_DEFAULTS[np.dtype(np.float32)])
+
+
+def _widest_dtype(inputs: Sequence[Tensor]) -> np.dtype:
+    dtypes = [t.data.dtype for t in inputs] or [np.dtype(np.float64)]
+    return max(dtypes, key=lambda dt: dt.itemsize)
+
 
 def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor,
-                       eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+                       eps: Optional[float] = None) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``eps`` defaults to a step matched to ``tensor``'s dtype (1e-6 for
+    float64, 1e-3 for float32).
+    """
+    if eps is None:
+        eps = _defaults_for(tensor.data.dtype)[0]
     grad = np.zeros_like(tensor.data)
     flat = tensor.data.reshape(-1)
     grad_flat = grad.reshape(-1)
@@ -32,8 +61,8 @@ def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor,
 
 
 def gradcheck(fn: Callable[[], Tensor], inputs: Sequence[Tensor],
-              eps: float = 1e-6, atol: float = 1e-5,
-              rtol: float = 1e-4) -> bool:
+              eps: Optional[float] = None, atol: Optional[float] = None,
+              rtol: Optional[float] = None) -> bool:
     """Verify analytic gradients of scalar ``fn()`` against finite differences.
 
     Parameters
@@ -43,12 +72,21 @@ def gradcheck(fn: Callable[[], Tensor], inputs: Sequence[Tensor],
         read the current data of ``inputs`` each time it is called.
     inputs:
         Leaf tensors with ``requires_grad=True`` to check.
+    eps, atol, rtol:
+        Finite-difference step and comparison tolerances.  ``None`` (the
+        default) selects per-dtype values from the widest input dtype:
+        ``(1e-6, 1e-5, 1e-4)`` for float64 inputs, ``(1e-3, 1e-2, 1e-2)``
+        for float32.
 
     Raises
     ------
     AssertionError
         If any analytic gradient deviates beyond the tolerances.
     """
+    d_eps, d_atol, d_rtol = _defaults_for(_widest_dtype(inputs))
+    eps = d_eps if eps is None else eps
+    atol = d_atol if atol is None else atol
+    rtol = d_rtol if rtol is None else rtol
     for t in inputs:
         if not t.requires_grad:
             raise ValueError("all checked inputs must require grad")

@@ -172,7 +172,7 @@ def _kernel_2d(indptr: np.ndarray, indices: np.ndarray, values: np.ndarray,
         matrix = _scipy_sparse.csr_matrix((values, indices, indptr),
                                           shape=(n_rows, dense.shape[0]))
         return np.asarray(matrix @ dense)
-    out = np.zeros((n_rows, dense.shape[1]))
+    out = np.zeros((n_rows, dense.shape[1]), dtype=dense.dtype)
     if indices.size == 0:
         return out
     gathered = dense[indices] * values[:, None]
@@ -195,8 +195,11 @@ def _csr_matmul(pattern: SparsePattern, values: np.ndarray,
         indptr, indices, perm = pattern.transpose_data()
         values = values[..., perm]
         n_rows, n_cols = n_cols, n_rows
-    values = np.asarray(values, dtype=np.float64)
-    dense = np.asarray(dense, dtype=np.float64)
+    # Kernels follow the (float) dtype of their operands — the dtype policy
+    # steers them through the tensors it produced, never below float32.
+    target = np.promote_types(np.result_type(values, dense), np.float32)
+    values = np.asarray(values, dtype=target)
+    dense = np.asarray(dense, dtype=target)
     channels = dense.shape[-1]
     lead = np.broadcast_shapes(values.shape[:-1], dense.shape[:-2])
     out_shape = lead + (n_rows, channels)
@@ -217,7 +220,7 @@ def _csr_matmul(pattern: SparsePattern, values: np.ndarray,
         values, lead + values.shape[-1:]).reshape(-1, values.shape[-1])
     flat_dense = np.broadcast_to(
         dense, lead + dense.shape[-2:]).reshape((-1,) + dense.shape[-2:])
-    out = np.empty((flat_values.shape[0], n_rows, channels))
+    out = np.empty((flat_values.shape[0], n_rows, channels), dtype=target)
     for i in range(flat_values.shape[0]):
         out[i] = _kernel_2d(indptr, indices, flat_values[i], flat_dense[i],
                             n_rows)
@@ -232,14 +235,15 @@ def _sampled_inner(pattern: SparsePattern, a: np.ndarray,
     which NumPy handles an order of magnitude slower.
     """
     rows, cols = pattern.rows, pattern.indices
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    target = np.promote_types(np.result_type(a, b), np.float32)
+    a = np.asarray(a, dtype=target)
+    b = np.asarray(b, dtype=target)
     lead = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
     flat_a = np.broadcast_to(a, lead + a.shape[-2:]).reshape(
         (-1,) + a.shape[-2:])
     flat_b = np.broadcast_to(b, lead + b.shape[-2:]).reshape(
         (-1,) + b.shape[-2:])
-    out = np.empty((flat_a.shape[0], pattern.nnz))
+    out = np.empty((flat_a.shape[0], pattern.nnz), dtype=target)
     for i in range(flat_a.shape[0]):
         out[i] = np.einsum("ec,ec->e", flat_a[i][rows], flat_b[i][cols])
     return out.reshape(lead + (pattern.nnz,))
@@ -248,7 +252,7 @@ def _sampled_inner(pattern: SparsePattern, a: np.ndarray,
 def _segment_sum_last(values: np.ndarray, indptr: np.ndarray,
                       n_rows: int) -> np.ndarray:
     """Sum the last axis of ``(..., nnz)`` into row segments: ``(..., n)``."""
-    out = np.zeros(values.shape[:-1] + (n_rows,))
+    out = np.zeros(values.shape[:-1] + (n_rows,), dtype=values.dtype)
     nonempty = np.flatnonzero(np.diff(indptr) > 0)
     if nonempty.size:
         out[..., nonempty] = np.add.reduceat(
@@ -303,7 +307,8 @@ class SparseTensor:
     def from_csr(cls, csr) -> "SparseTensor":
         """Adopt any CSR-like object exposing ``indptr/indices/data/shape``."""
         pattern = SparsePattern(csr.indptr, csr.indices, csr.shape)
-        return cls(pattern, Tensor(np.asarray(csr.data, dtype=np.float64)))
+        # Tensor() applies the dtype-policy coercion rule to csr.data.
+        return cls(pattern, Tensor(np.asarray(csr.data)))
 
     # -- views ----------------------------------------------------------
     @property
@@ -334,7 +339,8 @@ class SparseTensor:
         values = self.values
         pattern = self.pattern
         index = (Ellipsis, pattern.rows, pattern.indices)
-        data = np.zeros(values.shape[:-1] + pattern.shape)
+        data = np.zeros(values.shape[:-1] + pattern.shape,
+                        dtype=values.data.dtype)
         data[index] = values.data
 
         def backward(grad: np.ndarray) -> None:

@@ -15,8 +15,13 @@ Design notes
   (:func:`_unbroadcast`).
 - The graph is dynamic (define-by-run) and freed after ``backward`` unless
   ``retain_graph=True`` is passed.
-- Data is kept in ``float64`` by default for numerical robustness; models may
-  down-cast for speed but the test-suite's gradient checks rely on float64.
+- Data is kept in ``float64`` by default for numerical robustness; the
+  process-wide policy (:mod:`repro.tensor.dtype`) can switch storage to
+  ``float32`` for speed, with reductions optionally accumulating in
+  ``float64`` under the ``"mixed"`` policy.
+- Backward-pass gradient buffers are recycled across steps through a global
+  :mod:`repro.tensor.arena` when enabled, so steady-state training epochs
+  allocate almost nothing.
 """
 
 from __future__ import annotations
@@ -25,10 +30,15 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .arena import materialize as _arena_materialize
+from .arena import release as _arena_release
+from .dtype import accum_dtype, default_dtype, resolve_dtype
 from .grad_mode import _note_tape_node, is_grad_enabled
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
+# Historical module constant, kept for external references; the live default
+# is policy-driven (see repro.tensor.dtype).
 _DEFAULT_DTYPE = np.float64
 
 
@@ -55,7 +65,11 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype or _DEFAULT_DTYPE)
+    if dtype is not None:
+        return np.asarray(value, dtype=dtype)
+    arr = np.asarray(value)
+    target = resolve_dtype(arr)
+    return arr if arr.dtype == target else arr.astype(target)
 
 
 def ensure_tensor(value: ArrayLike) -> "Tensor":
@@ -77,15 +91,26 @@ class Tensor:
         :meth:`backward` can compute ``d(output)/d(this)``.
     name:
         Optional label used in ``repr`` and error messages.
+    dtype:
+        Explicit storage dtype.  When omitted, floating inputs keep their
+        dtype unless wider than the active policy's storage (never widened,
+        narrowed when wider); other inputs are cast to the policy storage.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data: np.ndarray = np.asarray(data, dtype=_DEFAULT_DTYPE)
+        if dtype is not None:
+            arr = np.asarray(data, dtype=dtype)
+        else:
+            arr = np.asarray(data)
+            target = resolve_dtype(arr)
+            if arr.dtype != target:
+                arr = arr.astype(target)
+        self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -96,35 +121,47 @@ class Tensor:
     # construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+    def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        # The resolved dtype is passed through explicitly so an explicit
+        # ``dtype=`` survives even when it is wider than the policy storage.
+        dtype = dtype or default_dtype()
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad,
+                      dtype=dtype)
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad)
+    def ones(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = dtype or default_dtype()
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad, dtype=dtype)
 
     @staticmethod
     def full(shape: Sequence[int], fill_value: float,
-             requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.full(shape, fill_value, dtype=_DEFAULT_DTYPE),
-                      requires_grad)
+             requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = dtype or default_dtype()
+        return Tensor(np.full(shape, fill_value, dtype=dtype), requires_grad,
+                      dtype=dtype)
 
     @staticmethod
-    def eye(n: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.eye(n, dtype=_DEFAULT_DTYPE), requires_grad)
+    def eye(n: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        dtype = dtype or default_dtype()
+        return Tensor(np.eye(n, dtype=dtype), requires_grad, dtype=dtype)
 
     @staticmethod
     def randn(*shape: int, rng: Optional[np.random.Generator] = None,
-              requires_grad: bool = False, scale: float = 1.0) -> "Tensor":
+              requires_grad: bool = False, scale: float = 1.0,
+              dtype=None) -> "Tensor":
         gen = rng if rng is not None else np.random.default_rng()
-        return Tensor(gen.standard_normal(shape) * scale, requires_grad)
+        # Draw in float64 then narrow: the RNG stream consumption (and thus
+        # seed reproducibility across policies) is dtype-independent.
+        values = gen.standard_normal(shape) * scale
+        return Tensor(values, requires_grad, dtype=dtype or default_dtype())
 
     @staticmethod
     def uniform(*shape: int, low: float = 0.0, high: float = 1.0,
                 rng: Optional[np.random.Generator] = None,
-                requires_grad: bool = False) -> "Tensor":
+                requires_grad: bool = False, dtype=None) -> "Tensor":
         gen = rng if rng is not None else np.random.default_rng()
-        return Tensor(gen.uniform(low, high, shape), requires_grad)
+        values = gen.uniform(low, high, shape)
+        return Tensor(values, requires_grad, dtype=dtype or default_dtype())
 
     # ------------------------------------------------------------------
     # basic introspection
@@ -164,7 +201,12 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=False)
 
     def zero_grad(self) -> None:
+        _arena_release(self.grad)
         self.grad = None
+
+    def astype(self, dtype) -> "Tensor":
+        """Return a detached copy cast to ``dtype``."""
+        return Tensor(self.data.astype(dtype), requires_grad=False)
 
     def __repr__(self) -> str:
         label = f" name={self.name!r}" if self.name else ""
@@ -193,9 +235,13 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(_DEFAULT_DTYPE, copy=True)
+            # Gradients live in the tensor's own storage dtype.  The copy
+            # (into a recycled arena buffer when the arena is enabled) also
+            # guarantees no backward closure's view of another node's grad
+            # buffer survives in ``self.grad``.
+            self.grad = _arena_materialize(grad, self.data.dtype)
         else:
-            self.grad = self.grad + grad
+            np.add(self.grad, grad, out=self.grad, casting="same_kind")
 
     def backward(self, grad: Optional[ArrayLike] = None,
                  retain_graph: bool = False) -> None:
@@ -227,15 +273,25 @@ class Tensor:
         # this, a second backward over a retained graph double-counts.
         for node in order:
             if node._parents:
+                _arena_release(node.grad)
                 node.grad = None
-        self._accumulate(seed)
+        # Seed the root outside the arena: its grad stays readable after
+        # backward (it is exempt from the interior free loop below), so an
+        # arena buffer here would leak into the live set when the root is
+        # garbage-collected without a release.
+        if self.grad is None:
+            self.grad = seed.astype(self.data.dtype, copy=True)
+        else:
+            np.add(self.grad, seed, out=self.grad, casting="same_kind")
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
             if not retain_graph and node is not self:
                 # Interior gradients are not needed by callers; free them so
-                # long training loops do not grow memory.
+                # long training loops do not grow memory.  Released buffers
+                # return to the arena for the next step's backward pass.
                 if node._parents:
+                    _arena_release(node.grad)
                     node.grad = None
             if not retain_graph:
                 node._backward = None
@@ -474,7 +530,14 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
             keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        accum = accum_dtype()
+        if (self.data.dtype.kind == "f"
+                and accum.itemsize > self.data.dtype.itemsize):
+            # Mixed policy: accumulate reductions wide, store narrow.
+            data = self.data.sum(axis=axis, keepdims=keepdims,
+                                 dtype=accum).astype(self.data.dtype)
+        else:
+            data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:

@@ -92,7 +92,13 @@ class TestInvalidationRace:
 
         def invalidator():
             barrier.wait(timeout=10.0)
-            while not stop.is_set():
+            # Keep going until at least one invalidation landed: a starved
+            # thread can otherwise see `stop` already set on its first
+            # check and exit without exercising the race at all.  The key
+            # is guaranteed present once the readers finish, so this
+            # always terminates.
+            while (not stop.is_set()
+                   or cache.stats()["invalidations"] == 0):
                 cache.invalidate("contested")
 
         readers = [reader(i) for i in range(4)]

@@ -1,0 +1,129 @@
+"""Buffer arena: recycling semantics, counters, and numerics neutrality."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTMCell, Linear
+from repro.optim import Adam
+from repro.tensor import (Tensor, arena, arena_enabled, arena_stats,
+                          clear_arena, enable_arena, reset_arena)
+from repro.tensor.arena import materialize, release
+
+
+@pytest.fixture(autouse=True)
+def _clean_arena():
+    clear_arena()
+    yield
+    enable_arena(False)
+    clear_arena()
+
+
+class TestArenaPrimitives:
+    def test_disabled_materialize_is_plain_copy(self):
+        grad = np.ones(4)
+        out = materialize(grad, np.float64)
+        assert out is not grad
+        np.testing.assert_array_equal(out, grad)
+        assert arena_stats()["hits"] == arena_stats()["misses"] == 0
+
+    def test_miss_then_hit_roundtrip(self):
+        with arena():
+            a = materialize(np.ones(8), np.float64)
+            release(a)
+            b = materialize(np.full(8, 2.0), np.float64)
+            assert b is a                     # recycled, not reallocated
+            np.testing.assert_array_equal(b, np.full(8, 2.0))
+        stats = arena_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        assert stats["bytes_reused"] == 64
+
+    def test_shape_and_dtype_keyed(self):
+        with arena():
+            a = materialize(np.ones(8), np.float64)
+            release(a)
+            b = materialize(np.ones(8, dtype=np.float32), np.float32)
+            c = materialize(np.ones(4), np.float64)
+            assert b is not a and c is not a
+        assert arena_stats()["misses"] == 3
+
+    def test_foreign_and_double_release_ignored(self):
+        with arena():
+            foreign = np.zeros(4)
+            release(foreign)                  # never materialized
+            a = materialize(np.ones(4), np.float64)
+            release(a)
+            release(a)                        # double release
+            assert arena_stats()["released"] == 1
+            assert arena_stats()["pooled"] == 1
+
+    def test_disable_drops_buffers_keeps_counters(self):
+        with arena():
+            release(materialize(np.ones(4), np.float64))
+        assert not arena_enabled()
+        stats = arena_stats()
+        assert stats["pooled"] == 0           # buffers returned on disable
+        assert stats["misses"] == 1           # counters survive for reports
+        reset_arena()
+        assert arena_stats()["misses"] == 0
+
+
+class TestArenaBackward:
+    def _step(self, layer, optimizer, x):
+        optimizer.zero_grad()
+        loss = (layer(x) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    def test_training_is_bitwise_identical(self, rng):
+        """The arena only recycles memory; results never change."""
+        def run(use_arena):
+            layer = Linear(6, 4, rng=np.random.default_rng(1))
+            optimizer = Adam(layer.parameters(), lr=1e-2)
+            x = Tensor(np.random.default_rng(2).standard_normal((5, 6)))
+            with arena(use_arena):
+                return [self._step(layer, optimizer, x) for _ in range(5)]
+
+        np.testing.assert_array_equal(run(True), run(False))
+
+    def test_steady_state_allocates_nothing(self, rng):
+        """After the warmup pass every backward buffer comes from the pool:
+        the miss counter (the arena's allocation count) stays flat."""
+        cell = LSTMCell(4, 8, rng=np.random.default_rng(0))
+        optimizer = Adam(cell.parameters(), lr=1e-3)
+        x = Tensor(np.random.default_rng(3).standard_normal((2, 4)))
+
+        def step():
+            optimizer.zero_grad()
+            h, c = cell(x, cell.initial_state(2))
+            h, c = cell(x, (h, c))
+            (h * c).sum().backward()
+            optimizer.step()
+
+        with arena():
+            step()                            # warmup: misses allowed
+            reset_arena()
+            for _ in range(3):
+                step()
+            stats = arena_stats()
+        assert stats["misses"] == 0, stats
+        assert stats["hits"] > 0
+
+    def test_interior_grads_freed_to_pool(self, rng):
+        a = Tensor(rng.standard_normal(6), requires_grad=True)
+        with arena():
+            ((a * a).tanh().sum()).backward()
+            stats = arena_stats()
+        # interior node grads were released back to the pool; the leaf
+        # grad stays live until zero_grad
+        assert stats["released"] > 0
+        assert a.grad is not None
+
+    def test_zero_grad_releases_leaf_buffer(self, rng):
+        a = Tensor(rng.standard_normal(6), requires_grad=True)
+        with arena():
+            (a * a).sum().backward()
+            before = arena_stats()["released"]
+            a.zero_grad()
+            assert arena_stats()["released"] == before + 1
+            assert a.grad is None

@@ -1,0 +1,157 @@
+"""Dtype policy: storage/accumulation selection and constructor coercion."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.tensor import (Tensor, accum_dtype, default_dtype, dtype_policy,
+                          get_dtype_policy, gradcheck, set_default_dtype)
+from repro.tensor.gradcheck import _defaults_for
+
+
+class TestPolicySwitch:
+    def test_default_is_float64(self):
+        policy = get_dtype_policy()
+        assert policy.name == "float64"
+        assert default_dtype() == np.float64
+        assert accum_dtype() == np.float64
+
+    def test_context_manager_restores(self):
+        with dtype_policy("float32"):
+            assert default_dtype() == np.float32
+            with dtype_policy("mixed"):
+                assert default_dtype() == np.float32
+                assert accum_dtype() == np.float64
+            assert get_dtype_policy().name == "float32"
+        assert get_dtype_policy().name == "float64"
+
+    def test_set_returns_previous(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert previous.name == "float64"
+            assert get_dtype_policy().name == "float32"
+        finally:
+            set_default_dtype(previous)
+
+    def test_accepts_numpy_dtype(self):
+        with dtype_policy(np.float32):
+            assert default_dtype() == np.float32
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            set_default_dtype("float16")
+
+
+class TestConstructorCoercion:
+    """Regression for the silent-coercion bug: ``Tensor.__init__`` used to
+    force every input to the module default dtype, discarding both explicit
+    ``dtype=`` arguments and the dtype of float32 inputs."""
+
+    def test_float32_input_preserved(self):
+        out = Tensor(np.ones(3, dtype=np.float32))
+        assert out.data.dtype == np.float32
+
+    def test_explicit_dtype_wins_over_policy(self):
+        with dtype_policy("float32"):
+            out = Tensor(np.ones(3), dtype=np.float64)
+        assert out.data.dtype == np.float64
+
+    def test_explicit_dtype_wins_over_input(self):
+        out = Tensor(np.ones(3, dtype=np.float64), dtype=np.float32)
+        assert out.data.dtype == np.float32
+
+    def test_float64_narrowed_under_float32_policy(self):
+        with dtype_policy("float32"):
+            out = Tensor(np.ones(3, dtype=np.float64))
+        assert out.data.dtype == np.float32
+
+    def test_float32_never_widened_under_float64_policy(self):
+        out = Tensor(np.ones(3, dtype=np.float32))
+        assert out.data.dtype == np.float32
+
+    def test_int_input_cast_to_storage(self):
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+        with dtype_policy("float32"):
+            assert Tensor([1, 2, 3]).data.dtype == np.float32
+
+    def test_python_list_follows_policy(self):
+        with dtype_policy("float32"):
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+
+
+class TestFactoriesAndRNG:
+    def test_zeros_ones_follow_policy(self):
+        with dtype_policy("float32"):
+            assert Tensor.zeros(2, 2).data.dtype == np.float32
+            assert Tensor.ones(2, 2).data.dtype == np.float32
+
+    def test_factory_explicit_dtype_wins(self):
+        with dtype_policy("float32"):
+            assert Tensor.zeros(2, dtype=np.float64).data.dtype \
+                == np.float64
+
+    def test_randn_same_stream_across_policies(self):
+        """Policies must not fork the RNG stream: the float32 draw is the
+        float64 draw cast down, so seeds stay comparable across policies."""
+        a = Tensor.randn(16, rng=np.random.default_rng(3))
+        with dtype_policy("float32"):
+            b = Tensor.randn(16, rng=np.random.default_rng(3))
+        assert b.data.dtype == np.float32
+        np.testing.assert_array_equal(b.data, a.data.astype(np.float32))
+
+
+class TestMixedAccumulation:
+    def test_sum_accumulates_in_float64(self):
+        # 2**24 + 1 is not representable in fp32: fp32 accumulation of
+        # [2**24, 1, 1] stays at 2**24, fp64 accumulation reaches 2**24 + 2
+        # (which fp32 does represent).
+        values = np.array([2.0 ** 24, 1.0, 1.0], dtype=np.float32)
+        with dtype_policy("mixed"):
+            total = Tensor(values).sum()
+        assert total.data.dtype == np.float32
+        assert float(total.data) == np.float32(2.0 ** 24 + 2.0)
+        with dtype_policy("float32"):
+            naive = Tensor(values).sum()
+        assert float(naive.data) == np.float32(2.0 ** 24)
+
+
+class TestModuleAstype:
+    def test_parameters_cast_in_place(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        params = list(layer.parameters())
+        layer.astype(np.float32)
+        assert all(p.data.dtype == np.float32 for p in layer.parameters())
+        # Parameter identity survives (optimizers stay bound).
+        assert params == list(layer.parameters())
+
+    def test_float_tensor_buffers_cast(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(0))
+        layer.scale = Tensor(np.ones(2))
+        layer.astype(np.float32)
+        assert layer.scale.data.dtype == np.float32
+
+
+class TestGradcheckDtypeDefaults:
+    def test_defaults_per_dtype(self):
+        assert _defaults_for(np.float64) == (1e-6, 1e-5, 1e-4)
+        assert _defaults_for(np.float32) == (1e-3, 1e-2, 1e-2)
+
+    def test_gradcheck_passes_under_float32(self, rng):
+        with dtype_policy("float32"):
+            a = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+            b = Tensor(rng.standard_normal((3, 2)), requires_grad=True)
+            assert a.data.dtype == np.float32
+            assert gradcheck(lambda: (a @ b).tanh().sum(), [a, b])
+
+    def test_gradcheck_passes_under_float64(self, rng):
+        a = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        assert gradcheck(lambda: a.sigmoid().sum(), [a])
+
+    def test_explicit_tolerances_still_win(self, rng):
+        # Central differences of a cubic carry an O(eps^2) truncation term
+        # (exactly eps^2 here), so a huge explicit eps with tiny explicit
+        # tolerances must fail where the dtype defaults would pass.
+        a = Tensor(rng.standard_normal(4) + 2.0, requires_grad=True)
+        with pytest.raises(AssertionError):
+            gradcheck(lambda: (a ** 3).sum(), [a], eps=1e-1, atol=1e-8,
+                      rtol=1e-10)

@@ -1,0 +1,264 @@
+"""Fused tape nodes: gradcheck and fused-vs-composed equivalence.
+
+Every fused kernel is gated twice, per the equivalence contract of
+``repro.tensor.fused``:
+
+- **gradcheck** under both dtype policies (analytic VJPs vs central
+  differences, tolerances chosen per dtype);
+- **equivalence** against the composed-op path: bitwise under ``float64``
+  (identical expression order), tolerance-bounded under ``float32``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell, GraphConv, LSTMCell, Linear
+from repro.tensor import (Tensor, SparsePattern, SparseTensor,
+                          affine_act_fused, dtype_policy, fused_kernels,
+                          gcn_propagate_fused, gradcheck, gru_cell_fused,
+                          lstm_cell_fused)
+
+#: relative tolerance documented for float32 fused-vs-composed agreement
+#: (see docs/performance.md) — rounding differs only through fp32 noise.
+FLOAT32_RTOL = 1e-4
+FLOAT32_ATOL = 1e-5
+
+POLICIES = ["float64", "float32"]
+
+
+def _t(rng, shape, scale=1.0):
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+def _grads(tensors):
+    return [None if t.grad is None else t.grad.copy() for t in tensors]
+
+
+def _compare(policy, fused_out, composed_out, fused_grads, composed_grads):
+    if policy == "float64":
+        np.testing.assert_array_equal(fused_out, composed_out)
+        for fg, cg in zip(fused_grads, composed_grads):
+            np.testing.assert_array_equal(fg, cg)
+    else:
+        np.testing.assert_allclose(fused_out, composed_out,
+                                   rtol=FLOAT32_RTOL, atol=FLOAT32_ATOL)
+        for fg, cg in zip(fused_grads, composed_grads):
+            np.testing.assert_allclose(fg, cg, rtol=FLOAT32_RTOL,
+                                       atol=FLOAT32_ATOL)
+
+
+def _run_both_paths(build_loss, leaves):
+    """Loss + grads with fusion on, then off, on the same leaves."""
+    results = []
+    for enabled in (True, False):
+        for leaf in leaves:
+            leaf.zero_grad()
+        with fused_kernels(enabled):
+            loss = build_loss()
+        loss.backward()
+        results.append((loss.data.copy(), _grads(leaves)))
+    return results
+
+
+class TestAffineActFused:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_gradcheck(self, rng, policy):
+        with dtype_policy(policy):
+            x = _t(rng, (3, 4))
+            w = _t(rng, (2, 4))
+            b = _t(rng, (2,))
+            gradcheck(lambda: affine_act_fused(x, w, b).sum(), [x, w, b])
+
+    @pytest.mark.parametrize("activation",
+                             ["identity", "relu", "tanh", "sigmoid",
+                              "leaky_relu"])
+    def test_gradcheck_activations(self, rng, activation):
+        x = _t(rng, (3, 4))
+        w = _t(rng, (2, 4))
+        # inputs shifted off 0 so relu/leaky_relu kinks don't break the
+        # finite-difference comparison
+        x.data += 0.05
+        gradcheck(lambda: affine_act_fused(x, w, activation=activation)
+                  .sum(), [x, w])
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_composed_linear(self, rng, policy):
+        with dtype_policy(policy):
+            layer = Linear(5, 3, rng=np.random.default_rng(0))
+            layer.astype(np.dtype(np.float64 if policy == "float64"
+                                  else np.float32))
+            x = _t(rng, (2, 7, 5))
+            leaves = [x, layer.weight, layer.bias]
+            (f_loss, f_grads), (c_loss, c_grads) = _run_both_paths(
+                lambda: (layer(x) * layer(x)).sum(), leaves)
+            _compare(policy, f_loss, c_loss, f_grads, c_grads)
+
+
+class TestLSTMCellFused:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_gradcheck(self, rng, policy):
+        with dtype_policy(policy):
+            H = 3
+            x = _t(rng, (2, 4))
+            h0 = _t(rng, (2, H))
+            c0 = _t(rng, (2, H))
+            w_ih = _t(rng, (4 * H, 4), scale=0.5)
+            w_hh = _t(rng, (4 * H, H), scale=0.5)
+            b = _t(rng, (4 * H,))
+
+            def loss():
+                h, c = lstm_cell_fused(x, h0, c0, w_ih, w_hh, b, H)
+                return (h * h).sum() + c.sum()
+
+            gradcheck(loss, [x, h0, c0, w_ih, w_hh, b])
+
+    def test_gradcheck_h_unused(self, rng):
+        """The c-node backward must tolerate the h node never receiving a
+        gradient (its stash stays ``None``)."""
+        H = 3
+        x = _t(rng, (2, 4))
+        h0 = _t(rng, (2, H))
+        c0 = _t(rng, (2, H))
+        w_ih = _t(rng, (4 * H, 4), scale=0.5)
+        w_hh = _t(rng, (4 * H, H), scale=0.5)
+        b = _t(rng, (4 * H,))
+
+        def loss():
+            _, c = lstm_cell_fused(x, h0, c0, w_ih, w_hh, b, H)
+            return c.sum()
+
+        gradcheck(loss, [x, h0, c0, w_ih, w_hh, b])
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_composed_cell(self, rng, policy):
+        with dtype_policy(policy):
+            cell = LSTMCell(4, 3, rng=np.random.default_rng(0))
+            cell.astype(np.dtype(np.float64 if policy == "float64"
+                                 else np.float32))
+            x = _t(rng, (5, 4))
+            h0, c0 = cell.initial_state(5)
+            leaves = [x] + list(cell.parameters())
+
+            def loss():
+                h, c = cell(x, (h0, c0))
+                h, c = cell(x, (h, c))     # two chained steps
+                return (h * c).sum()
+
+            (f_loss, f_grads), (c_loss, c_grads) = _run_both_paths(loss,
+                                                                   leaves)
+            _compare(policy, f_loss, c_loss, f_grads, c_grads)
+
+
+class TestGRUCellFused:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_gradcheck(self, rng, policy):
+        with dtype_policy(policy):
+            H = 3
+            x = _t(rng, (2, 4))
+            h0 = _t(rng, (2, H))
+            w_ih = _t(rng, (3 * H, 4), scale=0.5)
+            w_hh = _t(rng, (3 * H, H), scale=0.5)
+            b_ih = _t(rng, (3 * H,))
+            b_hh = _t(rng, (3 * H,))
+            gradcheck(lambda: (gru_cell_fused(x, h0, w_ih, w_hh, b_ih, b_hh,
+                                              H) ** 2).sum(),
+                      [x, h0, w_ih, w_hh, b_ih, b_hh])
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_composed_cell(self, rng, policy):
+        with dtype_policy(policy):
+            cell = GRUCell(4, 3, rng=np.random.default_rng(0))
+            cell.astype(np.dtype(np.float64 if policy == "float64"
+                                 else np.float32))
+            x = _t(rng, (5, 4))
+            h0 = cell.initial_state(5)
+            leaves = [x] + list(cell.parameters())
+
+            def loss():
+                h = cell(x, h0)
+                h = cell(x, h)
+                return (h * h).sum()
+
+            (f_loss, f_grads), (c_loss, c_grads) = _run_both_paths(loss,
+                                                                   leaves)
+            _compare(policy, f_loss, c_loss, f_grads, c_grads)
+
+
+class TestGCNPropagateFused:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_gradcheck_dense(self, rng, policy):
+        with dtype_policy(policy):
+            x = _t(rng, (4, 3))
+            adj = _t(rng, (4, 4))
+            w = _t(rng, (2, 3))
+            b = _t(rng, (2,))
+            gradcheck(lambda: gcn_propagate_fused(x, adj, w, b).sum(),
+                      [x, adj, w, b])
+
+    def test_gradcheck_sparse_values(self, rng):
+        mask = rng.random((5, 5)) < 0.5
+        np.fill_diagonal(mask, True)
+        pattern = SparsePattern.from_mask(mask)
+        values = Tensor(rng.standard_normal(pattern.nnz),
+                        requires_grad=True)
+        x = _t(rng, (5, 3))
+        w = _t(rng, (2, 3))
+        gradcheck(lambda: gcn_propagate_fused(
+            x, SparseTensor(pattern, values), w).sum(), [x, values, w])
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_composed_dense(self, rng, policy):
+        with dtype_policy(policy):
+            layer = GraphConv(3, 2, rng=np.random.default_rng(0))
+            layer.astype(np.dtype(np.float64 if policy == "float64"
+                                  else np.float32))
+            x = _t(rng, (2, 6, 3))          # batched features
+            adj = _t(rng, (2, 6, 6))        # batched adjacency, needs grad
+            leaves = [x, adj, layer.weight, layer.bias]
+            (f_loss, f_grads), (c_loss, c_grads) = _run_both_paths(
+                lambda: (layer(x, adj) ** 2).sum(), leaves)
+            _compare(policy, f_loss, c_loss, f_grads, c_grads)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_composed_sparse(self, rng, policy):
+        with dtype_policy(policy):
+            layer = GraphConv(3, 2, rng=np.random.default_rng(0))
+            layer.astype(np.dtype(np.float64 if policy == "float64"
+                                  else np.float32))
+            mask = rng.random((6, 6)) < 0.4
+            np.fill_diagonal(mask, True)
+            pattern = SparsePattern.from_mask(mask)
+            values = Tensor(rng.standard_normal(pattern.nnz),
+                            requires_grad=True)
+            x = _t(rng, (6, 3))
+            leaves = [x, values, layer.weight, layer.bias]
+            (f_loss, f_grads), (c_loss, c_grads) = _run_both_paths(
+                lambda: (layer(x, SparseTensor(pattern, values)) ** 2)
+                .sum(), leaves)
+            _compare(policy, f_loss, c_loss, f_grads, c_grads)
+
+
+class TestFusedSwitch:
+    def test_context_restores(self):
+        from repro.tensor import fused_enabled
+        assert fused_enabled()
+        with fused_kernels(False):
+            assert not fused_enabled()
+            with fused_kernels(True):
+                assert fused_enabled()
+            assert not fused_enabled()
+        assert fused_enabled()
+
+    def test_fused_shortens_tape(self, rng):
+        from repro.tensor import tape_node_count
+        cell = LSTMCell(4, 8, rng=np.random.default_rng(0))
+        x = _t(rng, (2, 4))
+
+        def nodes(enabled):
+            with fused_kernels(enabled):
+                before = tape_node_count()
+                h, c = cell(x, cell.initial_state(2))
+                (h * c).sum().backward()
+                return tape_node_count() - before
+
+        assert nodes(True) < nodes(False)
