@@ -19,7 +19,9 @@ profile
     Train briefly under the op profiler and print per-op / per-phase
     cost tables, writing a JSON report (see ``docs/observability.md``).
 serve
-    Serve trained checkpoints over HTTP with micro-batched inference
+    Serve trained checkpoints over HTTP — threaded micro-batched
+    inference or, with ``--mode cluster``, an asyncio front-end over
+    forked shared-memory workers with admission control and hot reload
     (see ``docs/serving.md``).
 query
     Query a running ``serve`` instance and print the JSON response.
@@ -37,7 +39,9 @@ the store already holds.
 Every field of :class:`repro.core.TrainConfig` is exposed as a flag on the
 training commands (``--learning-rate``, ``--weight-decay``, ...); the flag
 set is generated from the dataclass so new hyperparameters appear here
-automatically.
+automatically.  ``serve`` works the same way against
+:class:`repro.serve.ServeConfig` (``--mode``, ``--slo-p99-ms``,
+``--cluster-workers``, ...).
 
 The ``train`` command is fault-tolerant: ``--checkpoint-dir`` writes
 atomic, checksummed training checkpoints (optionally every N batches via
@@ -60,6 +64,8 @@ Examples
         --models "Rank_LSTM,RT-GCN (T)" --runs 3 --workers 4
     python -m repro.cli profile --market nasdaq-mini --model "RT-GCN (T)"
     python -m repro.cli serve --checkpoint-dir /tmp/ckpts --port 8151
+    python -m repro.cli serve --checkpoint-dir /tmp/ckpts --mode cluster \
+        --cluster-workers 2 --slo-p99-ms 50
     python -m repro.cli query --top-k 10 --port 8151
 """
 
@@ -76,6 +82,7 @@ import numpy as np
 from .baselines import (available_baselines, get_spec, make_predictor,
                         rtgcn_strategies)
 from .core import TrainConfig
+from .serve.config import ServeConfig
 from .data import MARKET_SPECS, available_markets, load_market
 from .eval import ranking_metrics, run_named_experiment
 
@@ -155,6 +162,81 @@ def _config_from_args(args: argparse.Namespace) -> TrainConfig:
     hand-copied subset."""
     return TrainConfig(**{spec.name: getattr(args, spec.name)
                           for spec in dataclasses.fields(TrainConfig)})
+
+
+#: serve flag spellings that differ from the mechanical --field-name form
+#: (the first spelling is the historical flag, kept working)
+_SERVE_FIELD_FLAGS = {
+    "batch_workers": ("--workers", "--batch-workers"),
+    "default_timeout": ("--timeout", "--default-timeout"),
+    "mode": ("--mode", "--serve-mode"),
+}
+
+#: argument type for Optional[...] ServeConfig fields
+_SERVE_OPTIONAL_TYPES = {
+    "model": str, "market": str, "seed": int, "memory_budget_mb": float,
+    "straggler_poll_ms": float, "idle_poll_ms": float,
+    "slo_p99_ms": float, "store": str,
+}
+
+_SERVE_FIELD_HELP = {
+    "checkpoint_dir": "directory of checkpoint archives to serve",
+    "model": "model name override for archives whose metadata does not "
+             "record it",
+    "market": "market override for archives whose metadata does not "
+              "record it",
+    "seed": "dataset regeneration seed override",
+    "memory_budget_mb": "LRU-evict loaded models past this many MB of "
+                        "parameters",
+    "host": "bind address",
+    "port": "bind port (0 = ephemeral)",
+    "mode": "serving topology: threaded | cluster (docs/serving.md)",
+    "cluster_workers": "forked inference workers (cluster mode)",
+    "crash_retries": "per-request worker respawn+retry budget",
+    "max_batch": "micro-batch size cap",
+    "max_wait_ms": "micro-batch coalescing window (0 = unbatched)",
+    "straggler_poll_ms": "in-window wait per extra request (default: "
+                         "max-wait/8)",
+    "idle_poll_ms": "idle worker stop-flag poll (shutdown latency only)",
+    "batch_workers": "batcher worker threads",
+    "default_timeout": "per-request deadline in seconds",
+    "max_queue": "cluster admission bound; overflow answers 429",
+    "retry_after_s": "Retry-After hint sent with 429/503",
+    "slo_p99_ms": "p99 latency budget; evaluated in telemetry and "
+                  "recorded in the store's slo table",
+    "watch_interval_s": "checkpoint-dir poll interval for hot reload "
+                        "(cluster mode)",
+    "store": "record serving telemetry + SLO row in this sqlite "
+             "experiment store on shutdown",
+}
+
+
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    """One flag per :class:`ServeConfig` field, generated mechanically."""
+    for spec in dataclasses.fields(ServeConfig):
+        flags = _SERVE_FIELD_FLAGS.get(
+            spec.name, ("--" + spec.name.replace("_", "-"),))
+        help_text = _SERVE_FIELD_HELP.get(spec.name, spec.name)
+        if spec.name == "checkpoint_dir":
+            parser.add_argument(*flags, dest=spec.name, required=True,
+                                help=help_text)
+        elif isinstance(spec.default, bool):
+            parser.add_argument(*flags, dest=spec.name,
+                                action=argparse.BooleanOptionalAction,
+                                default=spec.default, help=help_text)
+        else:
+            arg_type = (_SERVE_OPTIONAL_TYPES.get(spec.name)
+                        or type(spec.default))
+            parser.add_argument(*flags, dest=spec.name, type=arg_type,
+                                default=spec.default,
+                                help=f"{help_text} "
+                                     f"(default: {spec.default})")
+
+
+def _serve_config_from_args(args: argparse.Namespace) -> ServeConfig:
+    """Build a ServeConfig from the generated flags — every field."""
+    return ServeConfig(**{spec.name: getattr(args, spec.name)
+                          for spec in dataclasses.fields(ServeConfig)})
 
 
 def cmd_markets(_: argparse.Namespace) -> int:
@@ -388,47 +470,44 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve checkpoints over HTTP (see docs/serving.md)."""
-    from .serve import ModelRegistry, RankingHTTPServer, RankingService
+    """Serve checkpoints over HTTP (see docs/serving.md).
 
-    registry = ModelRegistry(
-        args.checkpoint_dir,
-        memory_budget_bytes=(args.memory_budget_mb * 1024 * 1024
-                             if args.memory_budget_mb else None),
-        model=args.model, market=args.market)
+    The whole stack comes from :func:`repro.serve.build` — threaded or
+    cluster per ``--mode`` — so this command contains zero construction
+    logic of its own.
+    """
+    from .serve import build
+
+    config = _serve_config_from_args(args)
+    handle = build(config)
+    registry = handle.service.registry
     available = registry.discover()
     if not available:
-        raise SystemExit(f"no checkpoints in {args.checkpoint_dir}; run "
+        handle.close()
+        raise SystemExit(f"no checkpoints in {config.checkpoint_dir}; run "
                          "`repro.cli train --checkpoint-dir ...` first")
-    service = RankingService(registry, max_batch=args.max_batch,
-                             max_wait_ms=args.max_wait_ms,
-                             workers=args.workers,
-                             default_timeout=args.timeout)
-    service.registry.warm([args.version] if args.version else None)
-    server = RankingHTTPServer((args.host, args.port), service)
-    host, port = server.server_address[:2]
+    if config.mode == "threaded":
+        registry.warm([args.version] if args.version else None)
+    handle.start()
+    host, port = handle.address
     print(f"serving {len(available)} checkpoint(s) from "
-          f"{args.checkpoint_dir} on http://{host}:{port}")
-    print(f"  loaded: {registry.loaded_versions()}")
-    print("  endpoints: /health /v1/models /v1/scores /v1/top_k "
-          "/v1/rank /v1/delta /v1/stats")
+          f"{config.checkpoint_dir} on http://{host}:{port} "
+          f"(mode: {config.mode})")
+    if config.mode == "cluster":
+        print(f"  workers: {config.cluster_workers} (shared-memory "
+              f"weights, hot reload every {config.watch_interval_s:g}s)")
+    else:
+        print(f"  loaded: {registry.loaded_versions()}")
+    print("  endpoints: /v1/health /v1/models /v1/scores /v1/top_k "
+          "/v1/rank /v1/delta /v1/stats /v1/reload")
     try:
-        server.serve_forever()
+        handle.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
-        server.shutdown()
-        server.server_close()
-        if args.store:
-            from .store import StoreSink
-            report = service.telemetry.report(
-                config={"checkpoint_dir": str(args.checkpoint_dir),
-                        "max_batch": args.max_batch,
-                        "max_wait_ms": args.max_wait_ms,
-                        "workers": args.workers})
-            StoreSink(args.store).write_report(report)
-            print(f"serving telemetry recorded in {args.store} "
-                  f"(report {report.run_id})")
+        handle.close()
+        if config.store:
+            print(f"serving telemetry + SLO recorded in {config.store}")
     return 0
 
 
@@ -448,8 +527,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         params["day"] = args.day
     path = {"scores": "/v1/scores", "rank": "/v1/rank",
             "delta": "/v1/delta", "stats": "/v1/stats",
-            "models": "/v1/models", "health": "/health"}.get(
-        args.endpoint, "/v1/top_k")
+            "models": "/v1/models", "health": "/v1/health",
+            "reload": "/v1/reload"}.get(args.endpoint, "/v1/top_k")
     url = f"http://{args.host}:{args.port}{path}"
     if params:
         url += "?" + urlencode(params)
@@ -619,41 +698,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="serve checkpoints over HTTP (docs/serving.md)")
-    serve.add_argument("--checkpoint-dir", required=True,
-                       help="directory of checkpoint archives to serve")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8151)
+    _add_serve_options(serve)
     serve.add_argument("--version", default=None,
                        help="checkpoint version to warm at boot "
                             "(default: best, else newest)")
-    serve.add_argument("--model", default=None,
-                       help="model name override for archives whose "
-                            "metadata does not record it")
-    serve.add_argument("--market", default=None,
-                       help="market override for archives whose metadata "
-                            "does not record it")
-    serve.add_argument("--max-batch", type=int, default=32,
-                       help="micro-batch size cap")
-    serve.add_argument("--max-wait-ms", type=float, default=5.0,
-                       help="micro-batch coalescing window (0 = "
-                            "unbatched)")
-    serve.add_argument("--workers", type=int, default=1,
-                       help="batcher worker threads")
-    serve.add_argument("--timeout", type=float, default=10.0,
-                       help="per-request deadline before falling back to "
-                            "the last served ranking")
-    serve.add_argument("--memory-budget-mb", type=int, default=None,
-                       help="LRU-evict loaded models past this many MB "
-                            "of parameters")
-    serve.add_argument("--store", default=None, metavar="DB",
-                       help="record the serving telemetry report in this "
-                            "sqlite experiment store on shutdown")
 
     query = sub.add_parser(
         "query", help="query a running `serve` instance, print JSON")
     query.add_argument("--endpoint", default="top_k",
                        choices=["top_k", "scores", "rank", "delta",
-                                "stats", "models", "health"],
+                                "stats", "models", "health", "reload"],
                        help="which API to call (default: top_k)")
     query.add_argument("--top-k", type=int, default=None, metavar="K",
                        help="k for the top_k endpoint")

@@ -20,14 +20,15 @@ parallel results bitwise-equal to serial — is documented in
 """
 
 from .pool import (ExperimentPool, ParallelUnavailableError,
-                   TaskFailedError, WorkerCrashError, fork_available,
-                   resolve_workers)
+                   TaskFailedError, WorkerCrashError, WorkerHandle,
+                   die_with_parent, fork_available, resolve_workers)
 from .sweep import RunSpec, SweepResult, run_experiments_parallel
 from .telemetry import PoolTelemetry
 
 __all__ = [
     "ExperimentPool", "PoolTelemetry",
     "ParallelUnavailableError", "TaskFailedError", "WorkerCrashError",
+    "WorkerHandle", "die_with_parent",
     "fork_available", "resolve_workers",
     "RunSpec", "SweepResult", "run_experiments_parallel",
 ]

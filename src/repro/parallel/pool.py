@@ -101,7 +101,7 @@ def resolve_workers(workers: Optional[int], n_tasks: int) -> int:
     return max(1, min(int(workers), max(n_tasks, 1)))
 
 
-def _die_with_parent() -> None:
+def die_with_parent() -> None:
     """Best effort: have the kernel kill this worker when its parent dies.
 
     Without it, SIGKILLing a pool's parent (which bypasses every Python
@@ -110,6 +110,10 @@ def _die_with_parent() -> None:
     file descriptors open the whole time.  ``PR_SET_PDEATHSIG`` is
     Linux-only, hence the broad except: elsewhere orphans still exit at
     their next pipe operation, just not instantly.
+
+    Shared worker-lifecycle machinery: called by the experiment pool's
+    forked workers *and* by the serving cluster's inference workers
+    (:mod:`repro.serve.cluster`).
     """
     try:
         import ctypes
@@ -122,6 +126,10 @@ def _die_with_parent() -> None:
         pass
 
 
+#: historical spelling, kept for forks of the pool internals
+_die_with_parent = die_with_parent
+
+
 def _worker_main(slot: int, task_conn, event_conn, task_fn: TaskFn) -> None:
     """Worker loop: recv task id, run it, send one event per task.
 
@@ -129,7 +137,7 @@ def _worker_main(slot: int, task_conn, event_conn, task_fn: TaskFn) -> None:
     ``("done", slot, task, payload, seconds)`` or
     ``("fail", slot, task, traceback_text, seconds)``.
     """
-    _die_with_parent()
+    die_with_parent()
     while True:
         try:
             task = task_conn.recv()
@@ -148,22 +156,49 @@ def _worker_main(slot: int, task_conn, event_conn, task_fn: TaskFn) -> None:
                              time.perf_counter() - started))
 
 
-class _WorkerHandle:
-    """Parent-side view of one worker slot: process + its two pipes."""
+class WorkerHandle:
+    """Parent-side view of one forked worker slot: process + two pipes.
 
-    def __init__(self, ctx, slot: int, task_fn: TaskFn):
+    Generic worker-lifecycle helper (PR 8 extracted it from the
+    experiment pool so the serving cluster can reuse the exact
+    PDEATHSIG/respawn-tested plumbing).  ``target`` runs in the forked
+    child as ``target(slot, task_conn, event_conn, *args)``; the parent
+    keeps the task-write and event-read ends.  Each worker owns its own
+    pipe pair, so a worker dying mid-write can only poison its own
+    channel, never a sibling's result stream.
+    """
+
+    def __init__(self, ctx, slot: int, target: Callable[..., None],
+                 args: Sequence[Any] = (),
+                 name_prefix: str = "repro-worker"):
         self.slot = slot
+        self.target = target
+        self.args = tuple(args)
+        self.name_prefix = name_prefix
         # duplex=False: (read end, write end).  Parent keeps task_w and
         # event_r; the child uses its fork-inherited task_r / event_w.
         task_r, self.task_w = ctx.Pipe(duplex=False)
         self.event_r, event_w = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
-            target=_worker_main, args=(slot, task_r, event_w, task_fn),
-            daemon=True, name=f"repro-parallel-{slot}")
+            target=target, args=(slot, task_r, event_w, *self.args),
+            daemon=True, name=f"{name_prefix}-{slot}")
         self.process.start()
+        # The child inherited its ends over fork; drop the parent's
+        # copies so a dead child turns into EOF instead of a hang.
+        task_r.close()
+        event_w.close()
         self.current: Any = None           # task id in flight, or None
         self.dispatched_at: float = 0.0
         self.broken = False                # event pipe poisoned mid-write
+
+    def respawn(self, ctx) -> "WorkerHandle":
+        """A fresh handle for the same slot (kill/join/close this one)."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+        self.close()
+        return type(self)(ctx, self.slot, self.target, self.args,
+                          self.name_prefix)
 
     def close(self) -> None:
         for conn in (self.task_w, self.event_r):
@@ -171,6 +206,22 @@ class _WorkerHandle:
                 conn.close()
             except OSError:                 # pragma: no cover
                 pass
+
+
+class _WorkerHandle(WorkerHandle):
+    """The experiment pool's worker slot: runs ``_worker_main(task_fn)``."""
+
+    def __init__(self, ctx, slot: int, task_fn: TaskFn):
+        self.task_fn = task_fn
+        super().__init__(ctx, slot, _worker_main, args=(task_fn,),
+                         name_prefix="repro-parallel")
+
+    def respawn(self, ctx) -> "_WorkerHandle":
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+        self.close()
+        return _WorkerHandle(ctx, self.slot, self.task_fn)
 
 
 class ExperimentPool:
@@ -348,12 +399,7 @@ class ExperimentPool:
 
     def _replace(self, handle: _WorkerHandle) -> None:
         """Respawn a dead worker in the same slot, fresh pipes and all."""
-        if handle.process.is_alive():       # pragma: no cover - paranoia
-            handle.process.kill()
-        handle.process.join()
-        handle.close()
-        self._handles[handle.slot] = _WorkerHandle(self._ctx, handle.slot,
-                                                   self.task_fn)
+        self._handles[handle.slot] = handle.respawn(self._ctx)
 
     def _shutdown(self, force: bool = False) -> None:
         """Stop every worker: sentinel when idle, terminate otherwise."""

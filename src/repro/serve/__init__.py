@@ -1,6 +1,19 @@
 """repro.serve — micro-batched inference serving for trained checkpoints.
 
-The serving stack, bottom to top:
+**Construction goes through one blessed path**::
+
+    from repro.serve import ServeConfig, build
+
+    with build(ServeConfig(checkpoint_dir="ckpts")) as handle:
+        handle.serve_forever()
+
+:class:`ServeConfig` holds every knob (listener, topology, batching,
+admission control, SLO, hot reload, persistence) and :func:`build`
+wires the whole stack from it.  Hand-constructing the individual layers
+still works but warns :class:`DeprecationWarning` once per class; see
+``docs/serving.md`` for the migration table.
+
+The stack, bottom to top:
 
 - :mod:`~repro.serve.registry` — :class:`ModelRegistry`: discover/verify
   checkpoint archives, reconstruct models via the unified ``state_dict``
@@ -11,30 +24,47 @@ The serving stack, bottom to top:
   concurrent requests into shared forwards;
 - :mod:`~repro.serve.service` — :class:`RankingService`: the
   scores/top-k/rank/delta facade with timeout fallback;
-- :mod:`~repro.serve.httpd` — stdlib JSON endpoint
-  (``repro.cli serve`` / ``repro.cli query`` wrap it);
+- :mod:`~repro.serve.httpd` — the versioned (``/v1/``) stdlib JSON
+  endpoint (``repro.cli serve`` / ``repro.cli query`` wrap it);
+- :mod:`~repro.serve.shm` — shared-memory weights with generation-tagged
+  hot swap (:class:`SharedWeightStore` / :class:`SharedWeightReader`);
+- :mod:`~repro.serve.cluster` — :class:`ServingCluster`: asyncio
+  front-end + forked zero-copy inference workers with admission control
+  and hot reload (``ServeConfig(mode="cluster")``);
 - :mod:`~repro.serve.telemetry` — :class:`ServingTelemetry`: latency
-  percentiles, batch-size histograms, schema-v1 reports.
+  percentiles, SLO evaluation, batch-size histograms, schema-v1 reports.
 
 See ``docs/serving.md`` for the train → checkpoint → serve → query
 lifecycle.
 """
 
+from ._deprecation import LEGACY
 from .batcher import BatcherClosedError, MicroBatcher
+from .cluster import ClusterError, ServingCluster
+from .config import SERVE_MODES, ServeConfig, ServeHandle, build
 from .engine import InferenceEngine
-from .httpd import RankingHTTPServer, serve_forever
+from .httpd import ApiError, RankingHTTPServer, serve_forever
 from .registry import (ModelRegistry, RegistryError, ServableModel,
                        build_servable, infer_rtgcn_architecture,
                        resolve_strategy)
 from .service import RankingService, ServiceTimeoutError
+from .shm import (SharedWeightReader, SharedWeightStore,
+                  ShmUnavailableError, shm_available)
 from .telemetry import ServingTelemetry
 
 __all__ = [
-    "ModelRegistry", "ServableModel", "RegistryError", "build_servable",
-    "infer_rtgcn_architecture", "resolve_strategy",
-    "InferenceEngine",
-    "MicroBatcher", "BatcherClosedError",
-    "RankingService", "ServiceTimeoutError",
+    # the blessed construction path
+    "ServeConfig", "ServeHandle", "build", "SERVE_MODES",
+    # cluster serving
+    "ServingCluster", "ClusterError",
+    "SharedWeightStore", "SharedWeightReader", "ShmUnavailableError",
+    "shm_available",
+    # errors / telemetry / helpers (not deprecated)
+    "ApiError", "ServiceTimeoutError", "RegistryError",
+    "BatcherClosedError", "ServingTelemetry", "ServableModel",
+    "build_servable", "infer_rtgcn_architecture", "resolve_strategy",
+    "LEGACY",
+    # deprecated construction shims (warn once; removed next release)
+    "ModelRegistry", "InferenceEngine", "MicroBatcher", "RankingService",
     "RankingHTTPServer", "serve_forever",
-    "ServingTelemetry",
 ]

@@ -27,7 +27,13 @@ from .telemetry import ServingTelemetry
 
 #: how long a worker blocks on an empty queue before re-checking the stop
 #: flag; bounds shutdown latency, invisible to request latency.
+#: Overridable per batcher via ``idle_poll_ms``.
 _IDLE_POLL_SECONDS = 0.05
+
+#: default straggler poll as a fraction of the batch window: each wait
+#: inside the window is ``max_wait / 8`` unless ``straggler_poll_ms``
+#: overrides it.
+_STRAGGLER_FRACTION = 8.0
 
 
 class _Request:
@@ -36,7 +42,7 @@ class _Request:
     def __init__(self, key: Hashable):
         self.key = key
         self.future: "Future[Any]" = Future()
-        self.enqueued_at = time.perf_counter()
+        self.enqueued_at = time.monotonic()
 
 
 class BatcherClosedError(RuntimeError):
@@ -59,15 +65,31 @@ class MicroBatcher:
         arrives.  ``0`` degenerates to batch-size-1 — one forward per
         request — which is exactly the baseline the load test compares
         against.
+    straggler_poll_ms:
+        How long each in-window wait for one more request lasts; the
+        first empty poll dispatches the batch early.  Default: an eighth
+        of the window.  Surfaced as ``ServeConfig.straggler_poll_ms``.
+    idle_poll_ms:
+        How long an idle worker blocks before re-checking the stop flag
+        (bounds shutdown latency only).
     workers:
         Worker thread count.  One worker strictly serializes forwards
         (usually right for a CPU-bound model); more overlap distinct keys.
+
+    All deadlines use the monotonic clock: a wall-clock (``time.time``)
+    deadline misfires when NTP steps the clock — a backward step would
+    stretch the batch window arbitrarily, a forward step would collapse
+    it to zero and defeat coalescing.
     """
 
     def __init__(self, compute: Callable[[Hashable], Any],
                  max_batch: int = 32, max_wait_ms: float = 5.0,
                  workers: int = 1,
-                 telemetry: Optional[ServingTelemetry] = None):
+                 telemetry: Optional[ServingTelemetry] = None,
+                 straggler_poll_ms: Optional[float] = None,
+                 idle_poll_ms: Optional[float] = None):
+        from ._deprecation import warn_legacy
+        warn_legacy("MicroBatcher")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if workers < 1:
@@ -75,6 +97,14 @@ class MicroBatcher:
         self._compute = compute
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
+        if straggler_poll_ms is not None and straggler_poll_ms <= 0:
+            raise ValueError(f"straggler_poll_ms must be > 0, got "
+                             f"{straggler_poll_ms}")
+        self.straggler_poll = (float(straggler_poll_ms) / 1000.0
+                               if straggler_poll_ms is not None
+                               else self.max_wait / _STRAGGLER_FRACTION)
+        self.idle_poll = (float(idle_poll_ms) / 1000.0
+                          if idle_poll_ms is not None else _IDLE_POLL_SECONDS)
         self.telemetry = telemetry
         self._queue: "queue.Queue[_Request]" = queue.Queue()
         self._stop = threading.Event()
@@ -105,9 +135,9 @@ class MicroBatcher:
         if self._stop.is_set():
             return
         self._stop.set()
-        deadline = time.perf_counter() + timeout
+        deadline = time.monotonic() + timeout
         for worker in self._workers:
-            worker.join(max(0.0, deadline - time.perf_counter()))
+            worker.join(max(0.0, deadline - time.monotonic()))
         # Anything still queued after the join deadline fails loudly
         # instead of hanging its caller forever.
         while True:
@@ -144,25 +174,24 @@ class MicroBatcher:
         """
         while True:
             try:
-                first = self._queue.get(timeout=_IDLE_POLL_SECONDS)
+                first = self._queue.get(timeout=self.idle_poll)
                 break
             except queue.Empty:
                 if self._stop.is_set():
                     return None
         batch = [first]
-        deadline = time.perf_counter() + self.max_wait
+        deadline = time.monotonic() + self.max_wait
         # Lingering the whole window when no more requests are in flight
         # would cap throughput at batch/window; instead each wait is a
         # short straggler poll, and the first empty poll dispatches the
         # batch early.  The full window still bounds worst-case latency.
-        straggler = self.max_wait / 8.0
         while len(batch) < self.max_batch:
-            remaining = deadline - time.perf_counter()
+            remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
             try:
                 batch.append(self._queue.get(
-                    timeout=min(remaining, straggler)))
+                    timeout=min(remaining, self.straggler_poll)))
             except queue.Empty:
                 break
         return batch

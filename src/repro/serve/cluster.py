@@ -1,0 +1,628 @@
+"""Multi-process serving cluster: asyncio front-end + forked workers.
+
+The threaded server (:mod:`repro.serve.httpd`) runs model forwards on
+the request threads of one process; past a handful of concurrent
+clients the GIL serializes them.  :class:`ServingCluster` splits the
+two roles:
+
+- **Front-end** — a single asyncio event loop accepts every connection
+  (thousands of idle keep-alive sockets cost one fd each, no threads),
+  parses HTTP/1.1, coalesces identical in-flight requests, and applies
+  *admission control*: a bounded dispatch queue, with overflow answered
+  immediately as ``429`` + ``Retry-After`` instead of queueing without
+  bound until every client times out.
+- **Workers** — ``cluster_workers`` forked inference processes, reusing
+  the PDEATHSIG/respawn plumbing of
+  :class:`repro.parallel.WorkerHandle`.  Weights live in **one** shared
+  memory copy (:mod:`repro.serve.shm`): the front-end publishes them,
+  every worker maps its model parameters onto the segment zero-copy.
+- **Hot swap** — a watcher polls the checkpoint directory
+  (:meth:`ModelRegistry.fingerprint`); when the promoted best changes,
+  the front-end publishes a new weight generation and flips the seqlock
+  control word.  Workers notice *between* requests: in-flight requests
+  finish on the old weights (the reader keeps the previous generation
+  mapped), no request is ever dropped, and post-swap scores are
+  bitwise-identical to a fresh engine on the new checkpoint.
+
+Construction goes through :func:`repro.serve.build` with
+``ServeConfig(mode="cluster")``; this class is not part of the
+deprecated legacy surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import multiprocessing
+import threading
+import time
+import warnings
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+import numpy as np
+
+from ..parallel.pool import WorkerHandle, die_with_parent, fork_available
+from ._deprecation import sanctioned
+from .httpd import (ApiError, classify_exception, deprecation_headers,
+                    error_payload, exception_response, parse_query,
+                    query_int, resolve_route)
+from .shm import SharedWeightReader, SharedWeightStore, adopt_views
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: ops the forked workers execute; everything else runs in the parent
+WORKER_OPS = ("scores", "top_k", "rank", "delta")
+
+
+class ClusterError(RuntimeError):
+    """The cluster could not start or lost all of its workers."""
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the forked child)
+# ----------------------------------------------------------------------
+def _worker_envelope(engine, reader: SharedWeightReader, slot: int,
+                     day: int, **payload: Any) -> Dict[str, Any]:
+    return {"version": engine.servable.version,
+            "model": engine.servable.model_name,
+            "market": engine.dataset.market,
+            "day": day, "stale": False,
+            "generation": reader.generation, "worker": slot, **payload}
+
+
+def _ranks_of(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(-values, kind="stable")
+    ranks = np.empty(len(values), dtype=int)
+    ranks[order] = np.arange(1, len(values) + 1)
+    return ranks
+
+
+def _worker_execute(engine, reader: SharedWeightReader, slot: int,
+                    op: str, query: Dict[str, str]) -> Dict[str, Any]:
+    """One ranking op against the worker's (shared-weight) engine.
+
+    Mirrors the :class:`RankingService` response envelopes field for
+    field (plus ``generation``/``worker``), so clients cannot tell which
+    serving topology answered — only the transport differs.
+    """
+    day = engine.resolve_day(query_int(query, "day"))
+    symbols = engine.dataset.universe.symbols
+    if op == "scores":
+        scores = engine.scores(day)
+        return _worker_envelope(engine, reader, slot, day, scores={
+            symbol: float(score)
+            for symbol, score in zip(symbols, scores)})
+    if op == "top_k":
+        k = query_int(query, "k")
+        k = 10 if k is None else k
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        scores = engine.scores(day)
+        k = min(int(k), len(symbols))
+        order = np.argsort(-scores, kind="stable")[:k]
+        return _worker_envelope(engine, reader, slot, day, k=k, top_k=[
+            {"rank": rank + 1, "symbol": symbols[i],
+             "score": float(scores[i])}
+            for rank, i in enumerate(order)])
+    if op == "rank":
+        scores = engine.scores(day)
+        ranks = _ranks_of(scores)
+        return _worker_envelope(engine, reader, slot, day, ranking=[
+            {"rank": int(ranks[i]), "symbol": symbols[i],
+             "score": float(scores[i])}
+            for i in np.argsort(-scores, kind="stable")])
+    if op == "delta":
+        prior = day - 1
+        if prior < engine.servable.window - 1:
+            raise ValueError(
+                f"day {day} has no prior servable day to diff against")
+        scores, prev_scores = engine.scores(day), engine.scores(prior)
+        today_ranks, prior_ranks = _ranks_of(scores), _ranks_of(prev_scores)
+        deltas = prior_ranks - today_ranks
+        return _worker_envelope(
+            engine, reader, slot, day, prior_day=prior, deltas=[
+                {"symbol": symbols[i], "rank": int(today_ranks[i]),
+                 "prior_rank": int(prior_ranks[i]),
+                 "delta": int(deltas[i]), "score": float(scores[i])}
+                for i in np.argsort(today_ranks, kind="stable")])
+    raise ApiError(404, "not_found", f"worker has no op {op!r}")
+
+
+def _cluster_worker_main(slot: int, task_conn, event_conn,
+                         servable, base_name: str) -> None:
+    """Forked inference worker: shared weights in, score payloads out.
+
+    ``servable`` arrives via fork inheritance (model skeleton + dataset,
+    copy-on-write); the parameter *storage* is immediately re-pointed at
+    the shared-memory segment, so the fork's weight copy is never
+    touched and N workers hold one physical set of weights.
+
+    Hot swap: the generation word is checked **between** requests; a
+    request already being computed finishes on the weights it started
+    with (the reader keeps the previous generation mapped one swap
+    back).  A failed adoption (e.g. an architecture-changing checkpoint)
+    is survived by continuing on the old weights.
+    """
+    die_with_parent()
+    from .engine import InferenceEngine
+
+    reader = SharedWeightReader(base_name)
+    reader.refresh()
+    adopt_views(servable.model, reader.views())
+    with sanctioned():
+        engine = InferenceEngine(servable)
+    while True:
+        try:
+            message = task_conn.recv()
+        except (EOFError, OSError):         # parent went away
+            break
+        if message is None:                 # graceful shutdown sentinel
+            break
+        req_id, op, query = message
+        try:
+            try:
+                if reader.refresh():
+                    adopt_views(servable.model, reader.views())
+            except Exception:
+                # keep serving the previous weights; the parent's swap
+                # machinery owns reporting/promotion correctness
+                pass
+            payload = _worker_execute(engine, reader, slot, op, query)
+            response = (req_id, "ok", payload)
+        except BaseException as exc:        # noqa: BLE001 — ship to parent
+            status, code, retry_after = classify_exception(exc)
+            response = (req_id, "err",
+                        {"status": status, "code": code,
+                         "retry_after": retry_after, "message": str(exc),
+                         "type": type(exc).__name__})
+        try:
+            event_conn.send(response)
+        except (BrokenPipeError, OSError):  # parent went away mid-reply
+            break
+    # Re-point the parameters at private copies before unmapping: numpy
+    # views still aliasing the segment keep its buffer exported, which
+    # makes the mmap close fail (and print) during interpreter teardown.
+    for param in servable.model.parameters():
+        param.data = np.array(param.data)
+    reader.close()
+
+
+class _WorkerDied(RuntimeError):
+    """The pipe roundtrip to a worker failed (crash / kill mid-request)."""
+
+
+# ----------------------------------------------------------------------
+# front-end (parent process)
+# ----------------------------------------------------------------------
+class ServingCluster:
+    """The serving cluster's parent-side controller.
+
+    Lifecycle: :meth:`start` forks the workers, publishes the weights,
+    and brings the asyncio front-end up on a background thread (returns
+    once the listener is bound — :attr:`address` is then real);
+    :meth:`serve_forever` blocks until :meth:`close`.  Built by
+    :func:`repro.serve.build`; ``service`` is the parent-side
+    :class:`RankingService` used for registry/metadata ops only — the
+    ranking path runs in the forked workers.
+    """
+
+    def __init__(self, config, service, telemetry):
+        if not fork_available():
+            raise ClusterError(
+                "cluster mode requires the 'fork' start method; use "
+                "ServeConfig(mode='threaded') on this platform")
+        self.config = config
+        self.service = service
+        self.telemetry = telemetry
+        self.address: Optional[Tuple[str, int]] = None
+        self.swaps = 0
+        self._ctx = multiprocessing.get_context("fork")
+        self._handles: list = []
+        self._shm_store: Optional[SharedWeightStore] = None
+        self._fingerprint = None
+        self._servable = None
+        self._req_ids = itertools.count()
+        self._started = False
+        self._closed = False
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingCluster":
+        if self._started:
+            return self
+        self._started = True
+        registry = self.service.registry
+        with sanctioned():
+            self._servable = registry.load(None)
+        self._fingerprint = registry.fingerprint(self._servable.version)
+        self._shm_store = SharedWeightStore()
+        self._shm_store.publish(self._servable.model.state_dict(),
+                                version=self._servable.version)
+        self._handles = [
+            WorkerHandle(self._ctx, slot, _cluster_worker_main,
+                         args=(self._servable, self._shm_store.base_name),
+                         name_prefix="repro-serve-cluster")
+            for slot in range(self.config.cluster_workers)]
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="repro-serve-cluster-loop",
+                                        daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            error = self._startup_error
+            self.close()
+            raise ClusterError(f"cluster front-end failed to start: "
+                               f"{error}") from error
+        if self.address is None:
+            self.close()
+            raise ClusterError("cluster front-end did not come up "
+                               "within 30s")
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`close` (or KeyboardInterrupt upstream)."""
+        self.start()
+        self._thread.join()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._stop_async is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_async.set)
+            except RuntimeError:            # loop already gone
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        for handle in self._handles:
+            try:
+                handle.task_w.send(None)
+            except (OSError, ValueError):
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():   # pragma: no cover - stuck
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            handle.close()
+        self._handles = []
+        if self._shm_store is not None:
+            self._shm_store.close(unlink=True)
+            self._shm_store = None
+
+    # ------------------------------------------------------------------
+    # asyncio core
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:        # pragma: no cover - defensive
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        self._queue: "asyncio.Queue" = asyncio.Queue(
+            maxsize=self.config.max_queue)
+        self._inflight: Dict[Any, asyncio.Future] = {}
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self.config.host,
+                self.config.port)
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.address = server.sockets[0].getsockname()[:2]
+        proxies = [asyncio.create_task(self._worker_proxy(slot))
+                   for slot in range(len(self._handles))]
+        watcher = asyncio.create_task(self._watch_checkpoints())
+        self._ready.set()
+        try:
+            await self._stop_async.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in (watcher, *proxies):
+                task.cancel()
+            await asyncio.gather(watcher, *proxies,
+                                 return_exceptions=True)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers = request
+                keep_alive = (headers.get("connection", "").lower()
+                              != "close")
+                status, extra, payload = await self._dispatch(method,
+                                                              target)
+                writer.write(self._render(status, extra, payload,
+                                          keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        """Parse one HTTP/1.1 request head; None on clean EOF."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ConnectionError("malformed request line")
+        method, target = parts[0], parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length:                           # drain; params ride the query
+            await reader.readexactly(length)
+        return method, target, headers
+
+    @staticmethod
+    def _render(status: int, extra: Dict[str, str],
+                payload: Dict[str, Any], keep_alive: bool) -> bytes:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(body)}",
+                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+        lines += [f"{name}: {value}" for name, value in extra.items()]
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + body
+
+    # ------------------------------------------------------------------
+    # routing / dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, target: str
+                        ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        parsed = urlparse(target)
+        query = parse_query(parsed.query)
+        op, canonical, deprecated = resolve_route(parsed.path)
+        extra: Dict[str, str] = {}
+        try:
+            if op is None:
+                raise ApiError(404, "not_found",
+                               f"no route for {parsed.path!r}")
+            if op in WORKER_OPS:
+                payload = await self._dispatch_worker(op, query)
+            else:
+                payload = await self._dispatch_parent(op, query)
+            status = 200
+        except Exception as exc:  # noqa: BLE001 — uniform JSON envelope
+            status, extra, payload = exception_response(exc)
+        if deprecated:
+            extra.update(deprecation_headers(canonical))
+        return status, extra, payload
+
+    async def _dispatch_parent(self, op: str, query: Dict[str, str]
+                               ) -> Dict[str, Any]:
+        """Registry/metadata ops answered in the front-end process."""
+        loop = asyncio.get_running_loop()
+        if op == "health":
+            alive = sum(1 for h in self._handles if h.process.is_alive())
+            return {"status": "ok" if alive else "degraded",
+                    "mode": "cluster", "workers": len(self._handles),
+                    "alive": alive,
+                    "generation": self._shm_store.current_generation(),
+                    "version": self._servable.version}
+        if op == "models":
+            registry = self.service.registry
+            return await loop.run_in_executor(None, lambda: {
+                "directory": str(registry.directory),
+                "loaded": registry.loaded_versions(),
+                "models": [registry.describe(v)
+                           for v in registry.discover()]})
+        if op == "stats":
+            snap = self.telemetry.snapshot()
+            snap["registry"] = self.service.registry.stats()
+            snap["cluster"] = {
+                "workers": len(self._handles),
+                "alive": sum(1 for h in self._handles
+                             if h.process.is_alive()),
+                "queue_depth": self._queue.qsize(),
+                "max_queue": self.config.max_queue,
+                "generation": self._shm_store.current_generation(),
+                "swaps": self.swaps,
+            }
+            return snap
+        if op == "reload":
+            generation = await self._maybe_swap(force=True)
+            return {"reloaded": generation is not None,
+                    "generation": self._shm_store.current_generation(),
+                    "version": self._servable.version}
+        raise ApiError(404, "not_found", f"no route for op {op!r}")
+
+    async def _dispatch_worker(self, op: str, query: Dict[str, str]
+                               ) -> Dict[str, Any]:
+        """Admit one ranking request to the worker queue (or shed it)."""
+        start = time.perf_counter()
+        if not any(h.process.is_alive() for h in self._handles):
+            self.telemetry.record_error(op)
+            raise ApiError(503, "unavailable", "no inference workers "
+                           "alive", retry_after=self.config.retry_after_s)
+        key = (op, tuple(sorted(query.items())))
+        shared = self._inflight.get(key)
+        if shared is None:
+            future: "asyncio.Future" = asyncio.get_running_loop() \
+                .create_future()
+            self._inflight[key] = future
+            future.add_done_callback(
+                lambda _f, _k=key: self._inflight.pop(_k, None))
+            try:
+                self._queue.put_nowait((key[0], query, future, 0))
+            except asyncio.QueueFull:
+                self._inflight.pop(key, None)
+                self.telemetry.record_shed(op)
+                raise ApiError(
+                    429, "overloaded",
+                    f"dispatch queue full ({self.config.max_queue} "
+                    "requests waiting); retry later",
+                    retry_after=self.config.retry_after_s) from None
+        else:
+            future = shared
+        depth = self._queue.qsize()
+        try:
+            payload = await asyncio.wait_for(
+                asyncio.shield(future), timeout=self.config.default_timeout)
+        except asyncio.TimeoutError:
+            self.telemetry.record_error(op)
+            raise ApiError(503, "timeout",
+                           f"request missed its "
+                           f"{self.config.default_timeout:g}s deadline",
+                           retry_after=self.config.retry_after_s) from None
+        except ApiError:
+            self.telemetry.record_error(op)
+            raise
+        self.telemetry.record_request(op, time.perf_counter() - start,
+                                      queue_depth=depth)
+        return payload
+
+    async def _worker_proxy(self, slot: int) -> None:
+        """One task per worker: pull from the queue, roundtrip the pipe.
+
+        A crashed worker (EOF mid-roundtrip) is respawned into the same
+        slot and the request retried up to ``crash_retries`` times; the
+        retries ride the front of the queue so a crash cannot reorder a
+        request behind the whole backlog.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            op, query, future, attempts = await self._queue.get()
+            if future.done():               # waiter(s) already timed out
+                continue
+            handle = self._handles[slot]
+            try:
+                result = await loop.run_in_executor(
+                    None, self._roundtrip, handle, op, query)
+            except _WorkerDied as exc:
+                await loop.run_in_executor(None, self._respawn, slot)
+                if attempts < self.config.crash_retries:
+                    try:
+                        self._queue.put_nowait((op, query, future,
+                                                attempts + 1))
+                    except asyncio.QueueFull:
+                        if not future.done():
+                            future.set_exception(ApiError(
+                                503, "unavailable",
+                                "worker crashed and the retry queue is "
+                                "full",
+                                retry_after=self.config.retry_after_s))
+                elif not future.done():
+                    future.set_exception(ApiError(
+                        503, "unavailable",
+                        f"request crashed its worker on all "
+                        f"{attempts + 1} attempt(s): {exc}",
+                        retry_after=self.config.retry_after_s))
+                continue
+            except Exception as exc:        # noqa: BLE001
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            kind, body = result
+            if future.done():
+                continue
+            if kind == "ok":
+                future.set_result(body)
+            else:
+                error = ApiError(body["status"], body["code"],
+                                 body["message"],
+                                 retry_after=body.get("retry_after"))
+                error.type_name = body.get("type")  # original class name
+                future.set_exception(error)
+
+    def _roundtrip(self, handle: WorkerHandle, op: str,
+                   query: Dict[str, str]) -> Tuple[str, Dict[str, Any]]:
+        """Blocking pipe send/recv (runs on an executor thread)."""
+        req_id = next(self._req_ids)
+        try:
+            handle.task_w.send((req_id, op, query))
+            while True:
+                event = handle.event_r.recv()
+                if event[0] == req_id:
+                    return event[1], event[2]
+                # stale reply from a request whose waiters gave up
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise _WorkerDied(
+                f"worker {handle.slot} died mid-request "
+                f"(exit code {handle.process.exitcode})") from exc
+
+    def _respawn(self, slot: int) -> None:
+        handle = self._handles[slot]
+        warnings.warn(f"repro.serve.cluster: respawning crashed worker "
+                      f"{slot}", RuntimeWarning, stacklevel=2)
+        self._handles[slot] = handle.respawn(self._ctx)
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    async def _watch_checkpoints(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.watch_interval_s)
+            try:
+                await self._maybe_swap()
+            except Exception as exc:        # noqa: BLE001 — keep serving
+                warnings.warn(f"repro.serve.cluster: hot-swap check "
+                              f"failed: {exc}", RuntimeWarning,
+                              stacklevel=2)
+
+    async def _maybe_swap(self, force: bool = False) -> Optional[int]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._swap_sync, force)
+
+    def _swap_sync(self, force: bool) -> Optional[int]:
+        """Publish a new weight generation if the best checkpoint moved.
+
+        Runs on an executor thread (archive load + checksum are slow);
+        publishing itself is atomic from the workers' point of view —
+        the new segment is fully written before the control word flips.
+        """
+        registry = self.service.registry
+        fingerprint = registry.fingerprint()
+        if fingerprint is None:
+            return None
+        if fingerprint == self._fingerprint and not force:
+            return None
+        version = fingerprint[0]
+        with sanctioned():
+            self.service.reload()           # parent-side engine caches
+            registry.evict(version)         # force a fresh archive read
+            servable = registry.load(version)
+        published = self._shm_store.publish(servable.model.state_dict(),
+                                            version=version)
+        self._servable = servable
+        self._fingerprint = fingerprint
+        self.swaps += 1
+        return published.generation

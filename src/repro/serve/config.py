@@ -1,0 +1,272 @@
+"""ServeConfig + :func:`build` — the one blessed way to stand up serving.
+
+Historically each layer of :mod:`repro.serve` was constructed by hand:
+a :class:`~repro.serve.registry.ModelRegistry`, then a
+:class:`~repro.serve.service.RankingService` around it, then a
+:class:`~repro.serve.httpd.RankingHTTPServer` around that — three
+constructors whose defaults had to be kept in sync by every caller
+(the CLI, the benchmarks, the tests).  This module collapses them into
+one field-driven dataclass and one factory, mirroring how
+``TrainConfig`` drives training::
+
+    from repro.serve import ServeConfig, build
+
+    handle = build(ServeConfig(checkpoint_dir="ckpts", port=0))
+    with handle:
+        handle.serve_forever()        # or poke handle.service directly
+
+Direct construction of the individual classes still works but emits a
+:class:`DeprecationWarning` (once per process per class); the shims are
+kept for one release.  ``docs/serving.md`` documents the migration.
+
+``mode="threaded"`` is the in-process server of PR 4 (thread pool +
+micro-batcher).  ``mode="cluster"`` is the multi-process asyncio
+front-end of :mod:`repro.serve.cluster`: forked inference workers
+reading weights from shared memory, admission control, and hot reload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ._deprecation import sanctioned
+
+#: serving modes :func:`build` understands
+SERVE_MODES = ("threaded", "cluster")
+
+
+@dataclass
+class ServeConfig:
+    """Everything needed to stand up a ranking server, in one place.
+
+    Field groups, top to bottom: where the models live, where to listen,
+    which serving topology, model resolution defaults, micro-batching
+    knobs, request admission / SLO policy, hot-reload policy, and
+    result persistence.  ``repro.cli serve`` derives one ``--flag`` per
+    field, so the CLI surface can never drift from this dataclass.
+    """
+
+    # model source
+    checkpoint_dir: str = ""
+    model: Optional[str] = None          # override unrecorded model names
+    market: Optional[str] = None         # override unrecorded markets
+    seed: Optional[int] = None
+    memory_budget_mb: Optional[float] = None
+
+    # listener
+    host: str = "127.0.0.1"
+    port: int = 8151                     # 0 = ephemeral (tests/benchmarks)
+
+    # topology
+    mode: str = "threaded"               # "threaded" | "cluster"
+    cluster_workers: int = 2             # forked workers (cluster mode)
+    crash_retries: int = 1               # per-request respawn+retry budget
+
+    # micro-batching (threaded mode; cluster coalesces in the front-end)
+    max_batch: int = 32
+    max_wait_ms: float = 5.0
+    straggler_poll_ms: Optional[float] = None   # default: max_wait/8
+    idle_poll_ms: Optional[float] = None
+    batch_workers: int = 1
+
+    # admission / deadlines / SLO
+    default_timeout: float = 10.0
+    max_queue: int = 256                 # cluster admission bound
+    retry_after_s: float = 0.25          # hint sent with 429/503
+    slo_p99_ms: Optional[float] = None   # p99 latency budget (telemetry)
+
+    # hot reload (cluster mode watches; threaded mode reloads on demand)
+    watch_interval_s: float = 2.0
+
+    # persistence
+    store: Optional[str] = None          # sqlite path for SLO/telemetry
+
+    def __post_init__(self) -> None:
+        if self.mode not in SERVE_MODES:
+            raise ValueError(f"mode must be one of {SERVE_MODES}, "
+                             f"got {self.mode!r}")
+        if not self.checkpoint_dir:
+            raise ValueError("checkpoint_dir is required (a directory of "
+                             "repro.ckpt archives)")
+        if self.cluster_workers < 1:
+            raise ValueError(f"cluster_workers must be >= 1, got "
+                             f"{self.cluster_workers}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got "
+                             f"{self.max_queue}")
+        if self.crash_retries < 0:
+            raise ValueError(f"crash_retries must be >= 0, got "
+                             f"{self.crash_retries}")
+        if self.watch_interval_s <= 0:
+            raise ValueError(f"watch_interval_s must be > 0, got "
+                             f"{self.watch_interval_s}")
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_budget_bytes(self) -> Optional[int]:
+        if self.memory_budget_mb is None:
+            return None
+        return int(self.memory_budget_mb * 1024 * 1024)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ServeConfig":
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - names)
+        if unknown:
+            raise ValueError(f"unknown ServeConfig fields: {unknown}")
+        return cls(**payload)
+
+
+class ServeHandle:
+    """What :func:`build` returns: the running stack plus lifecycle.
+
+    - ``handle.service`` — the :class:`RankingService` (threaded mode;
+      in cluster mode this is the *parent-side* service the registry
+      ops run against, not the inference path).
+    - ``handle.server`` — the threaded HTTP server, or ``None`` before
+      :meth:`serve_forever` in cluster mode.
+    - ``handle.cluster`` — the :class:`~repro.serve.cluster.ServingCluster`
+      (cluster mode only).
+    - ``handle.telemetry`` — the shared :class:`ServingTelemetry`.
+
+    Closing the handle drains the batcher/workers and, when the config
+    names a ``store``, records the final telemetry report and SLO row.
+    """
+
+    def __init__(self, config: ServeConfig, service, telemetry,
+                 server=None, cluster=None):
+        self.config = config
+        self.service = service
+        self.telemetry = telemetry
+        self.server = server
+        self.cluster = cluster
+        self._server_thread = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves port 0 to the real one."""
+        if self.cluster is not None and self.cluster.address is not None:
+            return self.cluster.address
+        if self.server is not None:
+            return self.server.server_address[:2]
+        return (self.config.host, self.config.port)
+
+    def start(self) -> "ServeHandle":
+        """Begin serving without blocking; :attr:`address` is then live.
+
+        Cluster mode forks the workers and brings the asyncio front-end
+        up; threaded mode spins the HTTP server on a daemon thread.
+        Idempotent.  Tests and benchmarks use this; production entry
+        points call :meth:`serve_forever`.
+        """
+        if self.cluster is not None:
+            self.cluster.start()
+        elif self._server_thread is None:
+            import threading
+
+            self._server_thread = threading.Thread(
+                target=self.server.serve_forever,
+                name="repro-serve-httpd", daemon=True)
+            self._server_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block serving requests until interrupted; then clean up."""
+        try:
+            if self.cluster is not None:
+                self.cluster.serve_forever()
+            elif self._server_thread is not None:
+                self._server_thread.join()
+            else:
+                self.server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop serving, drain workers, persist final telemetry."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self.cluster is not None:
+                self.cluster.close()
+            if self.server is not None:
+                # shutdown() blocks on serve_forever's acknowledgement,
+                # which never comes if the loop was never entered — only
+                # signal a server that actually started.
+                if self._server_thread is not None:
+                    self.server.shutdown()
+                self.server.server_close()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=5.0)
+                self._server_thread = None
+            self.service.close()
+        finally:
+            # A second Ctrl-C can interrupt the teardown above; the
+            # telemetry report and SLO row must still land in the store.
+            self._persist()
+
+    def _persist(self) -> None:
+        if not self.config.store:
+            return
+        from ..store import ExperimentStore
+
+        report = self.telemetry.report(
+            config={"serve_config": self.config.to_dict()})
+        with ExperimentStore(self.config.store) as store:
+            store.record_report(report)
+            store.record_slo(self.telemetry.snapshot(),
+                             source=f"serve-{self.config.mode}",
+                             report_id=report.run_id)
+
+    def __enter__(self) -> "ServeHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def build(config: ServeConfig) -> ServeHandle:
+    """Construct the full serving stack from one :class:`ServeConfig`.
+
+    The only non-deprecated construction path: registry, service,
+    batcher, telemetry, and (per ``config.mode``) the threaded HTTP
+    server or the multi-process cluster all come from here, already
+    wired together.  The returned :class:`ServeHandle` owns their
+    lifecycle.
+    """
+    from .registry import ModelRegistry
+    from .service import RankingService
+    from .telemetry import ServingTelemetry
+
+    telemetry = ServingTelemetry(slo_p99_ms=config.slo_p99_ms)
+    with sanctioned():
+        registry = ModelRegistry(
+            config.checkpoint_dir,
+            memory_budget_bytes=config.memory_budget_bytes,
+            model=config.model, market=config.market, seed=config.seed)
+        service = RankingService(
+            registry, max_batch=config.max_batch,
+            max_wait_ms=config.max_wait_ms, workers=config.batch_workers,
+            default_timeout=config.default_timeout, telemetry=telemetry,
+            straggler_poll_ms=config.straggler_poll_ms,
+            idle_poll_ms=config.idle_poll_ms)
+        if config.mode == "cluster":
+            from .cluster import ServingCluster
+
+            cluster = ServingCluster(config, service=service,
+                                     telemetry=telemetry)
+            return ServeHandle(config, service, telemetry, cluster=cluster)
+        from .httpd import RankingHTTPServer
+
+        server = RankingHTTPServer((config.host, config.port), service)
+    return ServeHandle(config, service, telemetry, server=server)

@@ -1,22 +1,37 @@
 """Stdlib JSON/HTTP front-end for the :class:`RankingService`.
 
 One :class:`~http.server.ThreadingHTTPServer` (no third-party web
-framework — the whole repo is stdlib+NumPy) exposing:
+framework — the whole repo is stdlib+NumPy) exposing the **versioned**
+API surface:
 
-====================  ====================================================
-``GET /health``        liveness + loaded versions
-``GET /v1/models``     available / loaded versions with metadata
-``GET /v1/scores``     raw per-symbol scores
-``GET /v1/top_k``      the k best-ranked symbols (``?k=10``)
-``GET /v1/rank``       the full ranked universe
-``GET /v1/delta``      day-over-day rank movement
-``GET /v1/stats``      serving telemetry snapshot
-====================  ====================================================
+=======================  =================================================
+``GET /v1/health``        liveness + loaded versions
+``GET /v1/models``        available / loaded versions with metadata
+``GET /v1/scores``        raw per-symbol scores
+``GET /v1/top_k``         the k best-ranked symbols (``?k=10``)
+``GET /v1/rank``          the full ranked universe
+``GET /v1/delta``         day-over-day rank movement
+``GET /v1/stats``         serving telemetry snapshot
+``POST /v1/reload``       re-discover checkpoints, drop cached engines
+=======================  =================================================
 
 Ranking endpoints accept ``?version=<ckpt>&day=<int>`` (defaults: the
-registry's best version, the latest servable day).  Errors come back as
-``{"error": {"type", "message"}}`` with a meaningful status code, so a
-misaddressed query never manifests as an opaque 500.
+registry's best version, the latest servable day).  The unversioned
+spellings (``/health``, ``/scores``, ...) still answer for one release,
+but carry ``Deprecation: true`` and a ``Link: </v1/...>;
+rel="successor-version"`` header pointing at the canonical path.
+
+Errors come back as a uniform envelope —
+``{"error": {"code", "message", "retry_after"}}`` — with a meaningful
+status code, so a misaddressed query never manifests as an opaque 500.
+``retry_after`` is non-null exactly when retrying helps (load shed,
+timeout) and mirrors the ``Retry-After`` response header.
+
+This module also hosts the transport-agnostic pieces the asyncio
+cluster front-end (:mod:`repro.serve.cluster`) reuses: route resolution
+(:func:`resolve_route`), exception→status mapping
+(:func:`classify_exception`), and envelope rendering
+(:func:`error_payload`).
 """
 
 from __future__ import annotations
@@ -29,6 +44,143 @@ from urllib.parse import parse_qs, urlparse
 from .registry import RegistryError
 from .service import RankingService, ServiceTimeoutError
 
+#: canonical API ops, keyed by their ``/v1/`` path segment.
+API_OPS = ("health", "models", "scores", "top_k", "rank", "delta",
+           "stats", "reload")
+
+#: ops that mutate server state and therefore want POST (GET still
+#: answers for operator convenience — reload is idempotent).
+MUTATING_OPS = ("reload",)
+
+
+class ApiError(Exception):
+    """An error with a wire-level identity: status, code, retry hint."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.code = str(code)
+        self.retry_after = retry_after
+        #: original exception class for the legacy ``type`` field (the
+        #: cluster reconstructs worker-side errors as ApiError)
+        self.type_name: Optional[str] = None
+
+
+def resolve_route(path: str) -> Tuple[Optional[str], str, bool]:
+    """``(op, canonical_path, deprecated)`` for a request path.
+
+    ``op`` is ``None`` for unknown paths.  ``deprecated`` is True when
+    the client used an unversioned spelling; the transport should attach
+    :func:`deprecation_headers` to the response.
+    """
+    if path.startswith("/v1/"):
+        op = path[len("/v1/"):].strip("/")
+        return (op if op in API_OPS else None), path, False
+    op = path.strip("/")
+    if op in API_OPS:
+        return op, f"/v1/{op}", True
+    return None, path, False
+
+
+def deprecation_headers(canonical_path: str) -> Dict[str, str]:
+    """Headers an unversioned-alias response must carry."""
+    return {"Deprecation": "true",
+            "Link": f'<{canonical_path}>; rel="successor-version"'}
+
+
+def error_payload(code: str, message: str,
+                  retry_after: Optional[float] = None,
+                  type_name: Optional[str] = None) -> Dict[str, Any]:
+    """The uniform JSON error envelope.
+
+    ``type`` is a legacy field (pre-/v1/ clients matched on exception
+    class names); new clients switch on the stable ``code``.
+    """
+    envelope: Dict[str, Any] = {"code": code, "message": message,
+                                "retry_after": retry_after}
+    if type_name is not None:
+        envelope["type"] = type_name
+    return {"error": envelope}
+
+
+def classify_exception(exc: BaseException
+                       ) -> Tuple[int, str, Optional[float]]:
+    """``(status, code, retry_after)`` for an exception from the service."""
+    if isinstance(exc, ApiError):
+        return exc.status, exc.code, exc.retry_after
+    if isinstance(exc, ServiceTimeoutError):
+        return 503, "timeout", 1.0
+    if isinstance(exc, (RegistryError, FileNotFoundError)):
+        return 404, "not_found", None
+    if isinstance(exc, ValueError):
+        return 400, "bad_request", None
+    return 500, "internal", None
+
+
+def exception_response(exc: BaseException
+                       ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+    """``(status, extra_headers, payload)`` for an exception."""
+    status, code, retry_after = classify_exception(exc)
+    headers = {}
+    if retry_after is not None:
+        headers["Retry-After"] = f"{retry_after:g}"
+    type_name = getattr(exc, "type_name", None) or type(exc).__name__
+    return status, headers, error_payload(code, str(exc), retry_after,
+                                          type_name=type_name)
+
+
+def parse_query(query_string: str) -> Dict[str, str]:
+    return {key: values[-1]
+            for key, values in parse_qs(query_string).items()}
+
+
+def query_int(query: Dict[str, str], name: str) -> Optional[int]:
+    raw = query.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be an integer, "
+                         f"got {raw!r}") from None
+
+
+def execute(service: RankingService, op: str,
+            query: Dict[str, str]) -> Dict[str, Any]:
+    """Run one canonical op against a :class:`RankingService`.
+
+    Shared by the threaded server below; the cluster front-end executes
+    ranking ops in its worker processes instead but delegates the
+    registry-only ops here via its parent-side service.
+    """
+    version = query.get("version")
+    day = query_int(query, "day")
+    if op == "health":
+        return {"status": "ok",
+                "loaded": service.registry.loaded_versions()}
+    if op == "models":
+        registry = service.registry
+        return {"directory": str(registry.directory),
+                "loaded": registry.loaded_versions(),
+                "models": [registry.describe(v)
+                           for v in registry.discover()]}
+    if op == "scores":
+        return service.predict_scores(version=version, day=day)
+    if op == "top_k":
+        k = query_int(query, "k")
+        return service.top_k(k=10 if k is None else k,
+                             version=version, day=day)
+    if op == "rank":
+        return service.rank_universe(version=version, day=day)
+    if op == "delta":
+        return service.rank_delta(version=version, day=day)
+    if op == "stats":
+        return service.stats()
+    if op == "reload":
+        return service.reload(version=version)
+    raise ApiError(404, "not_found", f"no route for op {op!r}")
+
 
 def _json_bytes(payload: Dict[str, Any]) -> bytes:
     return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
@@ -40,6 +192,8 @@ class RankingHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], service: RankingService):
+        from ._deprecation import warn_legacy
+        warn_legacy("RankingHTTPServer")
         super().__init__(address, _RankingHandler)
         self.service = service
 
@@ -57,76 +211,47 @@ class _RankingHandler(BaseHTTPRequestHandler):
         pass
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._respond()
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        # POST bodies are ignored (all parameters ride the query string);
+        # drain it so keep-alive framing stays intact.
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+        self._respond()
+
+    def _respond(self) -> None:
         parsed = urlparse(self.path)
-        query = {key: values[-1]
-                 for key, values in parse_qs(parsed.query).items()}
+        query = parse_query(parsed.query)
+        op, canonical, deprecated = resolve_route(parsed.path)
+        extra_headers: Dict[str, str] = {}
         try:
-            status, payload = self._route(parsed.path, query)
-        except (RegistryError, FileNotFoundError) as exc:
-            status, payload = 404, _error(exc)
-        except ServiceTimeoutError as exc:
-            status, payload = 503, _error(exc)
-        except ValueError as exc:
-            status, payload = 400, _error(exc)
+            if op is None:
+                raise ApiError(404, "not_found",
+                               f"no route for {parsed.path!r}")
+            status, payload = 200, execute(self.server.service, op, query)
         except Exception as exc:  # noqa: BLE001 — JSON instead of stack dump
-            status, payload = 500, _error(exc)
+            status, extra_headers, payload = exception_response(exc)
+        if deprecated:
+            extra_headers.update(deprecation_headers(canonical))
         body = _json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-
-    # ------------------------------------------------------------------
-    def _route(self, path: str, query: Dict[str, str]
-               ) -> Tuple[int, Dict[str, Any]]:
-        service = self.server.service
-        version = query.get("version")
-        day = _int_or_none(query.get("day"), "day")
-        if path == "/health":
-            return 200, {"status": "ok",
-                         "loaded": service.registry.loaded_versions()}
-        if path == "/v1/models":
-            registry = service.registry
-            return 200, {
-                "directory": str(registry.directory),
-                "loaded": registry.loaded_versions(),
-                "models": [registry.describe(v)
-                           for v in registry.discover()]}
-        if path == "/v1/scores":
-            return 200, service.predict_scores(version=version, day=day)
-        if path == "/v1/top_k":
-            k = _int_or_none(query.get("k"), "k")
-            return 200, service.top_k(k=10 if k is None else k,
-                                      version=version, day=day)
-        if path == "/v1/rank":
-            return 200, service.rank_universe(version=version, day=day)
-        if path == "/v1/delta":
-            return 200, service.rank_delta(version=version, day=day)
-        if path == "/v1/stats":
-            return 200, service.stats()
-        return 404, {"error": {"type": "NotFound",
-                               "message": f"no route for {path!r}"}}
-
-
-def _int_or_none(raw: Optional[str], name: str) -> Optional[int]:
-    if raw is None:
-        return None
-    try:
-        return int(raw)
-    except ValueError:
-        raise ValueError(f"query parameter {name!r} must be an integer, "
-                         f"got {raw!r}") from None
-
-
-def _error(exc: BaseException) -> Dict[str, Any]:
-    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
 
 
 def serve_forever(service: RankingService, host: str = "127.0.0.1",
                   port: int = 8151) -> None:
     """Blocking entry point used by ``repro.cli serve``."""
-    server = RankingHTTPServer((host, port), service)
+    from ._deprecation import sanctioned, warn_legacy
+    warn_legacy("serve_forever")
+    with sanctioned():
+        server = RankingHTTPServer((host, port), service)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

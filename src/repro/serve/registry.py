@@ -225,6 +225,8 @@ class ModelRegistry:
                  model: Optional[str] = None,
                  market: Optional[str] = None,
                  seed: Optional[int] = None):
+        from ._deprecation import warn_legacy
+        warn_legacy("ModelRegistry")
         self.directory = Path(directory)
         self.memory_budget_bytes = memory_budget_bytes
         self.default_model = model
@@ -276,6 +278,25 @@ class ModelRegistry:
             return max(periodic, key=lambda v: tuple(
                 int(g) for g in _CKPT_PATTERN.match(f"{v}.npz").groups()))
         return versions[-1]
+
+    def fingerprint(self, version: Optional[str] = None
+                    ) -> Optional["tuple[str, int, int]"]:
+        """``(version, mtime_ns, size)`` of a version's archive, or None.
+
+        The cheap change-detection key the cluster's hot-swap watcher
+        polls: a checkpoint promotion rewrites the archive, so either the
+        mtime or the size moves.  ``version=None`` fingerprints whatever
+        :meth:`default_version` currently resolves to (so a *newly
+        appearing* ``best`` is also a change).  Returns ``None`` when the
+        directory holds no archives yet — the watcher just keeps polling.
+        """
+        try:
+            if version is None:
+                version = self.default_version()
+            stat = self.path_of(version).stat()
+        except (RegistryError, OSError):
+            return None
+        return (version, stat.st_mtime_ns, stat.st_size)
 
     def describe(self, version: str) -> Dict[str, Any]:
         """Checksum-verified metadata of one archive (no model build)."""

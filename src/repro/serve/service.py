@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ._deprecation import sanctioned, warn_legacy
 from .batcher import MicroBatcher
 from .engine import InferenceEngine
 from .registry import ModelRegistry, RegistryError
@@ -58,22 +59,28 @@ class RankingService:
     def __init__(self, registry: Union[ModelRegistry, str, Path],
                  max_batch: int = 32, max_wait_ms: float = 5.0,
                  workers: int = 1, default_timeout: float = 10.0,
-                 telemetry: Optional[ServingTelemetry] = None):
-        if not isinstance(registry, ModelRegistry):
-            registry = ModelRegistry(registry)
-        self.registry = registry
-        self.telemetry = telemetry or ServingTelemetry()
-        self.default_timeout = float(default_timeout)
-        self._engines: Dict[str, InferenceEngine] = {}
-        self._engines_lock = threading.Lock()
-        self._last_served: Dict[ScoreKey, np.ndarray] = {}
-        self._last_served_lock = threading.Lock()
-        self._batcher = MicroBatcher(self._compute_scores,
-                                     max_batch=max_batch,
-                                     max_wait_ms=max_wait_ms,
-                                     workers=workers,
-                                     telemetry=self.telemetry)
-        self._closed = False
+                 telemetry: Optional[ServingTelemetry] = None,
+                 straggler_poll_ms: Optional[float] = None,
+                 idle_poll_ms: Optional[float] = None):
+        warn_legacy("RankingService")
+        with sanctioned():
+            if not isinstance(registry, ModelRegistry):
+                registry = ModelRegistry(registry)
+            self.registry = registry
+            self.telemetry = telemetry or ServingTelemetry()
+            self.default_timeout = float(default_timeout)
+            self._engines: Dict[str, InferenceEngine] = {}
+            self._engines_lock = threading.Lock()
+            self._last_served: Dict[ScoreKey, np.ndarray] = {}
+            self._last_served_lock = threading.Lock()
+            self._batcher = MicroBatcher(self._compute_scores,
+                                         max_batch=max_batch,
+                                         max_wait_ms=max_wait_ms,
+                                         workers=workers,
+                                         telemetry=self.telemetry,
+                                         straggler_poll_ms=straggler_poll_ms,
+                                         idle_poll_ms=idle_poll_ms)
+            self._closed = False
 
     # ------------------------------------------------------------------
     # engine / batch plumbing
@@ -85,9 +92,35 @@ class RankingService:
         with self._engines_lock:
             engine = self._engines.get(version)
             if engine is None:
-                engine = InferenceEngine(self.registry.load(version))
+                with sanctioned():
+                    engine = InferenceEngine(self.registry.load(version))
                 self._engines[version] = engine
             return engine
+
+    def reload(self, version: Optional[str] = None) -> Dict[str, Any]:
+        """Drop cached engines so the next request reloads from disk.
+
+        With ``version=None`` every cached engine is evicted — the hot
+        path a checkpoint promotion takes.  In-flight requests keep the
+        engine object they already resolved; only *new* requests see the
+        reloaded weights.  Returns ``{"reloaded": [...versions...]}``.
+        """
+        self.registry.discover()
+        with self._engines_lock:
+            if version is None:
+                dropped = sorted(self._engines)
+                self._engines.clear()
+            else:
+                dropped = [version] if version in self._engines else []
+                self._engines.pop(version, None)
+        with self._last_served_lock:
+            if version is None:
+                self._last_served.clear()
+            else:
+                for key in [k for k in self._last_served if k[0] == version]:
+                    del self._last_served[key]
+        return {"reloaded": dropped,
+                "default_version": self.registry.default_version()}
 
     def _compute_scores(self, key: ScoreKey) -> np.ndarray:
         version, day = key

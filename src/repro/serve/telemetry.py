@@ -46,18 +46,35 @@ def _percentile_summary(samples) -> Dict[str, float]:
 
 
 class ServingTelemetry:
-    """Thread-safe accumulator for one serving process's metrics."""
+    """Thread-safe accumulator for one serving process's metrics.
 
-    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES):
+    Parameters
+    ----------
+    max_samples:
+        Rolling window size for latency / queue-depth percentiles.
+    slo_p99_ms:
+        Optional p99 latency budget.  When set, every snapshot carries
+        an ``slo`` block (target, observed p50/p99, whether the window
+        is within budget) and :meth:`report` exposes the same numbers as
+        flat metrics — the rows the experiment store's ``slo`` table is
+        fed from.
+    """
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES,
+                 slo_p99_ms: Optional[float] = None):
         self._lock = threading.Lock()
         self._latencies = deque(maxlen=max_samples)
         self._queue_depths = deque(maxlen=max_samples)
         self._batch_sizes: Counter = Counter()
         self._ops: Counter = Counter()
-        self.started_at = time.time()
+        self.slo_p99_ms = (float(slo_p99_ms) if slo_p99_ms is not None
+                           else None)
+        self.started_at = time.time()          # wall timestamp, report only
+        self._started_mono = time.monotonic()  # uptime must survive NTP steps
         self.requests = 0
         self.fallbacks = 0
         self.errors = 0
+        self.shed = 0
         self.batches = 0
         self.coalesced_requests = 0
         self.forward_seconds = 0.0
@@ -84,6 +101,12 @@ class ServingTelemetry:
             self.errors += 1
             self._ops[op] += 1
 
+    def record_shed(self, op: str) -> None:
+        """Admission control rejected a request (429/503, never computed)."""
+        with self._lock:
+            self.shed += 1
+            self._ops[op] += 1
+
     def record_batch(self, coalesced: int, forward_seconds: float) -> None:
         """One batched forward served ``coalesced`` requests at once."""
         with self._lock:
@@ -106,12 +129,16 @@ class ServingTelemetry:
                                in sorted(self._batch_sizes.items())}
             mean_batch = (self.coalesced_requests / self.batches
                           if self.batches else 0.0)
-            elapsed = max(time.time() - self.started_at, 1e-9)
+            # Uptime off the monotonic clock: a wall-clock NTP step would
+            # corrupt requests_per_second (negative or wildly inflated).
+            elapsed = max(time.monotonic() - self._started_mono, 1e-9)
             payload = {
                 "uptime_seconds": elapsed,
+                "started_at": self.started_at,
                 "requests": self.requests,
                 "errors": self.errors,
                 "fallbacks": self.fallbacks,
+                "shed": self.shed,
                 "requests_per_second": self.requests / elapsed,
                 "ops": dict(self._ops),
                 "latency_seconds": latency,
@@ -121,6 +148,15 @@ class ServingTelemetry:
                 "batch_size_histogram": batch_histogram,
                 "forward_seconds": self.forward_seconds,
             }
+            if self.slo_p99_ms is not None:
+                observed_p99_ms = latency["p99"] * 1000.0
+                payload["slo"] = {
+                    "target_p99_ms": self.slo_p99_ms,
+                    "observed_p50_ms": latency["p50"] * 1000.0,
+                    "observed_p99_ms": observed_p99_ms,
+                    "within": (bool(observed_p99_ms <= self.slo_p99_ms)
+                               if latency["count"] else None),
+                }
         cache = adjacency_cache().stats()
         lookups = cache["hits"] + cache["misses"]
         payload["adjacency_cache"] = {
@@ -143,6 +179,7 @@ class ServingTelemetry:
             "requests": float(snap["requests"]),
             "errors": float(snap["errors"]),
             "fallbacks": float(snap["fallbacks"]),
+            "shed": float(snap["shed"]),
             "requests_per_second": snap["requests_per_second"],
             "latency_p50_seconds": snap["latency_seconds"]["p50"],
             "latency_p95_seconds": snap["latency_seconds"]["p95"],
@@ -151,6 +188,12 @@ class ServingTelemetry:
             "adjacency_cache_hit_rate":
                 snap["adjacency_cache"]["hit_rate"],
         }
+        if "slo" in snap:
+            slo = snap["slo"]
+            metrics["slo_target_p99_ms"] = slo["target_p99_ms"]
+            metrics["slo_observed_p99_ms"] = slo["observed_p99_ms"]
+            if slo["within"] is not None:
+                metrics["slo_within"] = 1.0 if slo["within"] else 0.0
         full_config = dict(config or {})
         full_config["serving"] = snap
         return RunReport(

@@ -33,7 +33,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from .schema import DDL, STORE_SCHEMA_VERSION, TABLES, split_experiment
+from .schema import (DDL, MIGRATABLE_VERSIONS, STORE_SCHEMA_VERSION,
+                     TABLES, split_experiment)
 
 #: how long a writer waits for a competing writer before erroring (ms)
 DEFAULT_BUSY_TIMEOUT_MS = 30_000
@@ -119,7 +120,10 @@ class ExperimentStore:
 
     def _ensure_schema(self, conn: sqlite3.Connection) -> None:
         # executescript manages its own transaction (it commits any open
-        # one first), so it must run outside _txn.
+        # one first), so it must run outside _txn.  The DDL is idempotent
+        # (CREATE ... IF NOT EXISTS), which doubles as the additive
+        # migration path: opening an older, migratable file just creates
+        # the tables it was missing and bumps the recorded version.
         conn.executescript(DDL)
         with self._txn(conn):
             row = conn.execute(
@@ -129,12 +133,20 @@ class ExperimentStore:
                 conn.execute(
                     "INSERT INTO meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(STORE_SCHEMA_VERSION)))
-            elif int(row["value"]) != STORE_SCHEMA_VERSION:
-                raise StoreError(
-                    f"{self.path} uses store schema version "
-                    f"{row['value']}, this code expects "
-                    f"{STORE_SCHEMA_VERSION}; migrate the file or point "
-                    "at a fresh database")
+                return
+            found = int(row["value"])
+            if found == STORE_SCHEMA_VERSION:
+                return
+            if found in MIGRATABLE_VERSIONS:
+                conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = "
+                    "'schema_version'", (str(STORE_SCHEMA_VERSION),))
+                return
+            raise StoreError(
+                f"{self.path} uses store schema version {found}, this "
+                f"code expects {STORE_SCHEMA_VERSION} and can only "
+                f"migrate from {MIGRATABLE_VERSIONS}; use a newer build "
+                "or point at a fresh database")
 
     @contextmanager
     def _txn(self, conn: sqlite3.Connection):
@@ -315,6 +327,49 @@ class ExperimentStore:
                 " created_at = excluded.created_at",
                 (str(rid), str(resolved_kind), blob, _utc_now()))
         return str(rid)
+
+    def record_slo(self, snapshot: Dict[str, Any], *,
+                   source: str = "serve", op: Optional[str] = None,
+                   report_id: Optional[str] = None) -> int:
+        """Record one serving SLO evaluation window; returns its row id.
+
+        ``snapshot`` is a :meth:`repro.serve.ServingTelemetry.snapshot`
+        dict (or any dict with the same ``slo`` / ``latency_seconds`` /
+        counter shape).  Telemetry without an ``slo`` block — no budget
+        configured — still records the observed percentiles with a NULL
+        target, so dashboards see the latency even before an SLO exists.
+        """
+        slo = snapshot.get("slo") or {}
+        latency = snapshot.get("latency_seconds") or {}
+
+        def _ms(key: str) -> Optional[float]:
+            if key in slo:
+                return _to_db_value(slo[key])
+            bare = key[len("observed_"):-len("_ms")] if key.startswith(
+                "observed_") else key
+            if bare in latency:
+                return _to_db_value(float(latency[bare]) * 1000.0)
+            return None
+
+        within = slo.get("within")
+        conn = self.connection
+        with self._txn(conn):
+            cursor = conn.execute(
+                "INSERT INTO slo (report_id, source, op, target_p99_ms,"
+                " observed_p50_ms, observed_p95_ms, observed_p99_ms,"
+                " requests, errors, shed, within, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+                " RETURNING id",
+                (report_id, source, op,
+                 _to_db_value(slo.get("target_p99_ms")),
+                 _ms("observed_p50_ms"), _ms("observed_p95_ms"),
+                 _ms("observed_p99_ms"),
+                 int(snapshot.get("requests", 0)),
+                 int(snapshot.get("errors", 0)),
+                 int(snapshot.get("shed", 0)),
+                 None if within is None else int(bool(within)),
+                 _utc_now()))
+            return int(cursor.fetchone()["id"])
 
     # ------------------------------------------------------------------
     # dedup / lookup primitives (the typed layer is repro.store.query)

@@ -1,4 +1,4 @@
-"""The experiment store's sqlite schema (version 1).
+"""The experiment store's sqlite schema (version 2).
 
 One database file holds every result the repo produces — protocol runs,
 sweep cells, grid points, bench artifacts, pool/serving telemetry — in
@@ -33,6 +33,17 @@ five relational tables plus a ``meta`` key/value table:
     Whole schema-v1 :class:`~repro.obs.RunReport` documents — pool
     executor reports, serving rollups, benchmark artifacts — stored as
     JSON, unique on the report id so re-migration never duplicates.
+``slo``  *(added in schema version 2)*
+    One row per serving SLO evaluation window: the p99 latency budget,
+    the observed p50/p95/p99, request/error/shed counts, and whether the
+    window was within budget.  Written at cluster/server shutdown and by
+    ``bench_serving``, so latency-SLO regressions are queryable next to
+    accuracy and speed regressions.
+
+Version 1 → 2 is purely additive (one new table); opening a v1 file
+with this code migrates it in place.  Opening a *newer* file than the
+code understands still refuses, so a rollback never silently writes an
+incomplete schema.
 
 REAL columns store IEEE-754 doubles exactly, which is what lets the
 acceptance criterion hold: metrics read back from the store are
@@ -42,7 +53,12 @@ acceptance criterion hold: metrics read back from the store are
 from __future__ import annotations
 
 #: bump when a table/column is added, renamed, or removed
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
+
+#: versions this code can migrate *from* in place.  Every hop so far is
+#: additive (new tables only), so re-running the idempotent DDL is the
+#: whole migration; a future destructive hop would add real SQL here.
+MIGRATABLE_VERSIONS = (1,)
 
 #: executed statement-by-statement by :meth:`ExperimentStore._ensure_schema`
 DDL = """
@@ -113,11 +129,29 @@ CREATE TABLE IF NOT EXISTS telemetry (
 );
 
 CREATE INDEX IF NOT EXISTS idx_telemetry_kind ON telemetry (kind);
+
+CREATE TABLE IF NOT EXISTS slo (
+    id              INTEGER PRIMARY KEY,
+    report_id       TEXT,
+    source          TEXT NOT NULL DEFAULT 'serve',
+    op              TEXT,
+    target_p99_ms   REAL,
+    observed_p50_ms REAL,
+    observed_p95_ms REAL,
+    observed_p99_ms REAL,
+    requests        INTEGER,
+    errors          INTEGER,
+    shed            INTEGER,
+    within          INTEGER,
+    created_at      TEXT NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_slo_source ON slo (source);
 """
 
 #: every table the DDL creates, in a stable reporting order
 TABLES = ("configs", "runs", "metrics", "epochs", "checkpoints",
-          "telemetry")
+          "telemetry", "slo")
 
 
 def split_experiment(experiment: str) -> tuple:

@@ -17,7 +17,7 @@ class TestSchema:
     def test_creates_all_tables(self, store):
         counts = store.counts()
         assert set(counts) == {"configs", "runs", "metrics", "epochs",
-                               "checkpoints", "telemetry"}
+                               "checkpoints", "telemetry", "slo"}
         assert all(n == 0 for n in counts.values())
 
     def test_wal_mode_active(self, store):
@@ -40,6 +40,56 @@ class TestSchema:
         first.close()
         with pytest.raises(StoreError, match="schema version"):
             ExperimentStore(path).connection
+
+    def test_v1_file_migrates_in_place(self, tmp_path):
+        from repro.store import STORE_SCHEMA_VERSION
+        path = tmp_path / "exp.sqlite"
+        first = ExperimentStore(path)
+        conn = first.connection
+        # rewind to a faithful v1 file: no slo table, version stamp 1
+        conn.execute("DROP TABLE slo")
+        with first.transaction():
+            conn.execute("UPDATE meta SET value = '1'"
+                         " WHERE key = 'schema_version'")
+        first.close()
+        migrated = ExperimentStore(path)
+        rows = migrated.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'")
+        assert int(rows[0][0]) == STORE_SCHEMA_VERSION
+        assert "slo" in migrated.counts()          # table re-created
+
+
+class TestRecordSlo:
+    def test_snapshot_with_slo_block_round_trips(self, store):
+        snapshot = {
+            "requests": 120, "errors": 2, "shed": 5,
+            "latency_seconds": {"count": 120, "p50": 0.004,
+                                "p95": 0.02, "p99": 0.031},
+            "slo": {"target_p99_ms": 50.0, "observed_p50_ms": 4.0,
+                    "observed_p99_ms": 31.0, "within": True},
+        }
+        row_id = store.record_slo(snapshot, source="serve-cluster",
+                                  report_id="serve-1")
+        row = store.execute("SELECT * FROM slo WHERE id = ?",
+                            [row_id])[0]
+        assert row["target_p99_ms"] == 50.0
+        assert row["observed_p99_ms"] == 31.0
+        assert row["observed_p95_ms"] == 20.0      # from latency block
+        assert row["requests"] == 120
+        assert row["shed"] == 5
+        assert row["within"] == 1
+        assert row["source"] == "serve-cluster"
+
+    def test_snapshot_without_slo_block_records_percentiles(self, store):
+        snapshot = {"requests": 3, "errors": 0, "shed": 0,
+                    "latency_seconds": {"count": 3, "p50": 0.001,
+                                        "p95": 0.002, "p99": 0.003}}
+        row_id = store.record_slo(snapshot)
+        row = store.execute("SELECT * FROM slo WHERE id = ?",
+                            [row_id])[0]
+        assert row["target_p99_ms"] is None
+        assert row["within"] is None
+        assert row["observed_p99_ms"] == pytest.approx(3.0)
 
 
 class TestRecordRun:

@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.signal",
     "repro.obs",
     "repro.ckpt",
+    "repro.serve",
 ]
 
 
@@ -60,3 +61,130 @@ def test_key_paper_symbols_reachable_from_top_level():
     for symbol in ["RTGCN", "Trainer", "TrainConfig", "load_market",
                    "RelationMatrix", "RelationTemporalGraph"]:
         assert hasattr(repro, symbol)
+
+
+class TestServeDeprecationShims:
+    """PR 8: repro.serve construction goes through build(ServeConfig(...));
+    the legacy constructors stay importable but warn exactly once."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        from repro.serve._deprecation import reset_warned
+        reset_warned()
+        yield
+        reset_warned()
+
+    def test_every_legacy_name_is_exported(self):
+        import repro.serve as serve
+        for name in serve.LEGACY:
+            assert name in serve.__all__, \
+                f"legacy shim {name!r} missing from repro.serve.__all__"
+            assert hasattr(serve, name)
+
+    def test_legacy_replacements_name_the_blessed_path(self):
+        import repro.serve as serve
+        for name, replacement in serve.LEGACY.items():
+            assert "ServeConfig" in replacement, (name, replacement)
+
+    @staticmethod
+    def _construct_legacy_stack(tmp_path):
+        import repro.serve as serve
+        registry = serve.ModelRegistry(tmp_path)
+        service = serve.RankingService(registry)
+        batcher = serve.MicroBatcher(lambda key: key)
+        server = serve.RankingHTTPServer(("127.0.0.1", 0), service)
+        server.server_close()
+        batcher.close()
+        service.close()
+
+    def test_each_legacy_alias_warns_exactly_once(self, tmp_path):
+        import warnings
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            self._construct_legacy_stack(tmp_path)
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        for name in ("ModelRegistry", "RankingService", "MicroBatcher",
+                     "RankingHTTPServer"):
+            hits = [m for m in messages
+                    if m.startswith(f"direct {name} construction")]
+            assert len(hits) == 1, (name, messages)
+            assert "docs/serving.md" in hits[0]
+        # second use in the same process is silent
+        with warnings.catch_warnings(record=True) as again:
+            warnings.simplefilter("always")
+            self._construct_legacy_stack(tmp_path)
+        assert not [w for w in again
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_blessed_build_path_never_warns(self, tmp_path):
+        import warnings
+        from repro.serve import ServeConfig, build
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            handle = build(ServeConfig(checkpoint_dir=str(tmp_path),
+                                       port=0))
+            handle.close()
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)], \
+            [str(w.message) for w in caught]
+
+
+class TestServeConfigCliRoundTrip:
+    """Every ServeConfig field is reachable from repro.cli serve flags and
+    survives the args -> ServeConfig -> to_dict round trip."""
+
+    def _parse(self, argv):
+        import argparse
+        from repro.cli import _add_serve_options, _serve_config_from_args
+        parser = argparse.ArgumentParser()
+        _add_serve_options(parser)
+        return _serve_config_from_args(parser.parse_args(argv))
+
+    def test_cli_covers_every_field(self):
+        import argparse
+        import dataclasses
+        from repro.cli import _add_serve_options
+        from repro.serve import ServeConfig
+        parser = argparse.ArgumentParser()
+        _add_serve_options(parser)
+        dests = {action.dest for action in parser._actions}
+        missing = [spec.name for spec in dataclasses.fields(ServeConfig)
+                   if spec.name not in dests]
+        assert not missing, f"ServeConfig fields without a CLI flag: {missing}"
+
+    def test_defaults_round_trip(self, tmp_path):
+        from repro.serve import ServeConfig
+        config = self._parse(["--checkpoint-dir", str(tmp_path)])
+        assert config == ServeConfig(checkpoint_dir=str(tmp_path))
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_non_default_flags_round_trip(self, tmp_path):
+        config = self._parse([
+            "--checkpoint-dir", str(tmp_path),
+            "--mode", "cluster", "--cluster-workers", "3",
+            "--max-queue", "64", "--slo-p99-ms", "50",
+            "--timeout", "2.5", "--workers", "2",
+            "--straggler-poll-ms", "0.5", "--watch-interval-s", "1.0",
+            "--store", "exp.sqlite", "--port", "0",
+        ])
+        assert config.mode == "cluster"
+        assert config.cluster_workers == 3
+        assert config.max_queue == 64
+        assert config.slo_p99_ms == 50.0
+        assert config.default_timeout == 2.5
+        assert config.batch_workers == 2
+        assert config.straggler_poll_ms == 0.5
+        assert config.watch_interval_s == 1.0
+        assert config.store == "exp.sqlite"
+        from repro.serve import ServeConfig
+        assert ServeConfig.from_dict(config.to_dict()) == config
+
+    def test_legacy_flag_spellings_still_parse(self, tmp_path):
+        config = self._parse(["--checkpoint-dir", str(tmp_path),
+                              "--serve-mode", "cluster",
+                              "--batch-workers", "4",
+                              "--default-timeout", "7.0"])
+        assert config.mode == "cluster"
+        assert config.batch_workers == 4
+        assert config.default_timeout == 7.0
