@@ -24,7 +24,14 @@ serve
     forked shared-memory workers with admission control and hot reload
     (see ``docs/serving.md``).
 query
-    Query a running ``serve`` instance and print the JSON response.
+    Query a running ``serve`` instance and print the JSON response;
+    a comma-separated ``--endpoint`` list fans the reads out
+    concurrently.
+stream
+    Replay a scripted streaming scenario (``repro.data.stream``)
+    against a running server via ``POST /v1/ingest`` — day by day:
+    relation edge churn, listings/delistings, regime switches — and
+    report tick latency and fallback counts (see ``docs/streaming.md``).
 db
     Query, export, summarize, or migrate into the sqlite experiment
     store (see ``docs/experiment-store.md``): ``db query``,
@@ -67,6 +74,9 @@ Examples
     python -m repro.cli serve --checkpoint-dir /tmp/ckpts --mode cluster \
         --cluster-workers 2 --slo-p99-ms 50
     python -m repro.cli query --top-k 10 --port 8151
+    python -m repro.cli query --endpoint scores,top_k,stats --port 8151
+    python -m repro.cli stream --scenario smoke --port 8151 \
+        --store experiments.sqlite
 """
 
 from __future__ import annotations
@@ -83,7 +93,7 @@ from .baselines import (available_baselines, get_spec, make_predictor,
                         rtgcn_strategies)
 from .core import TrainConfig
 from .serve.config import ServeConfig
-from .data import MARKET_SPECS, available_markets, load_market
+from .data import MARKET_SPECS, SCENARIOS, available_markets, load_market
 from .eval import ranking_metrics, run_named_experiment
 
 #: CLI defaults that intentionally differ from the TrainConfig defaults
@@ -206,6 +216,10 @@ _SERVE_FIELD_HELP = {
                   "recorded in the store's slo table",
     "watch_interval_s": "checkpoint-dir poll interval for hot reload "
                         "(cluster mode)",
+    "tick_budget_ms": "streaming ingest tick budget; overrun serves the "
+                      "last ranking instead (docs/streaming.md)",
+    "stream_alpha": "graph-smoothing weight of the streaming re-rank "
+                    "(0 = model scores only, 1 = neighbors only)",
     "store": "record serving telemetry + SLO row in this sqlite "
              "experiment store on shutdown",
 }
@@ -511,13 +525,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: query endpoints → their /v1 paths (also the --endpoint vocabulary)
+_QUERY_PATHS = {"top_k": "/v1/top_k", "scores": "/v1/scores",
+                "rank": "/v1/rank", "delta": "/v1/delta",
+                "stats": "/v1/stats", "models": "/v1/models",
+                "health": "/v1/health", "reload": "/v1/reload"}
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    """One ranking query against a running server, printed as JSON."""
+    """Query a running server, printed as JSON.
+
+    ``--endpoint`` accepts a comma-separated list; multiple endpoints
+    are fetched concurrently (stdlib threads) and printed as one JSON
+    object keyed by endpoint, so a dashboard poll is a single command.
+    """
     import json
+    from concurrent.futures import ThreadPoolExecutor
     from urllib.error import URLError
     from urllib.parse import urlencode
     from urllib.request import urlopen
 
+    endpoints = list(dict.fromkeys(
+        e.strip() for e in args.endpoint.split(",") if e.strip()))
+    unknown = sorted(set(endpoints) - set(_QUERY_PATHS))
+    if unknown:
+        raise SystemExit(f"unknown endpoint(s) {unknown}; choose from "
+                         f"{sorted(_QUERY_PATHS)}")
+    if not endpoints:
+        raise SystemExit("no endpoints given")
     params = {}
     if args.top_k is not None:
         params["k"] = args.top_k
@@ -525,21 +560,140 @@ def cmd_query(args: argparse.Namespace) -> int:
         params["version"] = args.version
     if args.day is not None:
         params["day"] = args.day
-    path = {"scores": "/v1/scores", "rank": "/v1/rank",
-            "delta": "/v1/delta", "stats": "/v1/stats",
-            "models": "/v1/models", "health": "/v1/health",
-            "reload": "/v1/reload"}.get(args.endpoint, "/v1/top_k")
-    url = f"http://{args.host}:{args.port}{path}"
-    if params:
-        url += "?" + urlencode(params)
-    try:
+
+    def fetch(endpoint: str) -> dict:
+        url = f"http://{args.host}:{args.port}{_QUERY_PATHS[endpoint]}"
+        if params:
+            url += "?" + urlencode(params)
         with urlopen(url, timeout=args.timeout) as response:
-            payload = json.loads(response.read().decode("utf-8"))
+            return json.loads(response.read().decode("utf-8"))
+
+    try:
+        if len(endpoints) == 1:
+            payloads = {endpoints[0]: fetch(endpoints[0])}
+        else:
+            workers = max(1, min(args.concurrency, len(endpoints)))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                payloads = dict(zip(endpoints,
+                                    pool.map(fetch, endpoints)))
     except URLError as exc:
         raise SystemExit(f"query failed: {exc} (is `repro.cli serve` "
                          f"running on {args.host}:{args.port}?)")
-    print(json.dumps(payload, indent=2, sort_keys=True))
-    return 0 if "error" not in payload else 1
+    if len(endpoints) == 1:
+        payload = payloads[endpoints[0]]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if "error" not in payload else 1
+    print(json.dumps(payloads, indent=2, sort_keys=True))
+    return 0 if not any("error" in p for p in payloads.values()) else 1
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a streaming scenario against a live server's /v1/ingest.
+
+    The scenario's stock count is adapted to the served universe
+    (discovered from ``/v1/scores``) so event indices always address
+    real slots.  With ``--store``, the replay is recorded under the
+    scenario fingerprint — a second replay of the identical scenario is
+    skipped unless ``--no-dedup`` forces it.
+    """
+    import json
+    import time
+    from urllib.error import URLError
+    from urllib.request import Request, urlopen
+
+    from .data import StreamingMarket, get_scenario
+
+    base = f"http://{args.host}:{args.port}"
+    query = f"?version={args.version}" if args.version else ""
+    try:
+        with urlopen(base + "/v1/scores" + query,
+                     timeout=args.timeout) as response:
+            scores = json.loads(response.read().decode("utf-8"))
+    except URLError as exc:
+        raise SystemExit(f"stream failed: {exc} (is `repro.cli serve` "
+                         f"running on {args.host}:{args.port}?)")
+    universe = len(scores.get("scores") or ())
+    if universe < 2:
+        raise SystemExit("served universe too small to stream against")
+    overrides = {"num_stocks": universe}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.days is not None:
+        overrides["num_days"] = args.days
+    scenario = get_scenario(args.scenario, **overrides)
+    fingerprint = scenario.fingerprint()
+    report_id = f"stream-{fingerprint[:16]}"
+
+    store = None
+    if args.store:
+        from .store import ExperimentStore
+        store = ExperimentStore(args.store)
+        recorded = store.execute(
+            "SELECT 1 FROM telemetry WHERE report_id = ?", [report_id])
+        if recorded and not args.no_dedup:
+            print(f"scenario {args.scenario!r} already replayed "
+                  f"(fingerprint {fingerprint[:16]}, report "
+                  f"{report_id}); --no-dedup forces a re-run")
+            store.close()
+            return 0
+
+    market = StreamingMarket(scenario)
+    print(f"streaming {args.scenario!r}: {universe} stocks, "
+          f"{scenario.num_days} day(s) -> {base}/v1/ingest")
+    ticks = fallbacks = overruns = edits = 0
+    latencies = []
+    last = None
+    for events in market.replay():
+        body = json.dumps(events.to_payload()).encode("utf-8")
+        request = Request(base + "/v1/ingest" + query, data=body,
+                          headers={"Content-Type": "application/json"},
+                          method="POST")
+        started = time.perf_counter()
+        try:
+            with urlopen(request, timeout=args.timeout) as response:
+                last = json.loads(response.read().decode("utf-8"))
+        except URLError as exc:
+            raise SystemExit(f"ingest failed on day {events.day}: {exc}")
+        latencies.append(time.perf_counter() - started)
+        ticks += 1
+        fallbacks += int(bool(last.get("fallback")))
+        overruns += int(bool(last.get("overrun")))
+        edits += int(last.get("applied_edits", 0))
+
+    lat = np.asarray(latencies, dtype=float)
+    p50, p99 = (float(v) for v in np.percentile(lat, (50.0, 99.0)))
+    print(f"  {ticks} tick(s): {edits} edge edit(s), "
+          f"{fallbacks} fallback(s), {overruns} overrun(s)")
+    print(f"  client tick latency p50 {p50 * 1e3:.2f}ms  "
+          f"p99 {p99 * 1e3:.2f}ms  max {float(lat.max()) * 1e3:.2f}ms")
+    ranking = (last or {}).get("ranking") or []
+    if ranking:
+        head = ", ".join(f"{r['symbol']}:{r['score']:+.3f}"
+                         for r in ranking[:5])
+        print(f"  final ranking head: {head}")
+
+    if store is not None:
+        from .obs import RunReport
+        report = RunReport(
+            run_id=report_id, kind="stream",
+            config={"scenario": scenario.to_dict(),
+                    "fingerprint": fingerprint, "server": base},
+            metrics={"ticks": float(ticks),
+                     "fallbacks": float(fallbacks),
+                     "overruns": float(overruns),
+                     "applied_edits": float(edits),
+                     "tick_p50_ms": p50 * 1e3,
+                     "tick_p99_ms": p99 * 1e3})
+        store.record_report(report)
+        store.record_slo(
+            {"requests": ticks,
+             "latency_seconds": {"p50": p50,
+                                 "p95": float(np.percentile(lat, 95.0)),
+                                 "p99": p99}},
+            source="stream-client", op="ingest", report_id=report_id)
+        print(f"replay recorded in {store.path} (report {report_id})")
+        store.close()
+    return 0 if fallbacks == 0 else 2
 
 
 def _db_filters(args: argparse.Namespace) -> dict:
@@ -588,6 +742,9 @@ def cmd_db(args: argparse.Namespace) -> int:
                 print("\ntelemetry")
                 print(render_rows([payload["telemetry_kinds"]],
                                   args.format))
+            if payload["slo"]:
+                print("\nslo (per source × endpoint)")
+                print(render_rows(payload["slo"], args.format))
         return 0
 
     filters = _db_filters(args)
@@ -706,9 +863,13 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser(
         "query", help="query a running `serve` instance, print JSON")
     query.add_argument("--endpoint", default="top_k",
-                       choices=["top_k", "scores", "rank", "delta",
-                                "stats", "models", "health", "reload"],
-                       help="which API to call (default: top_k)")
+                       help="comma-separated APIs to call — multiple "
+                            "endpoints are fetched concurrently: "
+                            "top_k, scores, rank, delta, stats, models, "
+                            "health, reload (default: top_k)")
+    query.add_argument("--concurrency", type=int, default=4,
+                       help="fan-out threads for multi-endpoint queries "
+                            "(default: 4)")
     query.add_argument("--top-k", type=int, default=None, metavar="K",
                        help="k for the top_k endpoint")
     query.add_argument("--version", default=None,
@@ -718,6 +879,25 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--host", default="127.0.0.1")
     query.add_argument("--port", type=int, default=8151)
     query.add_argument("--timeout", type=float, default=30.0)
+
+    stream = sub.add_parser(
+        "stream", help="replay a streaming scenario against a running "
+                       "`serve` instance (docs/streaming.md)")
+    stream.add_argument("--scenario", default="default",
+                        choices=sorted(SCENARIOS),
+                        help="scripted scenario; its stock count adapts "
+                             "to the served universe (default: default)")
+    stream.add_argument("--seed", type=int, default=None,
+                        help="override the scenario's event seed")
+    stream.add_argument("--days", type=int, default=None,
+                        help="override the scenario's day count")
+    stream.add_argument("--version", default=None,
+                        help="checkpoint version (default: server's "
+                             "best)")
+    stream.add_argument("--host", default="127.0.0.1")
+    stream.add_argument("--port", type=int, default=8151)
+    stream.add_argument("--timeout", type=float, default=30.0)
+    _add_store_options(stream)
 
     db = sub.add_parser(
         "db", help="query/export/report/migrate the sqlite experiment "
@@ -806,6 +986,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "serve": cmd_serve,
         "query": cmd_query,
+        "stream": cmd_stream,
         "db": cmd_db,
     }
     try:

@@ -11,6 +11,10 @@ from .relation_builder import (DirectedInfluence, WikiRelationSet,
                                wiki_type_pool)
 from .simulator import (CrashEvent, SimulatedMarket, SimulationConfig,
                         simulate_market)
+from .stream import (SCENARIOS, DayEvents, EdgeEvent, HypergraphRelations,
+                     ListingEvent, RegimePhase, StreamScenario,
+                     StreamingMarket, flash_crash, get_scenario,
+                     low_vol_grind, sector_rotation)
 from .universe import (Stock, StockUniverse, allocate_group_sizes,
                        generate_universe, industry_name_pool,
                        pair_ratio_of_sizes)
@@ -24,6 +28,10 @@ __all__ = [
     "DirectedInfluence", "WikiRelationSet", "build_industry_relations",
     "build_wiki_relations", "wiki_type_pool",
     "CrashEvent", "SimulationConfig", "SimulatedMarket", "simulate_market",
+    "StreamScenario", "SCENARIOS", "get_scenario", "StreamingMarket",
+    "DayEvents", "EdgeEvent", "ListingEvent", "RegimePhase",
+    "HypergraphRelations", "flash_crash", "sector_rotation",
+    "low_vol_grind",
     "Stock", "StockUniverse", "generate_universe", "allocate_group_sizes",
     "industry_name_pool", "pair_ratio_of_sizes",
 ]

@@ -5,6 +5,7 @@ from .adjacency import (add_self_loops, normalize_adjacency,
                         normalize_weighted_adjacency)
 from .cache import (NormalizedAdjacencyCache, adjacency_cache,
                     reset_adjacency_cache)
+from .delta import DELTA_MODES, DynamicNormalizedAdjacency
 from .relations import RelationMatrix
 from .rtgraph import RelationTemporalGraph, RTGraphStats
 from .strategies import (RelationStrategy, TimeSensitiveStrategy,
@@ -15,6 +16,7 @@ __all__ = [
     "add_self_loops", "normalize_adjacency", "normalize_weighted_adjacency",
     "normalize_sparse_adjacency",
     "NormalizedAdjacencyCache", "adjacency_cache", "reset_adjacency_cache",
+    "DynamicNormalizedAdjacency", "DELTA_MODES",
     "RelationStrategy", "UniformStrategy", "WeightStrategy",
     "TimeSensitiveStrategy", "make_strategy",
 ]

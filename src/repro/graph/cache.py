@@ -56,6 +56,7 @@ class NormalizedAdjacencyCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.deltas = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -99,6 +100,36 @@ class NormalizedAdjacencyCache:
             self.misses += 1
         return self.put(key, compute())
 
+    def apply_delta(self, key: Hashable, edits: Any) -> int:
+        """Apply edge edits to the dynamic adjacency cached under ``key``.
+
+        The entry must expose ``apply_delta(edits)`` (a
+        :class:`repro.graph.delta.DynamicNormalizedAdjacency`).  The whole
+        update runs **under the cache lock** — streaming ingest and
+        concurrent readers of the same key see either the pre- or
+        post-delta graph, never a half-renormalized one.  Counts as a hit
+        plus one ``deltas`` tick on success; a missing key counts as a
+        miss and raises ``KeyError``; a non-dynamic entry counts as a hit
+        (the lookup succeeded) and raises ``TypeError``.
+
+        Returns the number of rows the update renormalized.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                raise KeyError(f"no dynamic adjacency cached under {key!r}")
+            self._entries.move_to_end(key)
+            self.hits += 1
+            apply = getattr(value, "apply_delta", None)
+            if apply is None:
+                raise TypeError(
+                    f"entry under {key!r} ({type(value).__name__}) does not "
+                    "support delta updates")
+            touched = apply(edits)
+            self.deltas += 1
+            return touched
+
     def invalidate(self, key: Hashable) -> bool:
         """Drop ``key`` if present; returns whether an entry was removed."""
         with self._lock:
@@ -116,7 +147,8 @@ class NormalizedAdjacencyCache:
         with self._lock:
             return {"entries": len(self._entries), "hits": self.hits,
                     "misses": self.misses,
-                    "invalidations": self.invalidations}
+                    "invalidations": self.invalidations,
+                    "deltas": self.deltas}
 
     def __repr__(self) -> str:
         return (f"NormalizedAdjacencyCache(entries={len(self._entries)}, "

@@ -1,0 +1,417 @@
+"""Incremental maintenance of the normalized adjacency (streaming graphs).
+
+The symmetric normalization ``Â = D̃^{-1/2} Ã D̃^{-1/2}`` couples every
+entry to two row degrees: ``Â_uv = Ã_uv · d_u^{-1/2} · d_v^{-1/2}`` with
+``d_u = Σ_w |Ã_uw| + eps``.  Editing one edge ``(i, j)`` therefore
+changes (a) the edited entries themselves and (b) every entry in a row
+or column of ``i`` or ``j`` — because ``d_i`` and ``d_j`` moved.  For a
+symmetric matrix the column-``i`` entries live in the rows of ``i``'s
+neighbours, so the exact set of rows to renormalize is::
+
+    touched = {i, j} ∪ N(i) ∪ N(j)
+
+which is O(Σ degree of touched) work instead of the O(nnz) of a full
+recompute.  :class:`DynamicNormalizedAdjacency` maintains the
+unnormalized ``Ã`` (self-loops included, diagonal fixed at 1), the
+degree vector, and the normalized output, and :meth:`apply_delta`
+performs exactly that touched-row renormalization in either the dense
+or the CSR representation.
+
+The math matches :func:`repro.graph.adjacency.normalize_weighted_adjacency`
+(dense) / :func:`~repro.graph.adjacency.normalize_sparse_adjacency`
+(CSR) entry for entry — absolute-value degrees plus ``eps`` — so a
+delta-updated adjacency agrees with a from-scratch normalization to
+``<= 1e-12`` (the property-equivalence suite in
+``tests/graph/test_delta.py`` asserts this across random event
+sequences, including delete-then-re-add and delisting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..tensor.sparse import SparsePattern
+
+#: one symmetric edge edit: (i, j, new_weight); weight 0 removes the edge
+EdgeEdit = Tuple[int, int, float]
+
+DELTA_MODES = ("dense", "csr")
+
+
+def _normalize_edits(edits: Iterable[Union[EdgeEdit, Sequence]], n: int
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate and canonicalize an edit batch (last write wins per pair).
+
+    Returns ``(ii, jj, weights)`` with ``ii < jj`` and one entry per
+    distinct pair — fully vectorized, since a streaming day can carry
+    hundreds of edits and this runs inside the serving tick budget.
+    """
+    if not isinstance(edits, np.ndarray):
+        edits = list(edits)
+    try:
+        arr = np.asarray(edits, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise ValueError(f"edge edits must be (i, j, weight) triples, "
+                         f"got {edits!r}") from None
+    if arr.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ValueError(f"edge edits must be (i, j, weight) triples, "
+                         f"got shape {arr.shape}")
+    ii = arr[:, 0].astype(np.int64)
+    jj = arr[:, 1].astype(np.int64)
+    loops = ii == jj
+    if loops.any():
+        i = int(ii[np.argmax(loops)])
+        raise ValueError(f"self-loop ({i}, {i}) is fixed at 1 and "
+                         "cannot be edited")
+    if (ii.min() < 0 or ii.max() >= n or jj.min() < 0 or jj.max() >= n):
+        raise ValueError(f"edge edits out of range for {n} nodes")
+    lo, hi = np.minimum(ii, jj), np.maximum(ii, jj)
+    key = lo * n + hi
+    # last write wins: a stable sort groups duplicates in batch order,
+    # so the last element of each group is the surviving write
+    order = np.argsort(key, kind="stable")
+    sorted_keys = key[order]
+    last = np.empty(key.size, dtype=bool)
+    last[-1] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=last[:-1])
+    sel = order[last]
+    return lo[sel], hi[sel], arr[sel, 2]
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an int array (cheaper than np.unique
+    on the small per-tick index sets this module deals in)."""
+    values = np.sort(values)
+    if values.size <= 1:
+        return values
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+def _span_gather(indptr: np.ndarray, rows: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Entry positions of the given CSR rows, plus the row of each.
+
+    Vectorized replacement for ``[range(indptr[r], indptr[r+1]) for r in
+    rows]`` — the gather every touched-row renormalization runs on.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = indptr[rows]
+    lengths = indptr[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    idx = (np.arange(total, dtype=np.int64)
+           - np.repeat(offsets, lengths) + np.repeat(starts, lengths))
+    return idx, np.repeat(rows, lengths)
+
+
+class DynamicNormalizedAdjacency:
+    """A normalized adjacency that absorbs edge edits incrementally.
+
+    Parameters
+    ----------
+    adjacency:
+        The base weighted adjacency ``A`` — square, symmetric, zero
+        diagonal (self-loops are added internally, as the normalization
+        trick prescribes).
+    mode:
+        ``"dense"`` keeps ``(N, N)`` arrays; ``"csr"`` keeps a
+        :class:`~repro.sparse.CSRMatrix` and renormalizes by row slice.
+    eps:
+        Degree regularizer, matching the weighted normalizers.
+
+    The instance is the *identity* of the evolving graph: plain data, no
+    autograd — serving reads :meth:`normalized` per tick, training
+    continues to use the strategy/cache path for static graphs.
+    """
+
+    def __init__(self, adjacency: np.ndarray, mode: str = "csr",
+                 eps: float = 1e-8):
+        if mode not in DELTA_MODES:
+            raise ValueError(f"mode must be one of {DELTA_MODES}, got "
+                             f"{mode!r}")
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError(f"adjacency must be square (N, N), got "
+                             f"{adjacency.shape}")
+        if np.any(np.diag(adjacency) != 0):
+            raise ValueError("adjacency diagonal must be zero (self-loops "
+                             "are added internally)")
+        if not np.array_equal(adjacency, adjacency.T):
+            raise ValueError("adjacency must be symmetric")
+        self.mode = mode
+        self.eps = float(eps)
+        self.num_nodes = int(adjacency.shape[0])
+        self.edits_applied = 0
+        self.rows_renormalized = 0
+        tilde = adjacency + np.eye(self.num_nodes)
+        if mode == "dense":
+            self._tilde = tilde
+            self._degrees = self._row_degrees_dense(
+                np.arange(self.num_nodes), self._tilde)
+        else:
+            self._tilde = CSRMatrix.from_dense(tilde)
+            self._degrees = self._row_degrees_csr(
+                np.arange(self.num_nodes), self._tilde)
+            # flattened row-major entry keys, kept in sync by _apply_csr
+            # so each tick skips rebuilding them from the pattern
+            self._keys = (self._tilde.pattern.rows * self.num_nodes
+                          + self._tilde.indices)
+        self._renormalize_all()
+
+    # ------------------------------------------------------------------
+    # degree helpers — one summation recipe for full AND delta paths, so
+    # a delta-updated instance is bitwise-equal to a freshly built one
+    # ------------------------------------------------------------------
+    def _row_degrees_dense(self, rows: np.ndarray,
+                           tilde: np.ndarray) -> np.ndarray:
+        return np.abs(tilde[rows]).sum(axis=1) + self.eps
+
+    def _row_degrees_csr(self, rows: np.ndarray,
+                         tilde: CSRMatrix) -> np.ndarray:
+        idx, _ = _span_gather(tilde.indptr, rows)
+        lengths = tilde.indptr[rows + 1] - tilde.indptr[rows]
+        starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        # every row holds at least its self-loop, so reduceat never sees
+        # an empty segment
+        return np.add.reduceat(np.abs(tilde.data[idx]), starts) + self.eps
+
+    def _renormalize_all(self) -> None:
+        inv_sqrt = self._degrees ** -0.5
+        if self.mode == "dense":
+            self._normalized = (self._tilde * inv_sqrt[:, None]
+                                * inv_sqrt[None, :])
+        else:
+            pattern = self._tilde.pattern
+            self._norm_data = (self._tilde.data * inv_sqrt[pattern.rows]
+                               * inv_sqrt[pattern.indices])
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def normalized(self) -> Union[np.ndarray, CSRMatrix]:
+        """The current ``Â`` — dense array or CSR matrix per ``mode``."""
+        if self.mode == "dense":
+            return self._normalized
+        pattern = self._tilde.pattern
+        return CSRMatrix(pattern.indptr, pattern.indices, self._norm_data,
+                         pattern.shape)
+
+    def normalized_dense(self) -> np.ndarray:
+        """``Â`` as a dense array regardless of mode (tests/inspection)."""
+        if self.mode == "dense":
+            return self._normalized.copy()
+        return self.normalized().to_dense()
+
+    def unnormalized_dense(self) -> np.ndarray:
+        """``Ã = A + I`` as a dense array (the graph's source of truth)."""
+        if self.mode == "dense":
+            return self._tilde.copy()
+        return self._tilde.to_dense()
+
+    def degrees(self) -> np.ndarray:
+        return self._degrees.copy()
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Stored neighbours of ``node`` (excluding its self-loop)."""
+        if self.mode == "dense":
+            cols = np.flatnonzero(self._tilde[node])
+        else:
+            indptr = self._tilde.indptr
+            cols = self._tilde.indices[indptr[node]:indptr[node + 1]]
+        return cols[cols != node]
+
+    # ------------------------------------------------------------------
+    # the delta update
+    # ------------------------------------------------------------------
+    def apply_delta(self, edits: Iterable[EdgeEdit]) -> int:
+        """Apply symmetric edge edits; returns the number of rows touched.
+
+        Each ``(i, j, weight)`` sets both ``Ã_ij`` and ``Ã_ji`` to
+        ``weight`` (0 removes the edge).  Degrees are recomputed for the
+        edit endpoints and the normalized values for
+        ``endpoints ∪ N(endpoints)`` — nothing else moves, which is the
+        whole point.
+        """
+        ii, jj, ww = _normalize_edits(edits, self.num_nodes)
+        if ii.size == 0:
+            return 0
+        endpoints = _sorted_unique(np.concatenate([ii, jj]))
+        if self.mode == "dense":
+            touched = self._apply_dense(ii, jj, ww, endpoints)
+        else:
+            touched = self._apply_csr(ii, jj, ww, endpoints)
+        self.edits_applied += int(ii.size)
+        self.rows_renormalized += int(touched.size)
+        return int(touched.size)
+
+    def _apply_dense(self, ii, jj, ww, endpoints) -> np.ndarray:
+        # old neighbours matter too: a removed edge (i, u) leaves row u
+        # structurally unchanged but d_i moved, so u must renormalize.
+        old_neighbors = [self.neighbors(int(e)) for e in endpoints]
+        self._tilde[ii, jj] = ww
+        self._tilde[jj, ii] = ww
+        self._degrees[endpoints] = self._row_degrees_dense(
+            endpoints, self._tilde)
+        new_neighbors = [self.neighbors(int(e)) for e in endpoints]
+        touched = np.unique(np.concatenate(
+            [endpoints, *old_neighbors, *new_neighbors]))
+        inv_sqrt = self._degrees ** -0.5
+        self._normalized[touched, :] = (self._tilde[touched, :]
+                                        * inv_sqrt[touched, None]
+                                        * inv_sqrt[None, :])
+        self._normalized[:, touched] = (self._tilde[:, touched]
+                                        * inv_sqrt[:, None]
+                                        * inv_sqrt[None, touched])
+        return touched
+
+    def _apply_csr(self, ii, jj, ww, endpoints) -> np.ndarray:
+        # Work on the flattened entry keyspace: row-major CSR order with
+        # in-row ascending columns makes ``row * n + col`` strictly
+        # increasing over the stored entries, so every edit locates its
+        # entry with one batched searchsorted — no per-row Python work.
+        n = self.num_nodes
+        tilde = self._tilde
+        indptr, indices = tilde.indptr, tilde.indices
+        key_stored = self._keys
+        key_e = np.concatenate([ii * n + jj, jj * n + ii])
+        vals_e = np.concatenate([ww, ww])
+        order = np.argsort(key_e)
+        key_e, vals_e = key_e[order], vals_e[order]
+        pos = np.searchsorted(key_stored, key_e)
+        exists = pos < key_stored.size
+        exists[exists] = key_stored[pos[exists]] == key_e[exists]
+        updates = exists & (vals_e != 0.0)
+        deletes = exists & (vals_e == 0.0)
+        inserts = ~exists & (vals_e != 0.0)
+
+        # old neighbours matter too: a removed edge (i, u) leaves row u
+        # structurally unchanged but d_i moved, so u must renormalize
+        idx_old, _ = _span_gather(indptr, endpoints)
+        old_neighbors = indices[idx_old]
+
+        # Copy-on-write: readers holding the previous normalized() view
+        # keep a consistent pre-delta snapshot of tilde's values.
+        data = tilde.data.copy()
+        data[pos[updates]] = vals_e[updates]
+        norm = self._norm_data
+        if deletes.any() or inserts.any():
+            if deletes.any():
+                keep = np.ones(key_stored.size, dtype=bool)
+                keep[pos[deletes]] = False
+                key_stored = key_stored[keep]
+                data = data[keep]
+                norm = norm[keep]
+            if inserts.any():
+                # single merge-splice: one hole mask shared by all three
+                # parallel arrays (np.insert would redo it per array)
+                ins_keys = key_e[inserts]
+                at = np.searchsorted(key_stored, ins_keys)
+                total = key_stored.size + ins_keys.size
+                dest = at + np.arange(ins_keys.size, dtype=np.int64)
+                hole = np.ones(total, dtype=bool)
+                hole[dest] = False
+                merged = np.empty(total, dtype=np.int64)
+                merged[dest] = ins_keys
+                merged[hole] = key_stored
+                key_stored = merged
+                merged = np.empty(total)
+                merged[dest] = vals_e[inserts]
+                merged[hole] = data
+                data = merged
+                merged = np.zeros(total)          # renormalized below
+                merged[hole] = norm
+                norm = merged
+            rows_new, cols_new = np.divmod(key_stored, n)
+            counts = np.bincount(rows_new, minlength=n)
+            indptr = np.concatenate([[0], np.cumsum(counts)])
+            # valid by construction (sorted keys partition into rows),
+            # so skip the O(nnz) re-validation of the checked path
+            pattern = SparsePattern.trusted(indptr, cols_new, (n, n),
+                                            rows=rows_new)
+            self._keys = key_stored
+        else:
+            norm = norm.copy()
+            pattern = tilde.pattern   # structure untouched: keep caches
+        self._tilde = CSRMatrix.with_pattern(pattern, data)
+        self._norm_data = norm
+        indptr, indices = pattern.indptr, pattern.indices
+
+        # endpoint rows include their self-loops, so the endpoints
+        # themselves are already in the neighbour gather
+        idx_new, _ = _span_gather(indptr, endpoints)
+        touched = _sorted_unique(np.concatenate(
+            [old_neighbors, indices[idx_new]]))
+        # one gather over the new structure serves both the endpoint
+        # degree update and the touched-row renormalization
+        starts = indptr[touched]
+        lengths = indptr[touched + 1] - starts
+        ends = np.cumsum(lengths)
+        seg_starts = ends - lengths
+        idx = (np.arange(int(ends[-1]), dtype=np.int64)
+               - np.repeat(seg_starts, lengths)
+               + np.repeat(starts, lengths))
+        sums = np.add.reduceat(np.abs(data[idx]), seg_starts)
+        self._degrees[endpoints] = (
+            sums[np.searchsorted(touched, endpoints)] + self.eps)
+        inv_sqrt = self._degrees ** -0.5
+        norm[idx] = (data[idx] * inv_sqrt[np.repeat(touched, lengths)]
+                     * inv_sqrt[indices[idx]])
+        return touched
+
+    # ------------------------------------------------------------------
+    # convenience edits
+    # ------------------------------------------------------------------
+    def isolate(self, nodes: Iterable[int]) -> int:
+        """Remove every edge incident to ``nodes`` (delisting in place).
+
+        The node keeps its slot and self-loop — the serving universe
+        keeps a fixed width — but it no longer propagates to or from
+        anyone.  Returns the number of rows renormalized.
+        """
+        edits: List[EdgeEdit] = []
+        for node in {int(n) for n in nodes}:
+            edits.extend((node, int(nb), 0.0)
+                         for nb in self.neighbors(node))
+        return self.apply_delta(edits) if edits else 0
+
+    def full_recompute(self) -> Union[np.ndarray, CSRMatrix]:
+        """Recompute degrees + all rows from scratch (the O(nnz) path).
+
+        Uses the same per-row summation as the delta path, so the result
+        is bitwise-equal to the incrementally maintained state — the
+        equivalence oracle for tests and the correctness assert in
+        ``benchmarks/bench_stream_tick.py``.
+        """
+        rows = np.arange(self.num_nodes)
+        if self.mode == "dense":
+            self._degrees = self._row_degrees_dense(rows, self._tilde)
+        else:
+            self._degrees = self._row_degrees_csr(rows, self._tilde)
+        self._renormalize_all()
+        return self.normalized()
+
+    def stats(self) -> dict:
+        return {"mode": self.mode, "num_nodes": self.num_nodes,
+                "nnz": (int((self._tilde != 0).sum()) if self.mode == "dense"
+                        else self._tilde.nnz),
+                "edits_applied": self.edits_applied,
+                "rows_renormalized": self.rows_renormalized}
+
+    def __repr__(self) -> str:
+        return (f"DynamicNormalizedAdjacency(mode={self.mode!r}, "
+                f"n={self.num_nodes}, edits={self.edits_applied})")
+
+
+__all__ = ["DynamicNormalizedAdjacency", "EdgeEdit", "DELTA_MODES"]

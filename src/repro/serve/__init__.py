@@ -50,6 +50,7 @@ from .registry import (ModelRegistry, RegistryError, ServableModel,
 from .service import RankingService, ServiceTimeoutError
 from .shm import (SharedWeightReader, SharedWeightStore,
                   ShmUnavailableError, shm_available)
+from .stream import StreamIngestor
 from .telemetry import ServingTelemetry
 
 __all__ = [
@@ -61,7 +62,8 @@ __all__ = [
     "shm_available",
     # errors / telemetry / helpers (not deprecated)
     "ApiError", "ServiceTimeoutError", "RegistryError",
-    "BatcherClosedError", "ServingTelemetry", "ServableModel",
+    "BatcherClosedError", "ServingTelemetry", "StreamIngestor",
+    "ServableModel",
     "build_servable", "infer_rtgcn_architecture", "resolve_strategy",
     "LEGACY",
     # deprecated construction shims (warn once; removed next release)

@@ -46,8 +46,8 @@ import numpy as np
 from ..parallel.pool import WorkerHandle, die_with_parent, fork_available
 from ._deprecation import sanctioned
 from .httpd import (ApiError, classify_exception, deprecation_headers,
-                    error_payload, exception_response, parse_query,
-                    query_int, resolve_route)
+                    error_payload, exception_response, parse_body,
+                    parse_query, query_int, resolve_route)
 from .shm import SharedWeightReader, SharedWeightStore, adopt_views
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -347,11 +347,11 @@ class ServingCluster:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, target, headers = request
+                method, target, headers, body = request
                 keep_alive = (headers.get("connection", "").lower()
                               != "close")
-                status, extra, payload = await self._dispatch(method,
-                                                              target)
+                status, extra, payload = await self._dispatch(
+                    method, target, body)
                 writer.write(self._render(status, extra, payload,
                                           keep_alive))
                 await writer.drain()
@@ -368,9 +368,10 @@ class ServingCluster:
                 pass
 
     @staticmethod
-    async def _read_request(reader: asyncio.StreamReader
-                            ) -> Optional[Tuple[str, str, Dict[str, str]]]:
-        """Parse one HTTP/1.1 request head; None on clean EOF."""
+    async def _read_request(
+            reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one HTTP/1.1 request (head + body); None on clean EOF."""
         line = await reader.readline()
         if not line:
             return None
@@ -386,9 +387,8 @@ class ServingCluster:
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", 0) or 0)
-        if length:                           # drain; params ride the query
-            await reader.readexactly(length)
-        return method, target, headers
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
 
     @staticmethod
     def _render(status: int, extra: Dict[str, str],
@@ -406,7 +406,7 @@ class ServingCluster:
     # ------------------------------------------------------------------
     # routing / dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, method: str, target: str
+    async def _dispatch(self, method: str, target: str, body: bytes = b""
                         ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
         parsed = urlparse(target)
         query = parse_query(parsed.query)
@@ -419,7 +419,7 @@ class ServingCluster:
             if op in WORKER_OPS:
                 payload = await self._dispatch_worker(op, query)
             else:
-                payload = await self._dispatch_parent(op, query)
+                payload = await self._dispatch_parent(op, query, body)
             status = 200
         except Exception as exc:  # noqa: BLE001 — uniform JSON envelope
             status, extra, payload = exception_response(exc)
@@ -427,9 +427,9 @@ class ServingCluster:
             extra.update(deprecation_headers(canonical))
         return status, extra, payload
 
-    async def _dispatch_parent(self, op: str, query: Dict[str, str]
-                               ) -> Dict[str, Any]:
-        """Registry/metadata ops answered in the front-end process."""
+    async def _dispatch_parent(self, op: str, query: Dict[str, str],
+                               body: bytes = b"") -> Dict[str, Any]:
+        """Registry/metadata/ingest ops answered in the front-end process."""
         loop = asyncio.get_running_loop()
         if op == "health":
             alive = sum(1 for h in self._handles if h.process.is_alive())
@@ -463,6 +463,14 @@ class ServingCluster:
             return {"reloaded": generation is not None,
                     "generation": self._shm_store.current_generation(),
                     "version": self._servable.version}
+        if op == "ingest":
+            # The live graph is parent-side state (the process-global
+            # adjacency cache); the delta + re-rank run on an executor
+            # thread so the event loop keeps accepting connections.
+            payload = parse_body(body)
+            version = query.get("version")
+            return await loop.run_in_executor(
+                None, lambda: self.service.ingest(payload, version=version))
         raise ApiError(404, "not_found", f"no route for op {op!r}")
 
     async def _dispatch_worker(self, op: str, query: Dict[str, str]

@@ -80,6 +80,11 @@ class ServeConfig:
     # hot reload (cluster mode watches; threaded mode reloads on demand)
     watch_interval_s: float = 2.0
 
+    # streaming ingest (POST /v1/ingest)
+    tick_budget_ms: float = 250.0        # ingest tick budget; overrun =>
+                                         # fall back to the last ranking
+    stream_alpha: float = 0.5            # graph-smoothing re-rank weight
+
     # persistence
     store: Optional[str] = None          # sqlite path for SLO/telemetry
 
@@ -102,6 +107,12 @@ class ServeConfig:
         if self.watch_interval_s <= 0:
             raise ValueError(f"watch_interval_s must be > 0, got "
                              f"{self.watch_interval_s}")
+        if self.tick_budget_ms <= 0:
+            raise ValueError(f"tick_budget_ms must be > 0, got "
+                             f"{self.tick_budget_ms}")
+        if not 0.0 <= self.stream_alpha <= 1.0:
+            raise ValueError(f"stream_alpha must be in [0, 1], got "
+                             f"{self.stream_alpha}")
 
     # ------------------------------------------------------------------
     @property
@@ -222,11 +233,16 @@ class ServeHandle:
 
         report = self.telemetry.report(
             config={"serve_config": self.config.to_dict()})
+        source = f"serve-{self.config.mode}"
         with ExperimentStore(self.config.store) as store:
             store.record_report(report)
-            store.record_slo(self.telemetry.snapshot(),
-                             source=f"serve-{self.config.mode}",
+            # One aggregate row (op NULL) plus one row per endpoint —
+            # the per-op rows are what `repro.cli db report` breaks out.
+            store.record_slo(self.telemetry.snapshot(), source=source,
                              report_id=report.run_id)
+            for op, snap in self.telemetry.op_snapshots().items():
+                store.record_slo(snap, source=source, op=op,
+                                 report_id=report.run_id)
 
     def __enter__(self) -> "ServeHandle":
         return self
@@ -259,7 +275,9 @@ def build(config: ServeConfig) -> ServeHandle:
             max_wait_ms=config.max_wait_ms, workers=config.batch_workers,
             default_timeout=config.default_timeout, telemetry=telemetry,
             straggler_poll_ms=config.straggler_poll_ms,
-            idle_poll_ms=config.idle_poll_ms)
+            idle_poll_ms=config.idle_poll_ms,
+            tick_budget_ms=config.tick_budget_ms,
+            stream_alpha=config.stream_alpha)
         if config.mode == "cluster":
             from .cluster import ServingCluster
 

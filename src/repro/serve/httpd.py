@@ -13,6 +13,7 @@ API surface:
 ``GET /v1/delta``         day-over-day rank movement
 ``GET /v1/stats``         serving telemetry snapshot
 ``POST /v1/reload``       re-discover checkpoints, drop cached engines
+``POST /v1/ingest``       apply a streaming day's event batch, re-rank
 =======================  =================================================
 
 Ranking endpoints accept ``?version=<ckpt>&day=<int>`` (defaults: the
@@ -46,11 +47,11 @@ from .service import RankingService, ServiceTimeoutError
 
 #: canonical API ops, keyed by their ``/v1/`` path segment.
 API_OPS = ("health", "models", "scores", "top_k", "rank", "delta",
-           "stats", "reload")
+           "stats", "reload", "ingest")
 
 #: ops that mutate server state and therefore want POST (GET still
 #: answers for operator convenience — reload is idempotent).
-MUTATING_OPS = ("reload",)
+MUTATING_OPS = ("reload", "ingest")
 
 
 class ApiError(Exception):
@@ -146,8 +147,23 @@ def query_int(query: Dict[str, str], name: str) -> Optional[int]:
                          f"got {raw!r}") from None
 
 
-def execute(service: RankingService, op: str,
-            query: Dict[str, str]) -> Dict[str, Any]:
+def parse_body(body: Optional[bytes]) -> Dict[str, Any]:
+    """Decode a JSON request body; empty/missing bodies become ``{}``."""
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(400, "bad_request",
+                       f"request body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ApiError(400, "bad_request",
+                       "request body must be a JSON object")
+    return payload
+
+
+def execute(service: RankingService, op: str, query: Dict[str, str],
+            body: Optional[bytes] = None) -> Dict[str, Any]:
     """Run one canonical op against a :class:`RankingService`.
 
     Shared by the threaded server below; the cluster front-end executes
@@ -179,6 +195,8 @@ def execute(service: RankingService, op: str,
         return service.stats()
     if op == "reload":
         return service.reload(version=version)
+    if op == "ingest":
+        return service.ingest(parse_body(body), version=version)
     raise ApiError(404, "not_found", f"no route for op {op!r}")
 
 
@@ -214,14 +232,12 @@ class _RankingHandler(BaseHTTPRequestHandler):
         self._respond()
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        # POST bodies are ignored (all parameters ride the query string);
-        # drain it so keep-alive framing stays intact.
+        # Reading the full body also keeps keep-alive framing intact.
         length = int(self.headers.get("Content-Length") or 0)
-        if length:
-            self.rfile.read(length)
-        self._respond()
+        body = self.rfile.read(length) if length else b""
+        self._respond(body)
 
-    def _respond(self) -> None:
+    def _respond(self, body: Optional[bytes] = None) -> None:
         parsed = urlparse(self.path)
         query = parse_query(parsed.query)
         op, canonical, deprecated = resolve_route(parsed.path)
@@ -230,7 +246,8 @@ class _RankingHandler(BaseHTTPRequestHandler):
             if op is None:
                 raise ApiError(404, "not_found",
                                f"no route for {parsed.path!r}")
-            status, payload = 200, execute(self.server.service, op, query)
+            status, payload = 200, execute(self.server.service, op, query,
+                                           body=body)
         except Exception as exc:  # noqa: BLE001 — JSON instead of stack dump
             status, extra_headers, payload = exception_response(exc)
         if deprecated:

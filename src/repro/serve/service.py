@@ -61,7 +61,9 @@ class RankingService:
                  workers: int = 1, default_timeout: float = 10.0,
                  telemetry: Optional[ServingTelemetry] = None,
                  straggler_poll_ms: Optional[float] = None,
-                 idle_poll_ms: Optional[float] = None):
+                 idle_poll_ms: Optional[float] = None,
+                 tick_budget_ms: Optional[float] = None,
+                 stream_alpha: Optional[float] = None):
         warn_legacy("RankingService")
         with sanctioned():
             if not isinstance(registry, ModelRegistry):
@@ -80,6 +82,15 @@ class RankingService:
                                          telemetry=self.telemetry,
                                          straggler_poll_ms=straggler_poll_ms,
                                          idle_poll_ms=idle_poll_ms)
+            from .stream import (DEFAULT_STREAM_ALPHA,
+                                 DEFAULT_TICK_BUDGET_MS, StreamIngestor)
+            self._ingestor = StreamIngestor(
+                self,
+                tick_budget_ms=(DEFAULT_TICK_BUDGET_MS
+                                if tick_budget_ms is None
+                                else tick_budget_ms),
+                alpha=(DEFAULT_STREAM_ALPHA if stream_alpha is None
+                       else stream_alpha))
             self._closed = False
 
     # ------------------------------------------------------------------
@@ -246,6 +257,23 @@ class RankingService:
             for i in order])
 
     # ------------------------------------------------------------------
+    # streaming ingest
+    # ------------------------------------------------------------------
+    def ingest(self, body: Optional[Dict[str, Any]] = None,
+               version: Optional[str] = None) -> Dict[str, Any]:
+        """Apply one streaming day's event batch and re-rank.
+
+        ``body`` is a :meth:`repro.data.DayEvents.to_payload` dict (or
+        any dict with a ``deltas`` list of ``[i, j, weight]`` edits).
+        The graph delta always lands; the fresh ranking is subject to
+        the ingestor's tick budget — see
+        :class:`~repro.serve.stream.StreamIngestor`.
+        """
+        if self._closed:
+            raise RuntimeError("RankingService is closed")
+        return self._ingestor.ingest(body or {}, version=version)
+
+    # ------------------------------------------------------------------
     def _envelope(self, engine: InferenceEngine, day: int, stale: bool,
                   **payload: Any) -> Dict[str, Any]:
         return {"version": engine.servable.version,
@@ -260,6 +288,7 @@ class RankingService:
         with self._engines_lock:
             snap["engines"] = [e.stats() for e in self._engines.values()]
         snap["queue"] = {"depth": self._batcher.depth()}
+        snap["stream"] = self._ingestor.stats()
         return snap
 
     def close(self) -> None:

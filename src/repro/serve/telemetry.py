@@ -32,6 +32,16 @@ DEFAULT_MAX_SAMPLES = 16384
 
 _PERCENTILES = (50.0, 95.0, 99.0)
 
+#: raw recorder op names → the canonical per-endpoint labels the store's
+#: ``slo.op`` column uses (matching the ``/v1/`` path segments)
+OP_ALIASES = {"predict_scores": "scores", "rank_universe": "rank",
+              "rank_delta": "delta"}
+
+
+def canonical_op(op: str) -> str:
+    """Map a recorder op name to its canonical endpoint label."""
+    return OP_ALIASES.get(op, op)
+
 
 def _percentile_summary(samples) -> Dict[str, float]:
     """``{count, mean, p50, p95, p99, max}`` of a sample window."""
@@ -63,10 +73,17 @@ class ServingTelemetry:
     def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES,
                  slo_p99_ms: Optional[float] = None):
         self._lock = threading.Lock()
+        self._max_samples = max_samples
         self._latencies = deque(maxlen=max_samples)
         self._queue_depths = deque(maxlen=max_samples)
         self._batch_sizes: Counter = Counter()
         self._ops: Counter = Counter()
+        # per-endpoint windows/counters, keyed by canonical op label
+        self._op_latencies: Dict[str, deque] = {}
+        self._op_requests: Counter = Counter()
+        self._op_fallbacks: Counter = Counter()
+        self._op_errors: Counter = Counter()
+        self._op_shed: Counter = Counter()
         self.slo_p99_ms = (float(slo_p99_ms) if slo_p99_ms is not None
                            else None)
         self.started_at = time.time()          # wall timestamp, report only
@@ -86,26 +103,36 @@ class ServingTelemetry:
                        queue_depth: Optional[int] = None,
                        fallback: bool = False) -> None:
         """One client-visible request completed (op = scores/top_k/...)."""
+        name = canonical_op(op)
         with self._lock:
             self.requests += 1
             self._ops[op] += 1
             self._latencies.append(float(latency_s))
+            window = self._op_latencies.get(name)
+            if window is None:
+                window = self._op_latencies[name] = deque(
+                    maxlen=self._max_samples)
+            window.append(float(latency_s))
+            self._op_requests[name] += 1
             if queue_depth is not None:
                 self._queue_depths.append(int(queue_depth))
             if fallback:
                 self.fallbacks += 1
+                self._op_fallbacks[name] += 1
 
     def record_error(self, op: str) -> None:
         """A request failed with an exception (after retries/fallbacks)."""
         with self._lock:
             self.errors += 1
             self._ops[op] += 1
+            self._op_errors[canonical_op(op)] += 1
 
     def record_shed(self, op: str) -> None:
         """Admission control rejected a request (429/503, never computed)."""
         with self._lock:
             self.shed += 1
             self._ops[op] += 1
+            self._op_shed[canonical_op(op)] += 1
 
     def record_batch(self, coalesced: int, forward_seconds: float) -> None:
         """One batched forward served ``coalesced`` requests at once."""
@@ -118,6 +145,41 @@ class ServingTelemetry:
     # ------------------------------------------------------------------
     # rollups
     # ------------------------------------------------------------------
+    def _op_snapshot_locked(self, name: str) -> Dict[str, Any]:
+        latency = _percentile_summary(self._op_latencies.get(name, ()))
+        snap: Dict[str, Any] = {
+            "op": name,
+            "requests": int(self._op_requests.get(name, 0)),
+            "errors": int(self._op_errors.get(name, 0)),
+            "fallbacks": int(self._op_fallbacks.get(name, 0)),
+            "shed": int(self._op_shed.get(name, 0)),
+            "latency_seconds": latency,
+        }
+        if self.slo_p99_ms is not None:
+            observed_p99_ms = latency["p99"] * 1000.0
+            snap["slo"] = {
+                "target_p99_ms": self.slo_p99_ms,
+                "observed_p50_ms": latency["p50"] * 1000.0,
+                "observed_p99_ms": observed_p99_ms,
+                "within": (bool(observed_p99_ms <= self.slo_p99_ms)
+                           if latency["count"] else None),
+            }
+        return snap
+
+    def op_snapshots(self) -> Dict[str, Dict[str, Any]]:
+        """Per-endpoint rollups, keyed by canonical op label.
+
+        Each value has the ``latency_seconds``/``slo``/counter shape of
+        :meth:`snapshot`, so it can feed
+        :meth:`repro.store.ExperimentStore.record_slo` directly — these
+        are the rows that populate the ``slo`` table's ``op`` column.
+        """
+        with self._lock:
+            names = (set(self._op_latencies) | set(self._op_requests)
+                     | set(self._op_errors) | set(self._op_shed))
+            return {name: self._op_snapshot_locked(name)
+                    for name in sorted(names)}
+
     def snapshot(self) -> Dict[str, Any]:
         """Point-in-time rollup of everything recorded so far."""
         from ..graph.cache import adjacency_cache
@@ -147,6 +209,12 @@ class ServingTelemetry:
                 "mean_batch_size": mean_batch,
                 "batch_size_histogram": batch_histogram,
                 "forward_seconds": self.forward_seconds,
+                "per_op": {
+                    name: self._op_snapshot_locked(name)
+                    for name in sorted(set(self._op_latencies)
+                                       | set(self._op_requests)
+                                       | set(self._op_errors)
+                                       | set(self._op_shed))},
             }
             if self.slo_p99_ms is not None:
                 observed_p99_ms = latency["p99"] * 1000.0

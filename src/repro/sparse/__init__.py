@@ -19,10 +19,14 @@ from ..tensor.sparse import (DEFAULT_DENSITY_THRESHOLD, GRAPH_MODES,
                              resolve_graph_mode, sddmm, sparse_gather,
                              sparse_segment_sum, spmm)
 from .csr import CSRMatrix
+from .edit import (csr_delete_entries, csr_drop_rowcol, csr_get_entries,
+                   csr_set_entries, row_edit_chunks, splice_rows)
 
 __all__ = [
     "CSRMatrix", "SparsePattern", "SparseTensor",
     "spmm", "sddmm", "sparse_gather", "sparse_segment_sum",
     "resolve_graph_mode", "DEFAULT_DENSITY_THRESHOLD", "GRAPH_MODES",
     "HAVE_SCIPY",
+    "row_edit_chunks", "splice_rows", "csr_set_entries",
+    "csr_delete_entries", "csr_get_entries", "csr_drop_rowcol",
 ]

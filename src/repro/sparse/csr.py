@@ -58,6 +58,24 @@ class CSRMatrix:
                    dense[pattern.rows, pattern.indices], dense.shape)
 
     @classmethod
+    def with_pattern(cls, pattern: SparsePattern,
+                     data: np.ndarray) -> "CSRMatrix":
+        """Pair an already-validated pattern with a float64 value array.
+
+        The fast path for structure-preserving value updates (the
+        streaming delta), which would otherwise re-validate the same
+        pattern every tick; the pattern's cached row expansion and
+        transpose carry over.
+        """
+        if data.shape != (pattern.nnz,):
+            raise ValueError(f"data shape {data.shape} does not match "
+                             f"{pattern.nnz} stored indices")
+        matrix = cls.__new__(cls)
+        matrix.pattern = pattern
+        matrix.data = data
+        return matrix
+
+    @classmethod
     def from_coo(cls, rows: np.ndarray, cols: np.ndarray, data: np.ndarray,
                  shape: Tuple[int, int]) -> "CSRMatrix":
         """Build from coordinate triples; duplicate coordinates are summed."""

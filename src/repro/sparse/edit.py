@@ -1,0 +1,183 @@
+"""Row-touch CSR edit operations for time-evolving graphs.
+
+A streaming market mutates a handful of edges per day; rebuilding the
+whole CSR structure (and renormalizing every row) per tick would make
+the update cost O(nnz) regardless of how small the change is.  The ops
+here rebuild **only the touched rows**: untouched row spans of the
+``indices``/``data`` arrays are copied in bulk, so the Python-level work
+is proportional to the number of edited rows, not the matrix size.
+
+Three layers, lowest first:
+
+- :func:`row_edit_chunks` — merge point edits (set / delete) into
+  per-row replacement chunks, set semantics (``value == 0`` deletes,
+  duplicates last-wins);
+- :func:`splice_rows` — replace whole rows of a :class:`CSRMatrix` with
+  new ``(columns, values)`` chunks, copying everything else by span;
+- :func:`csr_set_entries` / :func:`csr_delete_entries` — the public
+  point-edit ops built from the two above.
+
+:func:`csr_drop_rowcol` is the structural remap used when stocks delist
+and the universe is compacted: it removes rows *and* columns and
+reindexes the survivors.
+
+All ops return **new** matrices — :class:`~repro.tensor.sparse
+.SparsePattern` is immutable (cached transposes/row arrays hang off it),
+so in-place structural mutation is not representable.  The delta layer
+(:mod:`repro.graph.delta`) owns the "current graph" identity instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+#: per-row replacement chunk: ``row -> (sorted column ids, values)``
+RowChunks = Dict[int, Tuple[np.ndarray, np.ndarray]]
+
+
+def _as_edit_arrays(rows, cols, values=None):
+    rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+    cols = np.asarray(cols, dtype=np.int64).reshape(-1)
+    if rows.shape != cols.shape:
+        raise ValueError(f"rows and cols must be equal-length 1-D, got "
+                         f"{rows.shape} vs {cols.shape}")
+    if values is None:
+        values = np.zeros(rows.shape, dtype=np.float64)
+    else:
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.shape != rows.shape:
+            raise ValueError(f"values shape {values.shape} does not match "
+                             f"{rows.size} edits")
+    return rows, cols, values
+
+
+def row_edit_chunks(matrix: CSRMatrix, rows, cols, values) -> RowChunks:
+    """Merge point edits into whole-row replacement chunks.
+
+    Set semantics: an edit ``(r, c, v)`` makes entry ``(r, c)`` exactly
+    ``v`` (inserting or overwriting); ``v == 0.0`` removes the entry
+    (removing an absent entry is a no-op).  Duplicate coordinates in the
+    edit list resolve last-wins, so one batch can delete and re-add the
+    same entry.
+    """
+    rows, cols, values = _as_edit_arrays(rows, cols, values)
+    n_rows, n_cols = matrix.shape
+    if rows.size and (rows.min() < 0 or rows.max() >= n_rows
+                      or cols.min() < 0 or cols.max() >= n_cols):
+        raise ValueError(f"edit coordinates out of range for shape "
+                         f"{matrix.shape}")
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    chunks: RowChunks = {}
+    for r in np.unique(rows):
+        start, end = int(indptr[r]), int(indptr[r + 1])
+        merged = dict(zip(indices[start:end].tolist(),
+                          data[start:end].tolist()))
+        sel = rows == r
+        for c, v in zip(cols[sel].tolist(), values[sel].tolist()):
+            if v == 0.0:
+                merged.pop(c, None)
+            else:
+                merged[c] = v
+        ordered = sorted(merged)
+        chunks[int(r)] = (np.array(ordered, dtype=np.int64),
+                          np.array([merged[c] for c in ordered],
+                                   dtype=np.float64))
+    return chunks
+
+
+def splice_rows(matrix: CSRMatrix, chunks: RowChunks) -> CSRMatrix:
+    """Replace whole rows of ``matrix`` with the given chunks.
+
+    Rows not named in ``chunks`` keep their entries; their spans of the
+    ``indices``/``data`` arrays are copied in bulk (one slice per gap
+    between edited rows), so the cost is O(#edited rows) Python work
+    plus O(nnz) memcpy — no per-entry Python loop over the whole matrix.
+    """
+    if not chunks:
+        return matrix
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    new_lengths = np.diff(indptr).copy()
+    seg_idx, seg_val = [], []
+    prev = 0
+    for r in sorted(chunks):
+        if not 0 <= r < matrix.shape[0]:
+            raise ValueError(f"row {r} out of range for {matrix.shape}")
+        new_cols, new_vals = chunks[r]
+        seg_idx.append(indices[indptr[prev]:indptr[r]])
+        seg_val.append(data[indptr[prev]:indptr[r]])
+        seg_idx.append(np.asarray(new_cols, dtype=np.int64))
+        seg_val.append(np.asarray(new_vals, dtype=np.float64))
+        new_lengths[r] = len(new_cols)
+        prev = r + 1
+    seg_idx.append(indices[indptr[prev]:])
+    seg_val.append(data[indptr[prev]:])
+    new_indptr = np.concatenate([[0], np.cumsum(new_lengths)])
+    return CSRMatrix(new_indptr, np.concatenate(seg_idx),
+                     np.concatenate(seg_val), matrix.shape)
+
+
+def csr_set_entries(matrix: CSRMatrix, rows, cols, values
+                    ) -> Tuple[CSRMatrix, np.ndarray]:
+    """Set entries to exact values (0 deletes); returns (matrix, touched).
+
+    ``touched`` is the sorted array of row indices whose stored entries
+    changed — the rows a degree-based renormalization must revisit.
+    """
+    rows, cols, values = _as_edit_arrays(rows, cols, values)
+    if rows.size == 0:
+        return matrix, np.empty(0, dtype=np.int64)
+    chunks = row_edit_chunks(matrix, rows, cols, values)
+    return splice_rows(matrix, chunks), np.unique(rows)
+
+
+def csr_delete_entries(matrix: CSRMatrix, rows, cols
+                       ) -> Tuple[CSRMatrix, np.ndarray]:
+    """Remove entries (absent entries are a no-op); returns (matrix, touched)."""
+    rows, cols, _ = _as_edit_arrays(rows, cols)
+    return csr_set_entries(matrix, rows, cols, np.zeros(rows.size))
+
+
+def csr_get_entries(matrix: CSRMatrix, rows, cols) -> np.ndarray:
+    """Stored values at the given coordinates (0.0 where absent)."""
+    rows, cols, _ = _as_edit_arrays(rows, cols)
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    out = np.zeros(rows.size, dtype=np.float64)
+    for k, (r, c) in enumerate(zip(rows.tolist(), cols.tolist())):
+        start, end = int(indptr[r]), int(indptr[r + 1])
+        pos = start + int(np.searchsorted(indices[start:end], c))
+        if pos < end and indices[pos] == c:
+            out[k] = data[pos]
+    return out
+
+
+def csr_drop_rowcol(matrix: CSRMatrix, drop: Iterable[int]) -> CSRMatrix:
+    """Remove rows *and* columns ``drop`` and compact the index space.
+
+    The structural half of a delisting with universe remapping: surviving
+    stocks keep their relative order but shift down into the freed slots.
+    Requires a square matrix (adjacency semantics).
+    """
+    n_rows, n_cols = matrix.shape
+    if n_rows != n_cols:
+        raise ValueError(f"csr_drop_rowcol needs a square matrix, got "
+                         f"{matrix.shape}")
+    drop = np.unique(np.asarray(list(drop), dtype=np.int64))
+    if drop.size and (drop.min() < 0 or drop.max() >= n_rows):
+        raise ValueError(f"drop indices out of range for {matrix.shape}")
+    keep = np.ones(n_rows, dtype=bool)
+    keep[drop] = False
+    remap = np.cumsum(keep) - 1                 # old index -> new index
+    rows_old = matrix.pattern.rows
+    mask = keep[rows_old] & keep[matrix.indices]
+    size = int(n_rows - drop.size)
+    return CSRMatrix.from_coo(remap[rows_old[mask]],
+                              remap[matrix.indices[mask]],
+                              matrix.data[mask], (size, size))
+
+
+__all__ = ["row_edit_chunks", "splice_rows", "csr_set_entries",
+           "csr_delete_entries", "csr_get_entries", "csr_drop_rowcol"]

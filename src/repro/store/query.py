@@ -191,7 +191,13 @@ def aggregate_runs(store: "ExperimentStore",
 
 
 def store_report(store: "ExperimentStore") -> Dict[str, Any]:
-    """The ``db report`` payload: table counts plus per-experiment rows."""
+    """The ``db report`` payload: table counts plus per-experiment rows.
+
+    The ``slo`` section aggregates the slo table per (source, op) — one
+    row per serving source and endpoint (``op`` NULL is the aggregate
+    window a server records alongside its per-endpoint rows), so
+    ``db report`` shows at a glance which endpoints blew their budget.
+    """
     experiments = store.execute(
         "SELECT experiment, fingerprint, kind, source,"
         " COUNT(*) AS runs, MIN(run_index) AS first_run,"
@@ -201,11 +207,19 @@ def store_report(store: "ExperimentStore") -> Dict[str, Any]:
     telemetry = store.execute(
         "SELECT kind, COUNT(*) AS n FROM telemetry GROUP BY kind"
         " ORDER BY kind")
+    slo = store.execute(
+        "SELECT source, op, COUNT(*) AS windows,"
+        " SUM(requests) AS requests, SUM(errors) AS errors,"
+        " SUM(shed) AS shed, MAX(target_p99_ms) AS target_p99_ms,"
+        " MAX(observed_p99_ms) AS observed_p99_ms,"
+        " MIN(within) AS all_within"
+        " FROM slo GROUP BY source, op ORDER BY source, op")
     return {
         "path": str(store.path),
         "tables": store.counts(),
         "experiments": [dict(row) for row in experiments],
         "telemetry_kinds": {row["kind"]: row["n"] for row in telemetry},
+        "slo": [dict(row) for row in slo],
     }
 
 

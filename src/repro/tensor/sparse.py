@@ -105,6 +105,26 @@ class SparsePattern:
         self._transpose = None
 
     @classmethod
+    def trusted(cls, indptr: np.ndarray, indices: np.ndarray,
+                shape: Tuple[int, int],
+                rows: Optional[np.ndarray] = None) -> "SparsePattern":
+        """Construct without invariant checks.
+
+        For kernels that produce valid CSR structure by construction —
+        the streaming delta update edits an already-validated pattern in
+        row-major key order, so re-validating every tick is pure
+        overhead.  Callers guarantee the ``__init__`` invariants;
+        ``rows`` optionally pre-seeds the COO row-expansion cache.
+        """
+        pattern = cls.__new__(cls)
+        pattern.shape = (int(shape[0]), int(shape[1]))
+        pattern.indptr = indptr
+        pattern.indices = indices
+        pattern._rows = rows
+        pattern._transpose = None
+        return pattern
+
+    @classmethod
     def from_mask(cls, mask: np.ndarray) -> "SparsePattern":
         """Structure of the nonzero entries of a dense 2-D mask."""
         mask = np.asarray(mask)

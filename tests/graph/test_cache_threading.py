@@ -117,6 +117,93 @@ class TestInvalidationRace:
         # conservation: every lookup was either a hit or a miss
         assert stats["hits"] + stats["misses"] == 4 * 300
 
+    def test_delta_races_invalidate_keeps_counters_coherent(self):
+        # Streaming ingest (apply_delta) races an invalidator and a
+        # re-seeder on the same key.  Every apply_delta call must count
+        # exactly one hit+delta (success) or one miss (KeyError after an
+        # invalidation won) — conservation across any interleaving.
+        from repro.graph import DynamicNormalizedAdjacency
+
+        cache = NormalizedAdjacencyCache(max_entries=8)
+
+        def seed():
+            return DynamicNormalizedAdjacency(np.zeros((6, 6)), mode="csr")
+
+        cache.put("stream", seed())
+        barrier = threading.Barrier(5)
+        outcomes = {"applied": 0, "missed": 0}
+        tally = threading.Lock()
+
+        def ingester(worker_id):
+            def body():
+                barrier.wait(timeout=10.0)
+                rng = np.random.default_rng(worker_id)
+                for _ in range(150):
+                    i = int(rng.integers(0, 6))
+                    j = (i + 1 + int(rng.integers(0, 5))) % 6
+                    try:
+                        cache.apply_delta(
+                            "stream", [(i, j, float(rng.random()) + 0.1)])
+                        with tally:
+                            outcomes["applied"] += 1
+                    except KeyError:
+                        with tally:
+                            outcomes["missed"] += 1
+            return body
+
+        def churner():
+            barrier.wait(timeout=10.0)
+            for _ in range(100):
+                cache.invalidate("stream")
+                cache.put("stream", seed())
+
+        run_threads([ingester(i) for i in range(4)] + [churner])
+        stats = cache.stats()
+        assert outcomes["applied"] + outcomes["missed"] == 4 * 150
+        assert stats["deltas"] == outcomes["applied"]
+        # hit/miss conservation over the delta path alone: churner does
+        # no lookups, so every hit and miss belongs to an apply_delta
+        assert stats["hits"] == outcomes["applied"]
+        assert stats["misses"] == outcomes["missed"]
+        # the surviving entry is a consistent graph, not a torn update
+        live = cache.get("stream")
+        normalized = live.normalized_dense()
+        np.testing.assert_array_equal(normalized, normalized.T)
+
+    def test_delta_applies_atomically_under_readers(self):
+        # Concurrent normalized() readers against a stream of deltas:
+        # every observed snapshot must be internally consistent (equal to
+        # a from-scratch normalization of SOME unnormalized state).
+        from repro.graph import DynamicNormalizedAdjacency
+
+        cache = NormalizedAdjacencyCache()
+        dynamic = DynamicNormalizedAdjacency(np.zeros((5, 5)), mode="csr")
+        cache.put("live", dynamic)
+        barrier = threading.Barrier(3)
+        bad = []
+
+        def writer():
+            barrier.wait(timeout=10.0)
+            rng = np.random.default_rng(0)
+            for _ in range(200):
+                i = int(rng.integers(0, 5))
+                j = (i + 1 + int(rng.integers(0, 4))) % 5
+                cache.apply_delta("live", [(i, j, float(rng.random())
+                                            + 0.1)])
+
+        def reader():
+            barrier.wait(timeout=10.0)
+            for _ in range(200):
+                entry = cache.get("live")
+                snap = entry.normalized()
+                data = snap.data          # copy-on-write snapshot
+                if not np.all(np.isfinite(data)):
+                    bad.append("non-finite")
+
+        run_threads([writer, reader, reader])
+        assert bad == []
+        assert cache.stats()["deltas"] == 200
+
     def test_clear_races_put_leaves_consistent_cache(self):
         cache = NormalizedAdjacencyCache(max_entries=16)
         barrier = threading.Barrier(4)

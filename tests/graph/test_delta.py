@@ -1,0 +1,233 @@
+"""Property-style equivalence of the streaming delta update.
+
+The contract: after any sequence of edge edits, the incrementally
+maintained normalized adjacency equals a from-scratch normalization of
+the same graph — bitwise against a fresh :class:`DynamicNormalizedAdjacency`
+(same summation recipe) and to ``<= 1e-12`` against the production
+normalizers (which may sum in a different order).  Both representations,
+including delete-then-re-add and delist-row removal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicNormalizedAdjacency, NormalizedAdjacencyCache
+from repro.graph.adjacency import (normalize_sparse_adjacency,
+                                   normalize_weighted_adjacency)
+from repro.graph.delta import DELTA_MODES
+from repro.tensor import SparseTensor
+
+TOL = 1e-12
+
+
+def random_symmetric(n, density, rng):
+    mask = rng.random((n, n)) < density
+    weights = rng.uniform(0.2, 1.5, size=(n, n))
+    adj = np.where(mask, weights, 0.0)
+    adj = np.triu(adj, 1)
+    return adj + adj.T
+
+
+def random_edits(n, count, rng, zero_fraction=0.35):
+    edits = []
+    for _ in range(count):
+        i = int(rng.integers(0, n))
+        j = int(rng.integers(0, n))
+        while j == i:
+            j = int(rng.integers(0, n))
+        weight = (0.0 if rng.random() < zero_fraction
+                  else float(rng.uniform(0.2, 2.0)))
+        edits.append((i, j, weight))
+    return edits
+
+
+def reference_normalized(adjacency):
+    """Production CSR normalization, densified (the paper-path oracle)."""
+    n = adjacency.shape[0]
+    sparse = normalize_sparse_adjacency(
+        SparseTensor.from_dense(adjacency + np.eye(n)))
+    dense = np.zeros((n, n))
+    pattern = sparse.pattern
+    dense[pattern.rows, pattern.indices] = sparse.values.data
+    return dense
+
+
+@pytest.mark.parametrize("mode", DELTA_MODES)
+class TestRandomEventSequences:
+    def test_matches_production_normalizers_after_every_batch(self, mode):
+        rng = np.random.default_rng(11)
+        n = 36
+        current = random_symmetric(n, 0.15, rng)
+        dynamic = DynamicNormalizedAdjacency(current, mode=mode)
+        for _ in range(12):
+            edits = random_edits(n, int(rng.integers(1, 9)), rng)
+            dynamic.apply_delta(edits)
+            for i, j, w in edits:
+                current[i, j] = current[j, i] = w
+            got = dynamic.normalized_dense()
+            assert np.abs(got - reference_normalized(current)).max() <= TOL
+            assert np.abs(
+                got - normalize_weighted_adjacency(current).data
+            ).max() <= TOL
+
+    def test_bitwise_equal_to_fresh_instance(self, mode):
+        rng = np.random.default_rng(5)
+        n = 30
+        current = random_symmetric(n, 0.2, rng)
+        dynamic = DynamicNormalizedAdjacency(current, mode=mode)
+        for _ in range(10):
+            edits = random_edits(n, int(rng.integers(2, 12)), rng)
+            dynamic.apply_delta(edits)
+            for i, j, w in edits:
+                current[i, j] = current[j, i] = w
+        fresh = DynamicNormalizedAdjacency(current, mode=mode)
+        np.testing.assert_array_equal(dynamic.normalized_dense(),
+                                      fresh.normalized_dense())
+        np.testing.assert_array_equal(dynamic.degrees(), fresh.degrees())
+
+    def test_full_recompute_is_a_fixed_point(self, mode):
+        rng = np.random.default_rng(17)
+        dynamic = DynamicNormalizedAdjacency(
+            random_symmetric(20, 0.25, rng), mode=mode)
+        dynamic.apply_delta(random_edits(20, 15, rng))
+        before = dynamic.normalized_dense()
+        dynamic.full_recompute()
+        np.testing.assert_array_equal(dynamic.normalized_dense(), before)
+
+    def test_delete_then_readd_round_trips(self, mode):
+        rng = np.random.default_rng(3)
+        base = random_symmetric(16, 0.3, rng)
+        dynamic = DynamicNormalizedAdjacency(base, mode=mode)
+        i, j = 0, 1
+        original = base[i, j] if base[i, j] else 0.8
+        dynamic.apply_delta([(i, j, original)])
+        dynamic.apply_delta([(i, j, 0.0)])
+        dynamic.apply_delta([(i, j, original)])
+        base[i, j] = base[j, i] = original
+        fresh = DynamicNormalizedAdjacency(base, mode=mode)
+        np.testing.assert_array_equal(dynamic.normalized_dense(),
+                                      fresh.normalized_dense())
+
+    def test_delist_isolate_matches_fresh(self, mode):
+        rng = np.random.default_rng(7)
+        base = random_symmetric(18, 0.3, rng)
+        dynamic = DynamicNormalizedAdjacency(base, mode=mode)
+        touched = dynamic.isolate([4, 9])
+        assert touched > 0
+        stripped = base.copy()
+        stripped[[4, 9], :] = 0.0
+        stripped[:, [4, 9]] = 0.0
+        fresh = DynamicNormalizedAdjacency(stripped, mode=mode)
+        np.testing.assert_array_equal(dynamic.normalized_dense(),
+                                      fresh.normalized_dense())
+        # the delisted rows keep their self-loops (fixed-width universe)
+        assert dynamic.normalized_dense()[4, 4] > 0
+        assert dynamic.neighbors(4).size == 0
+
+    def test_last_write_wins_within_a_batch(self, mode):
+        dynamic = DynamicNormalizedAdjacency(np.zeros((6, 6)), mode=mode)
+        dynamic.apply_delta([(0, 1, 0.5), (1, 0, 2.0),
+                             (2, 3, 1.0), (2, 3, 0.0)])
+        unnorm = dynamic.unnormalized_dense()
+        assert unnorm[0, 1] == unnorm[1, 0] == 2.0
+        assert unnorm[2, 3] == 0.0
+
+
+class TestModesAgree:
+    def test_dense_and_csr_stay_equivalent(self):
+        # Bitwise equality holds within a mode (vs a fresh instance);
+        # across modes the degree sums associate differently (pairwise
+        # np.sum vs sequential reduceat), so compare to tolerance.
+        rng = np.random.default_rng(23)
+        n = 25
+        base = random_symmetric(n, 0.2, rng)
+        dense = DynamicNormalizedAdjacency(base, mode="dense")
+        csr = DynamicNormalizedAdjacency(base, mode="csr")
+        for _ in range(8):
+            edits = random_edits(n, int(rng.integers(1, 10)), rng)
+            t_dense = dense.apply_delta(edits)
+            t_csr = csr.apply_delta(edits)
+            assert t_dense == t_csr
+            assert np.abs(dense.normalized_dense()
+                          - csr.normalized_dense()).max() <= TOL
+
+
+class TestValidation:
+    def test_self_loop_edit_rejected(self):
+        dynamic = DynamicNormalizedAdjacency(np.zeros((4, 4)))
+        with pytest.raises(ValueError, match="self-loop"):
+            dynamic.apply_delta([(2, 2, 1.0)])
+
+    def test_out_of_range_rejected(self):
+        dynamic = DynamicNormalizedAdjacency(np.zeros((4, 4)))
+        with pytest.raises(ValueError, match="out of range"):
+            dynamic.apply_delta([(0, 4, 1.0)])
+
+    def test_malformed_edits_rejected(self):
+        dynamic = DynamicNormalizedAdjacency(np.zeros((4, 4)))
+        with pytest.raises(ValueError, match="triples"):
+            dynamic.apply_delta([(0, 1)])
+        with pytest.raises(ValueError, match="triples"):
+            dynamic.apply_delta(["nope"])
+
+    def test_asymmetric_adjacency_rejected(self):
+        bad = np.zeros((3, 3))
+        bad[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            DynamicNormalizedAdjacency(bad)
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            DynamicNormalizedAdjacency(np.eye(3))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            DynamicNormalizedAdjacency(np.zeros((3, 3)), mode="coo")
+
+    def test_empty_batch_is_noop(self):
+        dynamic = DynamicNormalizedAdjacency(np.zeros((4, 4)))
+        before = dynamic.normalized_dense()
+        assert dynamic.apply_delta([]) == 0
+        np.testing.assert_array_equal(dynamic.normalized_dense(), before)
+        assert dynamic.stats()["edits_applied"] == 0
+
+
+class TestSnapshotIsolation:
+    def test_prior_normalized_view_survives_delta(self):
+        rng = np.random.default_rng(31)
+        dynamic = DynamicNormalizedAdjacency(
+            random_symmetric(12, 0.3, rng), mode="csr")
+        view = dynamic.normalized()
+        snapshot = view.data.copy()
+        dynamic.apply_delta([(0, 1, 5.0), (2, 3, 0.0)])
+        # copy-on-write: the handed-out view still shows pre-delta values
+        np.testing.assert_array_equal(view.data, snapshot)
+
+
+class TestCacheDeltaPath:
+    def test_apply_delta_counts_hit_and_delta(self):
+        cache = NormalizedAdjacencyCache()
+        dynamic = DynamicNormalizedAdjacency(np.zeros((5, 5)))
+        cache.put("live", dynamic)
+        touched = cache.apply_delta("live", [(0, 1, 1.0)])
+        assert touched == 2
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["deltas"] == 1
+
+    def test_missing_key_is_a_miss_and_keyerror(self):
+        cache = NormalizedAdjacencyCache()
+        with pytest.raises(KeyError):
+            cache.apply_delta("absent", [(0, 1, 1.0)])
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["deltas"] == 0
+
+    def test_static_entry_is_a_hit_and_typeerror(self):
+        cache = NormalizedAdjacencyCache()
+        cache.put("static", np.eye(3))
+        with pytest.raises(TypeError, match="delta"):
+            cache.apply_delta("static", [(0, 1, 1.0)])
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["deltas"] == 0

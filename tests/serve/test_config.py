@@ -99,10 +99,15 @@ class TestBuildThreaded:
             assert body["error"]["retry_after"] is None
             snapshot = handle.telemetry.snapshot()
             assert snapshot["slo"]["target_p99_ms"] == 500.0
-        # store got exactly one SLO row on close
+        # store got one aggregate SLO row (op NULL) plus per-endpoint rows
         from repro.store import ExperimentStore
         with ExperimentStore(db) as store:
-            rows = store.execute("SELECT source, target_p99_ms FROM slo")
-            assert len(rows) == 1
-            assert rows[0]["source"] == "serve-threaded"
-            assert rows[0]["target_p99_ms"] == 500.0
+            rows = store.execute(
+                "SELECT source, op, target_p99_ms FROM slo")
+            assert all(r["source"] == "serve-threaded" for r in rows)
+            assert all(r["target_p99_ms"] == 500.0 for r in rows)
+            aggregate = [r for r in rows if r["op"] is None]
+            assert len(aggregate) == 1
+            per_op = {r["op"] for r in rows if r["op"] is not None}
+            assert "scores" in per_op        # canonical endpoint labels
+            assert "predict_scores" not in per_op

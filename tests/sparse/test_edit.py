@@ -1,0 +1,129 @@
+"""Row-touch CSR edit ops: set/delete/get semantics and structural drops.
+
+Every op returns a *new* matrix; the oracle throughout is the dense
+mirror of the same edit applied with plain indexing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+from repro.sparse.edit import (csr_delete_entries, csr_drop_rowcol,
+                               csr_get_entries, csr_set_entries,
+                               row_edit_chunks, splice_rows)
+
+
+def random_csr(n, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = np.where(rng.random((n, n)) < density, rng.random((n, n)), 0.0)
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestSetEntries:
+    def test_overwrite_insert_delete_match_dense(self):
+        matrix, dense = random_csr(12, 0.3, seed=0)
+        rows = [0, 0, 5, 11]
+        cols = [1, 2, 5, 0]
+        vals = [9.0, 0.0, 3.5, -1.0]
+        edited, touched = csr_set_entries(matrix, rows, cols, vals)
+        for r, c, v in zip(rows, cols, vals):
+            dense[r, c] = v
+        np.testing.assert_array_equal(edited.to_dense(), dense)
+        np.testing.assert_array_equal(touched, [0, 5, 11])
+        # original untouched (ops are persistent)
+        assert matrix.nnz != edited.nnz or not np.array_equal(
+            matrix.data, edited.data)
+
+    def test_duplicates_resolve_last_wins(self):
+        matrix, dense = random_csr(8, 0.2, seed=1)
+        edited, _ = csr_set_entries(matrix, [2, 2, 2], [3, 3, 3],
+                                    [1.0, 0.0, 7.0])
+        dense[2, 3] = 7.0
+        np.testing.assert_array_equal(edited.to_dense(), dense)
+
+    def test_delete_then_readd_in_one_batch(self):
+        matrix, dense = random_csr(8, 0.4, seed=2)
+        r, c = 1, int(matrix.indices[matrix.indptr[1]])
+        edited, _ = csr_set_entries(matrix, [r, r], [c, c], [0.0, 2.25])
+        dense[r, c] = 2.25
+        np.testing.assert_array_equal(edited.to_dense(), dense)
+
+    def test_empty_edit_returns_same_matrix(self):
+        matrix, _ = random_csr(6, 0.3, seed=3)
+        edited, touched = csr_set_entries(matrix, [], [], [])
+        assert edited is matrix
+        assert touched.size == 0
+
+    def test_out_of_range_rejected(self):
+        matrix, _ = random_csr(6, 0.3, seed=4)
+        with pytest.raises(ValueError, match="out of range"):
+            csr_set_entries(matrix, [6], [0], [1.0])
+
+
+class TestDeleteAndGet:
+    def test_delete_removes_and_ignores_absent(self):
+        matrix, dense = random_csr(10, 0.3, seed=5)
+        present = (int(matrix.pattern.rows[0]), int(matrix.indices[0]))
+        absent = next((r, c) for r in range(10) for c in range(10)
+                      if dense[r, c] == 0.0)
+        edited, _ = csr_delete_entries(
+            matrix, [present[0], absent[0]], [present[1], absent[1]])
+        dense[present] = 0.0
+        np.testing.assert_array_equal(edited.to_dense(), dense)
+
+    def test_get_entries_zero_where_absent(self):
+        matrix, dense = random_csr(10, 0.3, seed=6)
+        rows = np.repeat(np.arange(10), 10)
+        cols = np.tile(np.arange(10), 10)
+        got = csr_get_entries(matrix, rows, cols)
+        np.testing.assert_array_equal(got, dense[rows, cols])
+
+
+class TestRowChunksAndSplice:
+    def test_splice_preserves_untouched_rows(self):
+        matrix, dense = random_csr(9, 0.4, seed=7)
+        chunks = row_edit_chunks(matrix, [4], [0], [5.0])
+        spliced = splice_rows(matrix, chunks)
+        dense[4, 0] = 5.0
+        np.testing.assert_array_equal(spliced.to_dense(), dense)
+
+    def test_splice_empty_chunks_is_identity(self):
+        matrix, _ = random_csr(5, 0.3, seed=8)
+        assert splice_rows(matrix, {}) is matrix
+
+    def test_splice_row_out_of_range(self):
+        matrix, _ = random_csr(5, 0.3, seed=9)
+        chunks = {7: (np.array([0]), np.array([1.0]))}
+        with pytest.raises(ValueError, match="out of range"):
+            splice_rows(matrix, chunks)
+
+
+class TestDropRowCol:
+    def test_drop_compacts_and_remaps(self):
+        matrix, dense = random_csr(10, 0.4, seed=10)
+        dropped = csr_drop_rowcol(matrix, [2, 7])
+        keep = [i for i in range(10) if i not in (2, 7)]
+        np.testing.assert_array_equal(dropped.to_dense(),
+                                      dense[np.ix_(keep, keep)])
+        assert dropped.shape == (8, 8)
+
+    def test_drop_requires_square(self):
+        rect = CSRMatrix.from_dense(np.ones((3, 4)))
+        with pytest.raises(ValueError, match="square"):
+            csr_drop_rowcol(rect, [0])
+
+
+class TestWithPattern:
+    def test_shares_pattern_and_caches(self):
+        matrix, _ = random_csr(8, 0.3, seed=11)
+        _ = matrix.pattern.rows          # warm the row-expansion cache
+        swapped = CSRMatrix.with_pattern(matrix.pattern,
+                                         matrix.data * 2.0)
+        assert swapped.pattern is matrix.pattern
+        np.testing.assert_array_equal(swapped.to_dense(),
+                                      matrix.to_dense() * 2.0)
+
+    def test_rejects_wrong_length_data(self):
+        matrix, _ = random_csr(8, 0.3, seed=12)
+        with pytest.raises(ValueError, match="does not match"):
+            CSRMatrix.with_pattern(matrix.pattern, np.ones(matrix.nnz + 1))
