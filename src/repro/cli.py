@@ -130,6 +130,13 @@ _FIELD_HELP = {
                     "see docs/performance.md)",
     "fused_kernels": "use the fused autograd kernels",
     "buffer_arena": "recycle backward buffers through the arena",
+    "dist_workers": "intra-run data-parallel workers: 0 = plain serial "
+                    "trainer, 1 = inline dist reference, N = forked "
+                    "workers, negative = one per CPU core; the numbers "
+                    "never depend on N (docs/distributed.md)",
+    "dist_days_per_step": "training days combined into one optimizer "
+                          "step by the dist loop (part of the numerics, "
+                          "never derived from the worker count)",
 }
 
 
@@ -536,14 +543,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     """Query a running server, printed as JSON.
 
     ``--endpoint`` accepts a comma-separated list; multiple endpoints
-    are fetched concurrently (stdlib threads) and printed as one JSON
-    object keyed by endpoint, so a dashboard poll is a single command.
+    are fetched concurrently on one asyncio event loop
+    (:mod:`repro.serve.client`) and printed as one JSON object keyed by
+    endpoint, so a dashboard poll is a single command.
     """
     import json
-    from concurrent.futures import ThreadPoolExecutor
-    from urllib.error import URLError
-    from urllib.parse import urlencode
-    from urllib.request import urlopen
+
+    from repro.serve.client import ClientConnectError, fetch_endpoints
 
     endpoints = list(dict.fromkeys(
         e.strip() for e in args.endpoint.split(",") if e.strip()))
@@ -561,22 +567,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.day is not None:
         params["day"] = args.day
 
-    def fetch(endpoint: str) -> dict:
-        url = f"http://{args.host}:{args.port}{_QUERY_PATHS[endpoint]}"
-        if params:
-            url += "?" + urlencode(params)
-        with urlopen(url, timeout=args.timeout) as response:
-            return json.loads(response.read().decode("utf-8"))
-
     try:
-        if len(endpoints) == 1:
-            payloads = {endpoints[0]: fetch(endpoints[0])}
-        else:
-            workers = max(1, min(args.concurrency, len(endpoints)))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                payloads = dict(zip(endpoints,
-                                    pool.map(fetch, endpoints)))
-    except URLError as exc:
+        payloads = fetch_endpoints(
+            args.host, args.port,
+            {endpoint: _QUERY_PATHS[endpoint] for endpoint in endpoints},
+            params=params, timeout=args.timeout,
+            concurrency=max(1, min(args.concurrency, len(endpoints))))
+    except ClientConnectError as exc:
         raise SystemExit(f"query failed: {exc} (is `repro.cli serve` "
                          f"running on {args.host}:{args.port}?)")
     if len(endpoints) == 1:
@@ -685,11 +682,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
                      "tick_p50_ms": p50 * 1e3,
                      "tick_p99_ms": p99 * 1e3})
         store.record_report(report)
+        from .store.schema import latency_histogram
         store.record_slo(
             {"requests": ticks,
              "latency_seconds": {"p50": p50,
                                  "p95": float(np.percentile(lat, 95.0)),
-                                 "p99": p99}},
+                                 "p99": p99},
+             "latency_hist_ms": latency_histogram(lat)},
             source="stream-client", op="ingest", report_id=report_id)
         print(f"replay recorded in {store.path} (report {report_id})")
         store.close()

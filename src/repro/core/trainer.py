@@ -90,6 +90,15 @@ class TrainConfig:
     dtype_policy: str = "float64"
     fused_kernels: bool = True
     buffer_arena: bool = False
+    # Intra-run data parallelism (see docs/distributed.md): 0 disables
+    # (plain serial loop), N >= 1 runs the repro.dist fit loop with N
+    # worker processes (1 = inline, the serial numerical reference;
+    # negative = one per CPU).  `dist_days_per_step` is how many days of
+    # the schedule one optimizer step consumes under that loop; it is
+    # part of the numerics (it changes the effective batch size), so it
+    # is a config knob and never derived from the worker count.
+    dist_workers: int = 0
+    dist_days_per_step: int = 4
 
 
 @dataclass
@@ -158,6 +167,10 @@ class Trainer:
         self.optimizer = Adam(model.parameters(),
                               lr=self.config.learning_rate)
         self._fit_state: Optional[_FitState] = None
+        # Live repro.dist ShardExecutor while a distributed fit is in
+        # flight (fault-injection hooks and tests reach workers through
+        # it); None otherwise.
+        self.dist_executor = None
 
     # ------------------------------------------------------------------
     # day bookkeeping
@@ -344,8 +357,17 @@ class Trainer:
         ``dtype_policy`` (activated as the thread's dtype policy),
         ``fused_kernels``, and — when ``buffer_arena`` is set — the
         backward buffer arena.
+
+        With ``dist_workers`` non-zero the fit is delegated to the
+        :mod:`repro.dist` data-parallel loop (same callbacks, same
+        events; see :func:`repro.dist.fit_distributed` for its two
+        restrictions).
         """
         cfg = self.config
+        if cfg.dist_workers:
+            from ..dist.trainer import fit_distributed
+            return fit_distributed(self, callbacks=callbacks,
+                                   resume_from=resume_from)
         with dtype_policy(cfg.dtype_policy), \
                 fused_kernels(cfg.fused_kernels):
             if cfg.buffer_arena:

@@ -1,0 +1,185 @@
+"""Live model parameters and Adam moments in shared memory.
+
+The data-parallel trainer never re-pickles the model: the parent
+publishes every parameter into one mutable shared segment *before*
+forking its workers and then adopts **writable** zero-copy views — so
+the in-place Adam update (``param.data -= ...``) *is* the per-step
+weight broadcast.  Forked workers inherit the mapping and adopt
+**read-only** views over the same bytes; they see each step's new
+weights with zero copies and zero messages, and an accidental in-place
+write in a worker fails loudly instead of corrupting the run.
+
+Synchronization is by protocol, not locks: the parent only writes
+parameters between steps, when every worker is idle (blocked on its
+task pipe), and workers only read while a shard task is in flight.  The
+generation slot (a :class:`~repro.shm.GenerationControl` seqlock, bumped
+to the optimizer step count by :meth:`ParamStore.commit`) lets a worker
+assert it is computing against the weights the parent thinks it
+published — a cheap cross-process torn-step detector.
+
+:class:`GradSlots` is the reverse path: one shared segment of
+per-parameter gradient buffers per worker slot, written by the worker
+that computed a shard and read back by the parent when the shard's
+"done" event arrives.  Gradients thus never travel through a pipe
+either; only day losses (a few floats) do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..shm import (GenerationControl, SharedModelState, adopt_views,
+                   default_base_name, publish_state)
+
+__all__ = ["ParamStore", "GradSlots"]
+
+
+class ParamStore:
+    """Owner of the shared parameter + optimizer-moment segments.
+
+    Parameters
+    ----------
+    model:
+        The model whose parameters are shared (adopted in place).
+    optimizer:
+        The optimizer whose per-parameter moment buffers are mirrored
+        into shared memory by :meth:`commit` (Adam's ``m``/``v``; any
+        :class:`~repro.optim.Optimizer` state dict-of-slots works).
+    base_name:
+        Segment name prefix; a collision-resistant default is derived
+        from the pid.
+    """
+
+    def __init__(self, model, optimizer=None,
+                 base_name: Optional[str] = None):
+        self.model = model
+        self.optimizer = optimizer
+        self.base_name = base_name or default_base_name("repro-dist")
+        named = dict(model.named_parameters())
+        self.param_names: List[str] = list(named)
+        self.params_state = publish_state(
+            {name: param.data for name, param in named.items()},
+            f"{self.base_name}-params")
+        moments: Dict[str, np.ndarray] = {}
+        if optimizer is not None:
+            for index, param in enumerate(optimizer.params):
+                for slot in self._moment_slots():
+                    moments[f"{slot}:{index}"] = np.zeros_like(param.data)
+        self.moments_state = (publish_state(
+            moments, f"{self.base_name}-moments") if moments else None)
+        self.control = GenerationControl.create(f"{self.base_name}-ctl")
+
+    @staticmethod
+    def _moment_slots() -> tuple:
+        return ("m", "v")
+
+    # ------------------------------------------------------------------
+    # adoption
+    # ------------------------------------------------------------------
+    def adopt_parent(self) -> None:
+        """Point the parent's model at writable shared views.
+
+        After this, every optimizer step writes the shared segment
+        directly — the broadcast is the page cache.
+        """
+        adopt_views(self.model, self.params_state.views(writable=True))
+
+    def adopt_worker(self, model) -> None:
+        """Point a forked worker's model at read-only shared views."""
+        adopt_views(model, self.params_state.views(writable=False))
+
+    # ------------------------------------------------------------------
+    # step protocol
+    # ------------------------------------------------------------------
+    def commit(self, generation: int) -> None:
+        """Mirror optimizer moments into shm and publish ``generation``.
+
+        Called once per optimizer step, after ``optimizer.step()``
+        returned (parameters are already in the segment — the parent
+        writes them in place).  Adam rebinds its moment arrays each step
+        rather than updating them in place, so the mirror is an explicit
+        copy; workers never read the moments mid-step because the parent
+        only runs this while they are idle.
+        """
+        if self.moments_state is not None and self.optimizer is not None:
+            views = self.moments_state.views(writable=True)
+            for index in range(len(self.optimizer.params)):
+                slots = self.optimizer.state.get(index)
+                if not slots:
+                    continue
+                for slot in self._moment_slots():
+                    buffer = slots.get(slot)
+                    if buffer is not None:
+                        np.copyto(views[f"{slot}:{index}"], buffer)
+        self.control.publish(generation)
+
+    def generation(self) -> int:
+        """The last committed generation (seqlock read, any process)."""
+        return self.control.current()
+
+    def moments(self) -> Dict[str, np.ndarray]:
+        """Copies of the mirrored moment buffers (inspection/tests)."""
+        if self.moments_state is None:
+            return {}
+        return self.moments_state.state_dict()
+
+    # ------------------------------------------------------------------
+    def close(self, unlink: bool = True) -> None:
+        """Tear down every mapping (and, by default, every name).
+
+        The model keeps whatever arrays its parameters currently point
+        at; callers that need the weights to outlive the store must
+        re-own them first (see ``fit_distributed``'s teardown, which
+        copies the final parameters back into process-private arrays).
+        """
+        for state in (self.params_state, self.moments_state):
+            if state is None:
+                continue
+            if unlink:
+                state.unlink()
+            state.close()
+        if unlink:
+            self.control.unlink()
+        self.control.close()
+
+
+class GradSlots:
+    """Per-worker shared gradient buffers, one segment per slot.
+
+    Slot ``k`` belongs to worker ``k`` (slot 0 doubles as the inline
+    executor's scratch).  A worker overwrites its slot's buffers with
+    the shard's accumulated gradients, then signals "done"; the parent
+    copies them out before handing that worker its next shard, so a
+    slot is never read and written concurrently.
+    """
+
+    def __init__(self, templates: Dict[str, np.ndarray], n_slots: int,
+                 base_name: Optional[str] = None):
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        self.base_name = base_name or default_base_name("repro-dist")
+        self.n_slots = int(n_slots)
+        self.names = list(templates)
+        self.states: List[SharedModelState] = [
+            publish_state({name: np.zeros_like(array)
+                           for name, array in templates.items()},
+                          f"{self.base_name}-grad{slot}")
+            for slot in range(self.n_slots)]
+
+    def views(self, slot: int) -> Dict[str, np.ndarray]:
+        """Writable views of one slot's gradient buffers."""
+        return self.states[slot].views(writable=True)
+
+    def read(self, slot: int) -> Dict[str, np.ndarray]:
+        """Owned copies of one slot's buffers (parent side, post-event)."""
+        return {name: np.array(view)
+                for name, view in self.states[slot].views().items()}
+
+    def close(self, unlink: bool = True) -> None:
+        for state in self.states:
+            if unlink:
+                state.unlink()
+            state.close()
+        self.states = []

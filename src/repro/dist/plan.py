@@ -1,0 +1,187 @@
+"""Deterministic partitioning of a training step's work.
+
+A data-parallel step must produce the same numbers no matter how many
+workers execute it, so the *plan* — which days form one optimizer step,
+how the step splits into shards, and in which order shard gradients are
+reduced — is a pure function of the configuration and the epoch's
+(already shuffled) day order.  Workers are merely a scheduling pool over
+the plan's shards; adding or removing workers reassigns shards to
+processes but never changes the plan itself.
+
+Two partition axes are provided:
+
+- **day shards** (:meth:`ShardPlan.for_days`) — the day-group of one
+  optimizer step split into contiguous single- or multi-day shards,
+  the unit :class:`~repro.dist.worker.ShardExecutor` dispatches;
+- **row blocks** (:func:`row_blocks` / :func:`block_spmm`) — contiguous
+  row ranges of the stock graph.  CSR propagation is row-separable
+  (each output row reads only its own ``indptr`` span), so a row-block
+  spmm computed block-by-block is bitwise-equal to the whole-matrix
+  kernel — the property that makes the sparse kernels safe to
+  partition across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..sparse import CSRMatrix
+from ..tensor.sparse import SparsePattern, _csr_matmul
+
+__all__ = ["Shard", "StepGroup", "ShardPlan", "row_blocks", "block_spmm"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker-executable unit: a contiguous run of training days.
+
+    ``index`` is the shard's position inside its step group — the frozen
+    key of the gradient reduction order.
+    """
+
+    index: int
+    days: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.days)
+
+
+@dataclass(frozen=True)
+class StepGroup:
+    """The shards of one optimizer step, in reduction order."""
+
+    index: int
+    shards: Tuple[Shard, ...]
+
+    @property
+    def days(self) -> Tuple[int, ...]:
+        """Every day of the step, in canonical (schedule) order."""
+        return tuple(day for shard in self.shards for day in shard.days)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An epoch's full schedule: optimizer steps of day shards.
+
+    Build with :meth:`for_days`.  The plan depends only on the day order
+    and the grouping knobs — never on the worker count — which is what
+    keeps 1-, 2- and 4-worker runs bitwise-identical.
+    """
+
+    steps: Tuple[StepGroup, ...]
+    days_per_step: int
+    days_per_shard: int
+
+    @classmethod
+    def for_days(cls, day_order: Sequence[int], days_per_step: int,
+                 days_per_shard: int = 1) -> "ShardPlan":
+        """Slice a (shuffled) day order into steps of contiguous shards.
+
+        Every ``days_per_step`` consecutive days form one optimizer
+        step; within a step, every ``days_per_shard`` consecutive days
+        form one shard (the last step and shard may be ragged).  With
+        ``days_per_step=1`` the plan degenerates to one step per day —
+        the serial trainer's schedule.
+        """
+        if days_per_step < 1:
+            raise ValueError(f"days_per_step must be >= 1, got "
+                             f"{days_per_step}")
+        if days_per_shard < 1:
+            raise ValueError(f"days_per_shard must be >= 1, got "
+                             f"{days_per_shard}")
+        days = [int(day) for day in day_order]
+        steps: List[StepGroup] = []
+        for step_index, start in enumerate(range(0, len(days),
+                                                 days_per_step)):
+            group_days = days[start:start + days_per_step]
+            shards = tuple(
+                Shard(index=shard_index,
+                      days=tuple(group_days[off:off + days_per_shard]))
+                for shard_index, off in enumerate(
+                    range(0, len(group_days), days_per_shard)))
+            steps.append(StepGroup(index=step_index, shards=shards))
+        return cls(steps=tuple(steps), days_per_step=int(days_per_step),
+                   days_per_shard=int(days_per_shard))
+
+    @property
+    def num_days(self) -> int:
+        return sum(len(group.days) for group in self.steps)
+
+    @property
+    def max_shards(self) -> int:
+        """The widest step — how many grad slots an executor needs."""
+        return max((len(group) for group in self.steps), default=0)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+# ----------------------------------------------------------------------
+# row-block partitioning of the stock graph
+# ----------------------------------------------------------------------
+def row_blocks(n_rows: int, n_blocks: int) -> List[Tuple[int, int]]:
+    """Split ``[0, n_rows)`` into ``n_blocks`` contiguous ``(start, stop)``
+    ranges, sizes differing by at most one (larger blocks first).
+
+    Deterministic in its arguments; empty trailing blocks are dropped so
+    every returned range is non-empty.
+    """
+    if n_rows < 0:
+        raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+    if n_blocks < 1:
+        raise ValueError(f"n_blocks must be >= 1, got {n_blocks}")
+    base, remainder = divmod(n_rows, n_blocks)
+    blocks: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(n_blocks):
+        size = base + (1 if index < remainder else 0)
+        if size == 0:
+            break
+        blocks.append((start, start + size))
+        start += size
+    return blocks
+
+
+def _block_pattern(pattern: SparsePattern,
+                   start: int, stop: int) -> Tuple[SparsePattern, slice]:
+    """The CSR sub-pattern of rows ``[start, stop)`` plus its nnz span."""
+    indptr = pattern.indptr
+    lo, hi = int(indptr[start]), int(indptr[stop])
+    sub = SparsePattern(indptr[start:stop + 1] - lo,
+                        pattern.indices[lo:hi],
+                        (stop - start, pattern.shape[1]))
+    return sub, slice(lo, hi)
+
+
+def block_spmm(matrix: CSRMatrix, dense: np.ndarray,
+               n_blocks: int) -> np.ndarray:
+    """``matrix @ dense`` computed one contiguous row block at a time.
+
+    Each block is an independent call into the shared CSR kernel over a
+    sliced ``indptr`` span, so the result is bitwise-identical to the
+    single-call :meth:`CSRMatrix.matmul` — the segment ops are
+    partition-friendly.  This is the primitive a row-parallel
+    propagation shard runs; the executor's tests pin the bitwise
+    property.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    squeeze = dense.ndim == 1
+    if squeeze:
+        dense = dense[:, None]
+    n_rows = matrix.shape[0]
+    parts = []
+    for start, stop in row_blocks(n_rows, n_blocks):
+        sub, span = _block_pattern(matrix.pattern, start, stop)
+        parts.append(_csr_matmul(sub, matrix.data[span], dense))
+    if not parts:
+        out = np.zeros(dense.shape[:-2] + (0, dense.shape[-1]),
+                       dtype=np.float64)
+    else:
+        out = np.concatenate(parts, axis=-2)
+    return out[..., 0] if squeeze else out

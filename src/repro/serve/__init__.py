@@ -9,9 +9,12 @@
 
 :class:`ServeConfig` holds every knob (listener, topology, batching,
 admission control, SLO, hot reload, persistence) and :func:`build`
-wires the whole stack from it.  Hand-constructing the individual layers
-still works but warns :class:`DeprecationWarning` once per class; see
-``docs/serving.md`` for the migration table.
+wires the whole stack from it.  The pre-PR-8 constructor surface
+(``ModelRegistry(...)``, ``RankingService(...)``, ``serve_forever(...)``
+and friends) had its deprecation release and is now removed: the names
+are gone from this namespace and direct construction raises
+:class:`LegacyRemovedError`; see ``docs/serving.md`` for the migration
+table.
 
 The stack, bottom to top:
 
@@ -38,16 +41,15 @@ See ``docs/serving.md`` for the train → checkpoint → serve → query
 lifecycle.
 """
 
-from ._deprecation import LEGACY
-from .batcher import BatcherClosedError, MicroBatcher
+from ._deprecation import LEGACY, LegacyRemovedError
+from .batcher import BatcherClosedError
+from .client import ClientConnectError, QueryClient, fetch_endpoints
 from .cluster import ClusterError, ServingCluster
 from .config import SERVE_MODES, ServeConfig, ServeHandle, build
-from .engine import InferenceEngine
-from .httpd import ApiError, RankingHTTPServer, serve_forever
-from .registry import (ModelRegistry, RegistryError, ServableModel,
-                       build_servable, infer_rtgcn_architecture,
-                       resolve_strategy)
-from .service import RankingService, ServiceTimeoutError
+from .httpd import ApiError
+from .registry import (RegistryError, ServableModel, build_servable,
+                       infer_rtgcn_architecture, resolve_strategy)
+from .service import ServiceTimeoutError
 from .shm import (SharedWeightReader, SharedWeightStore,
                   ShmUnavailableError, shm_available)
 from .stream import StreamIngestor
@@ -60,13 +62,13 @@ __all__ = [
     "ServingCluster", "ClusterError",
     "SharedWeightStore", "SharedWeightReader", "ShmUnavailableError",
     "shm_available",
-    # errors / telemetry / helpers (not deprecated)
+    # query client
+    "QueryClient", "fetch_endpoints", "ClientConnectError",
+    # errors / telemetry / helpers
     "ApiError", "ServiceTimeoutError", "RegistryError",
     "BatcherClosedError", "ServingTelemetry", "StreamIngestor",
     "ServableModel",
     "build_servable", "infer_rtgcn_architecture", "resolve_strategy",
-    "LEGACY",
-    # deprecated construction shims (warn once; removed next release)
-    "ModelRegistry", "InferenceEngine", "MicroBatcher", "RankingService",
-    "RankingHTTPServer", "serve_forever",
+    # removed-constructor bookkeeping
+    "LEGACY", "LegacyRemovedError",
 ]

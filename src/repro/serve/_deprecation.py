@@ -1,36 +1,34 @@
-"""Warn-once deprecation plumbing for the legacy serve construction API.
+"""Removal guard for the legacy serve construction API.
 
 PR 8 consolidated serving construction behind one blessed path —
 :class:`~repro.serve.config.ServeConfig` plus
 :func:`~repro.serve.config.build` — and turned the organically grown
 constructor surface (``RankingService(dir, max_batch=...)``,
 ``ModelRegistry(...)``, ``MicroBatcher(...)``, ``RankingHTTPServer(...)``,
-``serve_forever(...)``) into deprecation shims.  The shims keep working
-exactly as before; they just emit one :class:`DeprecationWarning` per
-process the first time each is used directly.
+``serve_forever(...)``) into warn-once deprecation shims.  The shims have
+now had their deprecation release: direct construction raises
+:class:`LegacyRemovedError` and the names are gone from the
+``repro.serve`` namespace.  The classes themselves still exist in their
+submodules — :func:`build` composes them — but only the blessed factory
+(or anything else running under :func:`sanctioned`) may construct them.
 
-Two pieces make that workable:
+- :func:`guard_legacy` — the gate every legacy entry point calls; raises
+  unless construction is running on behalf of the blessed path.
+- :func:`sanctioned` — the context manager ``build(config)`` (and the
+  internals it builds, and tests exercising the layers directly) wrap
+  construction in.
 
-- :func:`warn_legacy` — the warn-once gate every legacy entry point
-  calls.  One warning per legacy name per process, so a request loop
-  that constructs a thousand batchers does not drown the log.
-- :func:`sanctioned` — a context manager the blessed factory (and the
-  internals it builds) wrap construction in, so ``build(config)``
-  composing a registry into a service into a server never warns about
-  its own plumbing.
-
-``LEGACY`` is the registry of shimmed names; the API-hygiene tests
-enumerate it so a legacy entry point can never silently lose its shim.
+``LEGACY`` remains the registry of removed names; the API-hygiene tests
+enumerate it so a removed entry point can never silently come back.
 """
 
 from __future__ import annotations
 
 import threading
-import warnings
 from contextlib import contextmanager
-from typing import Dict, Iterator, Set
+from typing import Dict, Iterator
 
-#: every shimmed legacy entry point -> the blessed replacement spelling.
+#: every removed legacy entry point -> the blessed replacement spelling.
 #: tests/test_api_hygiene.py iterates this mapping.
 LEGACY: Dict[str, str] = {
     "ModelRegistry": "repro.serve.build(ServeConfig(...)).registry",
@@ -42,14 +40,16 @@ LEGACY: Dict[str, str] = {
     "serve_forever": "repro.serve.build(ServeConfig(...)).serve_forever()",
 }
 
-_warned: Set[str] = set()
-_warned_lock = threading.Lock()
 _blessed = threading.local()
+
+
+class LegacyRemovedError(TypeError):
+    """Direct construction of a removed legacy serve entry point."""
 
 
 @contextmanager
 def sanctioned() -> Iterator[None]:
-    """Suppress legacy warnings for construction done by the blessed path."""
+    """Allow legacy construction for the blessed path's own plumbing."""
     depth = getattr(_blessed, "depth", 0)
     _blessed.depth = depth + 1
     try:
@@ -63,30 +63,19 @@ def is_sanctioned() -> bool:
     return getattr(_blessed, "depth", 0) > 0
 
 
-def warn_legacy(name: str, stacklevel: int = 3) -> bool:
-    """Emit the one-per-process deprecation warning for ``name``.
+def guard_legacy(name: str) -> None:
+    """Refuse direct use of the removed entry point ``name``.
 
-    Returns ``True`` when a warning was actually emitted (first direct
-    use), ``False`` when suppressed (already warned, or construction is
-    running under :func:`sanctioned` on behalf of the blessed factory).
+    A no-op under :func:`sanctioned` (the blessed factory composing the
+    stack); otherwise raises :class:`LegacyRemovedError` pointing at the
+    replacement spelling.
     """
     if name not in LEGACY:
         raise KeyError(f"{name!r} is not a registered legacy entry point; "
                        f"known: {sorted(LEGACY)}")
     if is_sanctioned():
-        return False
-    with _warned_lock:
-        if name in _warned:
-            return False
-        _warned.add(name)
-    warnings.warn(
-        f"direct {name} construction is deprecated; use "
-        f"{LEGACY[name]} (see docs/serving.md, 'Migrating to "
-        f"ServeConfig')", DeprecationWarning, stacklevel=stacklevel)
-    return True
-
-
-def reset_warned() -> None:
-    """Forget which warnings fired (test isolation helper)."""
-    with _warned_lock:
-        _warned.clear()
+        return
+    raise LegacyRemovedError(
+        f"direct {name} construction was removed after its deprecation "
+        f"release; use {LEGACY[name]} (see docs/serving.md, 'Migrating "
+        f"to ServeConfig')")

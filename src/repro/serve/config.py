@@ -15,9 +15,10 @@ one field-driven dataclass and one factory, mirroring how
     with handle:
         handle.serve_forever()        # or poke handle.service directly
 
-Direct construction of the individual classes still works but emits a
-:class:`DeprecationWarning` (once per process per class); the shims are
-kept for one release.  ``docs/serving.md`` documents the migration.
+Direct construction of the individual classes raises
+:class:`~repro.serve._deprecation.LegacyRemovedError` — the PR 8
+deprecation shims had their release and are gone.  ``docs/serving.md``
+documents the migration.
 
 ``mode="threaded"`` is the in-process server of PR 4 (thread pool +
 micro-batcher).  ``mode="cluster"`` is the multi-process asyncio

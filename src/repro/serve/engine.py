@@ -38,8 +38,8 @@ class InferenceEngine:
 
     def __init__(self, servable: ServableModel,
                  graph_mode: Optional[str] = None):
-        from ._deprecation import warn_legacy
-        warn_legacy("InferenceEngine")
+        from ._deprecation import guard_legacy
+        guard_legacy("InferenceEngine")
         self.servable = servable
         self.graph_mode = graph_mode or servable.graph_mode
         self.model = servable.model

@@ -210,8 +210,8 @@ class RankingHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address: Tuple[str, int], service: RankingService):
-        from ._deprecation import warn_legacy
-        warn_legacy("RankingHTTPServer")
+        from ._deprecation import guard_legacy
+        guard_legacy("RankingHTTPServer")
         super().__init__(address, _RankingHandler)
         self.service = service
 
@@ -265,8 +265,8 @@ class _RankingHandler(BaseHTTPRequestHandler):
 def serve_forever(service: RankingService, host: str = "127.0.0.1",
                   port: int = 8151) -> None:
     """Blocking entry point used by ``repro.cli serve``."""
-    from ._deprecation import sanctioned, warn_legacy
-    warn_legacy("serve_forever")
+    from ._deprecation import sanctioned, guard_legacy
+    guard_legacy("serve_forever")
     with sanctioned():
         server = RankingHTTPServer((host, port), service)
     try:

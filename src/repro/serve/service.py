@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ._deprecation import sanctioned, warn_legacy
+from ._deprecation import sanctioned, guard_legacy
 from .batcher import MicroBatcher
 from .engine import InferenceEngine
 from .registry import ModelRegistry, RegistryError
@@ -64,7 +64,7 @@ class RankingService:
                  idle_poll_ms: Optional[float] = None,
                  tick_budget_ms: Optional[float] = None,
                  stream_alpha: Optional[float] = None):
-        warn_legacy("RankingService")
+        guard_legacy("RankingService")
         with sanctioned():
             if not isinstance(registry, ModelRegistry):
                 registry = ModelRegistry(registry)

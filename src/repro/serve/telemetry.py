@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..obs import RunReport, new_run_id
+from ..store.schema import latency_histogram
 
 #: retain this many most-recent latency / queue-depth samples; serving runs
 #: are unbounded streams, percentiles over a recent window are what a
@@ -154,6 +155,8 @@ class ServingTelemetry:
             "fallbacks": int(self._op_fallbacks.get(name, 0)),
             "shed": int(self._op_shed.get(name, 0)),
             "latency_seconds": latency,
+            "latency_hist_ms": latency_histogram(
+                self._op_latencies.get(name, ())),
         }
         if self.slo_p99_ms is not None:
             observed_p99_ms = latency["p99"] * 1000.0
@@ -204,6 +207,7 @@ class ServingTelemetry:
                 "requests_per_second": self.requests / elapsed,
                 "ops": dict(self._ops),
                 "latency_seconds": latency,
+                "latency_hist_ms": latency_histogram(self._latencies),
                 "queue_depth": queue_depth,
                 "batches": self.batches,
                 "mean_batch_size": mean_batch,

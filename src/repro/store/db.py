@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from .schema import (DDL, MIGRATABLE_VERSIONS, STORE_SCHEMA_VERSION,
-                     TABLES, split_experiment)
+                     TABLES, slo_hist_columns, split_experiment)
 
 #: how long a writer waits for a competing writer before erroring (ms)
 DEFAULT_BUSY_TIMEOUT_MS = 30_000
@@ -125,6 +125,16 @@ class ExperimentStore:
         # migration path: opening an older, migratable file just creates
         # the tables it was missing and bumps the recorded version.
         conn.executescript(DDL)
+        # v2 -> v3: the DDL cannot add columns to an existing slo table,
+        # so the histogram columns are retrofitted explicitly.  The
+        # PRAGMA guard makes this idempotent (and a no-op on fresh/v3
+        # files).
+        present = {row[1] for row in
+                   conn.execute("PRAGMA table_info(slo)")}
+        for column in slo_hist_columns():
+            if column not in present:
+                conn.execute(
+                    f"ALTER TABLE slo ADD COLUMN {column} INTEGER")
         with self._txn(conn):
             row = conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
@@ -338,9 +348,17 @@ class ExperimentStore:
         counter shape).  Telemetry without an ``slo`` block — no budget
         configured — still records the observed percentiles with a NULL
         target, so dashboards see the latency even before an SLO exists.
+
+        Snapshots carrying a ``latency_hist_ms`` block (schema v3; every
+        :class:`~repro.serve.ServingTelemetry` snapshot does) also fill
+        the fixed-bucket histogram columns, from which ``db report``
+        re-derives p50/p90/p99 across aggregated windows.  Older
+        snapshot dicts without the block record NULLs — readers treat
+        that as "histogram unknown", never as zero traffic.
         """
         slo = snapshot.get("slo") or {}
         latency = snapshot.get("latency_seconds") or {}
+        hist = snapshot.get("latency_hist_ms") or {}
 
         def _ms(key: str) -> Optional[float]:
             if key in slo:
@@ -352,13 +370,18 @@ class ExperimentStore:
             return None
 
         within = slo.get("within")
+        hist_columns = slo_hist_columns()
+        hist_values = [None if hist.get(column) is None
+                       else int(hist[column]) for column in hist_columns]
         conn = self.connection
         with self._txn(conn):
             cursor = conn.execute(
                 "INSERT INTO slo (report_id, source, op, target_p99_ms,"
                 " observed_p50_ms, observed_p95_ms, observed_p99_ms,"
-                " requests, errors, shed, within, created_at)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+                " requests, errors, shed, within, "
+                + ", ".join(hist_columns) + ", created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+                + ", ".join("?" * len(hist_columns)) + ", ?)"
                 " RETURNING id",
                 (report_id, source, op,
                  _to_db_value(slo.get("target_p99_ms")),
@@ -368,6 +391,7 @@ class ExperimentStore:
                  int(snapshot.get("errors", 0)),
                  int(snapshot.get("shed", 0)),
                  None if within is None else int(bool(within)),
+                 *hist_values,
                  _utc_now()))
             return int(cursor.fetchone()["id"])
 

@@ -21,6 +21,7 @@ from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
                     Tuple)
 
 from .db import _from_db_value
+from .schema import estimate_percentile, slo_hist_columns
 
 if TYPE_CHECKING:                                    # pragma: no cover
     from .db import ExperimentStore
@@ -197,6 +198,12 @@ def store_report(store: "ExperimentStore") -> Dict[str, Any]:
     row per serving source and endpoint (``op`` NULL is the aggregate
     window a server records alongside its per-endpoint rows), so
     ``db report`` shows at a glance which endpoints blew their budget.
+    Since schema v3 each row also carries ``est_p50_ms`` / ``est_p90_ms``
+    / ``est_p99_ms``: percentiles re-derived from the *summed* histogram
+    buckets of every window in the group.  Summing histograms is exact
+    where averaging per-window percentiles is not, so these are the
+    numbers to trust across aggregations (NULL when the group predates
+    the histogram columns).
     """
     experiments = store.execute(
         "SELECT experiment, fingerprint, kind, source,"
@@ -207,19 +214,34 @@ def store_report(store: "ExperimentStore") -> Dict[str, Any]:
     telemetry = store.execute(
         "SELECT kind, COUNT(*) AS n FROM telemetry GROUP BY kind"
         " ORDER BY kind")
+    hist_columns = slo_hist_columns()
+    hist_sums = ", ".join(f"SUM({column}) AS {column}"
+                          for column in hist_columns)
     slo = store.execute(
         "SELECT source, op, COUNT(*) AS windows,"
         " SUM(requests) AS requests, SUM(errors) AS errors,"
         " SUM(shed) AS shed, MAX(target_p99_ms) AS target_p99_ms,"
         " MAX(observed_p99_ms) AS observed_p99_ms,"
-        " MIN(within) AS all_within"
+        " MIN(within) AS all_within, " + hist_sums +
         " FROM slo GROUP BY source, op ORDER BY source, op")
+    slo_rows = []
+    for row in slo:
+        entry = dict(row)
+        hist = {column: entry.pop(column) for column in hist_columns}
+        if hist.get("hist_inf"):
+            for label, q in (("est_p50_ms", 0.50), ("est_p90_ms", 0.90),
+                             ("est_p99_ms", 0.99)):
+                entry[label] = round(estimate_percentile(hist, q), 3)
+        else:
+            entry["est_p50_ms"] = entry["est_p90_ms"] = \
+                entry["est_p99_ms"] = None
+        slo_rows.append(entry)
     return {
         "path": str(store.path),
         "tables": store.counts(),
         "experiments": [dict(row) for row in experiments],
         "telemetry_kinds": {row["kind"]: row["n"] for row in telemetry},
-        "slo": [dict(row) for row in slo],
+        "slo": slo_rows,
     }
 
 

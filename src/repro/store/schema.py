@@ -1,4 +1,4 @@
-"""The experiment store's sqlite schema (version 2).
+"""The experiment store's sqlite schema (version 3).
 
 One database file holds every result the repo produces — protocol runs,
 sweep cells, grid points, bench artifacts, pool/serving telemetry — in
@@ -33,16 +33,24 @@ five relational tables plus a ``meta`` key/value table:
     Whole schema-v1 :class:`~repro.obs.RunReport` documents — pool
     executor reports, serving rollups, benchmark artifacts — stored as
     JSON, unique on the report id so re-migration never duplicates.
-``slo``  *(added in schema version 2)*
+``slo``  *(added in schema version 2; histogram columns in version 3)*
     One row per serving SLO evaluation window: the p99 latency budget,
-    the observed p50/p95/p99, request/error/shed counts, and whether the
-    window was within budget.  Written at cluster/server shutdown and by
-    ``bench_serving``, so latency-SLO regressions are queryable next to
-    accuracy and speed regressions.
+    the observed p50/p95/p99, request/error/shed counts, whether the
+    window was within budget, and — since version 3 — a fixed-bucket
+    cumulative latency histogram (``hist_le_<ms>`` / ``hist_inf``
+    columns, bounds in :data:`SLO_HIST_BUCKETS_MS`).  Percentile
+    *summaries* answer "was this window fast"; the buckets let ``db
+    report`` re-derive p50/p90/p99 across *any* aggregation of windows
+    (summing histograms is exact; averaging percentiles is not).
+    Written at cluster/server shutdown and by ``bench_serving``, so
+    latency-SLO regressions are queryable next to accuracy and speed
+    regressions.
 
-Version 1 → 2 is purely additive (one new table); opening a v1 file
-with this code migrates it in place.  Opening a *newer* file than the
-code understands still refuses, so a rollback never silently writes an
+Version 1 → 2 added the slo table; 2 → 3 added its histogram columns.
+Both hops are additive: opening an older file with this code migrates
+it in place (missing tables via the idempotent DDL, missing columns via
+``ALTER TABLE ADD COLUMN``).  Opening a *newer* file than the code
+understands still refuses, so a rollback never silently writes an
 incomplete schema.
 
 REAL columns store IEEE-754 doubles exactly, which is what lets the
@@ -53,12 +61,19 @@ acceptance criterion hold: metrics read back from the store are
 from __future__ import annotations
 
 #: bump when a table/column is added, renamed, or removed
-STORE_SCHEMA_VERSION = 2
+STORE_SCHEMA_VERSION = 3
 
 #: versions this code can migrate *from* in place.  Every hop so far is
-#: additive (new tables only), so re-running the idempotent DDL is the
-#: whole migration; a future destructive hop would add real SQL here.
-MIGRATABLE_VERSIONS = (1,)
+#: additive: re-running the idempotent DDL creates missing tables, and
+#: ``_ensure_schema`` adds any missing slo histogram columns with
+#: ``ALTER TABLE ADD COLUMN``; a destructive hop would add real SQL.
+MIGRATABLE_VERSIONS = (1, 2)
+
+#: upper bounds (milliseconds) of the slo latency histogram buckets.
+#: Cumulative Prometheus-style "le" semantics: ``hist_le_10`` counts the
+#: window's requests that finished in <= 10 ms; ``hist_inf`` counts all
+#: of them.  Frozen: changing bounds would need a schema version bump.
+SLO_HIST_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 
 #: executed statement-by-statement by :meth:`ExperimentStore._ensure_schema`
 DDL = """
@@ -143,6 +158,17 @@ CREATE TABLE IF NOT EXISTS slo (
     errors          INTEGER,
     shed            INTEGER,
     within          INTEGER,
+    hist_le_1       INTEGER,
+    hist_le_2       INTEGER,
+    hist_le_5       INTEGER,
+    hist_le_10      INTEGER,
+    hist_le_25      INTEGER,
+    hist_le_50      INTEGER,
+    hist_le_100     INTEGER,
+    hist_le_250     INTEGER,
+    hist_le_500     INTEGER,
+    hist_le_1000    INTEGER,
+    hist_inf        INTEGER,
     created_at      TEXT NOT NULL
 );
 
@@ -152,6 +178,56 @@ CREATE INDEX IF NOT EXISTS idx_slo_source ON slo (source);
 #: every table the DDL creates, in a stable reporting order
 TABLES = ("configs", "runs", "metrics", "epochs", "checkpoints",
           "telemetry", "slo")
+
+
+def slo_hist_columns() -> tuple:
+    """The slo histogram column names, bucket order then ``hist_inf``."""
+    return tuple(f"hist_le_{bound}" for bound in SLO_HIST_BUCKETS_MS
+                 ) + ("hist_inf",)
+
+
+def latency_histogram(samples_seconds) -> dict:
+    """Cumulative bucket counts (column name -> count) for raw samples.
+
+    ``samples_seconds`` are request latencies in seconds (the unit the
+    serving telemetry records); bucket bounds are milliseconds.  The
+    result maps every :func:`slo_hist_columns` name, so it can be fed
+    straight into the slo table — and summed across windows without
+    losing information, unlike pre-computed percentiles.
+    """
+    counts = {column: 0 for column in slo_hist_columns()}
+    for sample in samples_seconds:
+        ms = float(sample) * 1000.0
+        for bound in SLO_HIST_BUCKETS_MS:
+            if ms <= bound:
+                counts[f"hist_le_{bound}"] += 1
+        counts["hist_inf"] += 1
+    return counts
+
+
+def estimate_percentile(hist: dict, q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) in ms from cumulative buckets.
+
+    Linear interpolation inside the bucket that crosses the target rank
+    (0 as the lower edge of the first bucket); the overflow bucket has
+    no upper bound, so anything landing there reports the last finite
+    bound — a floor, honestly labelled by callers as an estimate.
+    """
+    total = int(hist.get("hist_inf") or 0)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    previous_bound, previous_count = 0.0, 0
+    for bound in SLO_HIST_BUCKETS_MS:
+        count = int(hist.get(f"hist_le_{bound}") or 0)
+        if count >= rank:
+            span = count - previous_count
+            if span <= 0:
+                return float(bound)
+            fraction = (rank - previous_count) / span
+            return previous_bound + fraction * (bound - previous_bound)
+        previous_bound, previous_count = float(bound), count
+    return float(SLO_HIST_BUCKETS_MS[-1])
 
 
 def split_experiment(experiment: str) -> tuple:

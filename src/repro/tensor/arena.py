@@ -147,3 +147,13 @@ def clear_arena() -> None:
     _free.clear()
     _live.clear()
     reset_arena()
+
+
+# A forked child inherits the parent's pooled and live buffers, but any
+# in-flight backward graph those buffers belong to stays in the parent —
+# reusing them in the child would alias two processes' gradients through
+# copy-on-write surprises.  Start every child with an empty arena.
+import os as _os
+
+if hasattr(_os, "register_at_fork"):
+    _os.register_at_fork(after_in_child=clear_arena)

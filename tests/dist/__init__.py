@@ -1,0 +1,1 @@
+"""repro.dist: deterministic intra-run data parallelism."""

@@ -1,0 +1,98 @@
+"""ParamStore / GradSlots: shared parameters, moments, gradient return."""
+
+import numpy as np
+import pytest
+
+from repro.dist import GradSlots, ParamStore
+from repro.nn import Linear
+from repro.optim import Adam
+from repro.serve.shm import shm_available
+from repro.tensor import Tensor
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="needs multiprocessing.shared_memory")
+
+
+def small_model(seed=0):
+    return Linear(4, 3, rng=np.random.default_rng(seed))
+
+
+@pytest.fixture
+def store_and_model():
+    model = small_model()
+    optimizer = Adam(model.parameters(), lr=1e-2)
+    store = ParamStore(model, optimizer)
+    yield store, model, optimizer
+    store.close()
+
+
+class TestParamStore:
+    def test_parent_adoption_is_zero_copy_broadcast(self, store_and_model):
+        store, model, _ = store_and_model
+        store.adopt_parent()
+        views = store.params_state.views(writable=True)
+        name, param = next(iter(model.named_parameters()))
+        param.data[...] = 42.0
+        assert np.all(views[name] == 42.0)         # same bytes
+
+    def test_worker_views_are_read_only(self, store_and_model):
+        store, model, _ = store_and_model
+        reader = small_model()
+        store.adopt_worker(reader)
+        _, param = next(iter(reader.named_parameters()))
+        with pytest.raises((ValueError, RuntimeError)):
+            param.data[...] = 1.0
+
+    def test_worker_sees_parent_writes(self, store_and_model):
+        store, model, _ = store_and_model
+        store.adopt_parent()
+        reader = small_model(seed=9)
+        store.adopt_worker(reader)
+        _, writer_param = next(iter(model.named_parameters()))
+        _, reader_param = next(iter(reader.named_parameters()))
+        writer_param.data[...] = 7.5
+        assert np.all(reader_param.data == 7.5)
+
+    def test_commit_copies_adam_moments(self, store_and_model):
+        store, model, optimizer = store_and_model
+        store.adopt_parent()
+        # one real step so Adam materialises m/v
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        optimizer.step()
+        store.commit(1)
+        assert store.generation() == 1
+        moments = store.moments()
+        live = optimizer.state[0]["m"]
+        assert np.array_equal(moments["m:0"], live)
+        # Adam rebinds its moment arrays each step; the mirror must be a
+        # copy, not an alias, or the next rebind would desynchronise it
+        live[...] = -1.0
+        assert not np.array_equal(store.moments()["m:0"], live)
+
+    def test_generation_seqlock_round_trip(self, store_and_model):
+        store, _, _ = store_and_model
+        for generation in (1, 2, 40):
+            store.commit(generation)
+            assert store.generation() == generation
+
+
+class TestGradSlots:
+    def test_slots_isolated_and_read_copies(self):
+        templates = {"w": np.zeros((3, 2)), "b": np.zeros(3)}
+        slots = GradSlots(templates, n_slots=2)
+        try:
+            slots.views(0)["w"][...] = 1.0
+            slots.views(1)["w"][...] = 2.0
+            first = slots.read(0)
+            assert np.all(first["w"] == 1.0)
+            assert np.all(slots.read(1)["w"] == 2.0)
+            # read() owns its arrays: later writes don't retro-change it
+            slots.views(0)["w"][...] = 9.0
+            assert np.all(first["w"] == 1.0)
+        finally:
+            slots.close()
+
+    def test_slot_count_validated(self):
+        with pytest.raises(ValueError, match="n_slots"):
+            GradSlots({"w": np.zeros(1)}, n_slots=0)

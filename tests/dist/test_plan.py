@@ -1,0 +1,104 @@
+"""ShardPlan: pure-function partitioning; row blocks bitwise-safe."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import ShardPlan, block_spmm, row_blocks
+from repro.sparse import CSRMatrix
+
+
+class TestShardPlan:
+    def test_contiguous_steps_and_shards(self):
+        plan = ShardPlan.for_days([10, 11, 12, 13, 14], days_per_step=2)
+        assert [group.days for group in plan.steps] == [
+            (10, 11), (12, 13), (14,)]
+        assert [shard.days for shard in plan.steps[0].shards] == [
+            (10,), (11,)]
+        assert plan.steps[2].shards[0].days == (14,)   # ragged tail
+
+    def test_multi_day_shards(self):
+        plan = ShardPlan.for_days(list(range(10)), days_per_step=6,
+                                  days_per_shard=2)
+        assert [shard.days for shard in plan.steps[0].shards] == [
+            (0, 1), (2, 3), (4, 5)]
+        assert plan.max_shards == 3
+
+    def test_degenerate_is_serial_schedule(self):
+        plan = ShardPlan.for_days([3, 1, 2], days_per_step=1)
+        assert len(plan) == 3
+        assert all(len(group) == 1 and len(group.shards[0]) == 1
+                   for group in plan.steps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="days_per_step"):
+            ShardPlan.for_days([1], days_per_step=0)
+        with pytest.raises(ValueError, match="days_per_shard"):
+            ShardPlan.for_days([1], days_per_step=1, days_per_shard=0)
+
+    @given(days=st.lists(st.integers(0, 500), min_size=0, max_size=60),
+           per_step=st.integers(1, 9), per_shard=st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_partitions_exactly(self, days, per_step, per_shard):
+        plan = ShardPlan.for_days(days, per_step, per_shard)
+        flat = [day for group in plan.steps for day in group.days]
+        assert flat == list(days)                  # order preserved
+        assert plan.num_days == len(days)
+        for group in plan.steps:
+            assert len(group.days) <= per_step
+            assert [shard.index for shard in group.shards] == \
+                list(range(len(group.shards)))
+            for shard in group.shards:
+                assert 1 <= len(shard) <= per_shard
+
+    def test_plan_is_worker_count_free(self):
+        # Nothing about the plan depends on any worker count: same
+        # inputs, same plan — the determinism bar in one line.
+        a = ShardPlan.for_days(range(17), 4, 2)
+        b = ShardPlan.for_days(range(17), 4, 2)
+        assert a == b
+
+
+class TestRowBlocks:
+    def test_sizes_differ_by_at_most_one(self):
+        blocks = row_blocks(10, 3)
+        assert blocks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_blocks_than_rows(self):
+        assert row_blocks(2, 5) == [(0, 1), (1, 2)]
+        assert row_blocks(0, 3) == []
+
+    @given(n_rows=st.integers(0, 300), n_blocks=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_tile_the_range(self, n_rows, n_blocks):
+        blocks = row_blocks(n_rows, n_blocks)
+        cursor = 0
+        for start, stop in blocks:
+            assert start == cursor and stop > start
+            cursor = stop
+        assert cursor == n_rows
+
+
+class TestBlockSpmm:
+    def _random_csr(self, rng, n_rows, n_cols, density=0.2):
+        mask = rng.random((n_rows, n_cols)) < density
+        dense = np.where(mask, rng.standard_normal((n_rows, n_cols)), 0.0)
+        return CSRMatrix.from_dense(dense), dense
+
+    @given(seed=st.integers(0, 2**16), n_blocks=st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_equal_to_whole_matrix_kernel(self, seed, n_blocks):
+        rng = np.random.default_rng(seed)
+        matrix, _ = self._random_csr(rng, 13, 11)
+        dense = rng.standard_normal((11, 5))
+        whole = matrix.matmul(dense)
+        blocked = block_spmm(matrix, dense, n_blocks)
+        assert np.array_equal(whole, blocked)      # bitwise, not approx
+
+    def test_vector_rhs(self):
+        rng = np.random.default_rng(0)
+        matrix, _ = self._random_csr(rng, 9, 9)
+        vector = rng.standard_normal(9)
+        assert np.array_equal(matrix.matmul(vector),
+                              block_spmm(matrix, vector, 4))

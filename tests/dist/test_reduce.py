@@ -1,0 +1,78 @@
+"""GradReducer: frozen association order, bitwise reproducibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import GradReducer
+
+
+class TestReductionOrder:
+    def test_fan_in_two_tree(self):
+        assert GradReducer().reduction_order(4) == [(0, 1), (2, 3),
+                                                    (0, 2)]
+
+    def test_odd_singleton_passes_through(self):
+        assert GradReducer().reduction_order(5) == [
+            (0, 1), (2, 3), (0, 2), (0, 4)]
+
+    def test_wide_fan_in_is_serial_fold(self):
+        assert GradReducer(fan_in=8).reduction_order(5) == [
+            (0, 1, 2, 3, 4)]
+
+    def test_trivial_cases(self):
+        assert GradReducer().reduction_order(1) == []
+        assert GradReducer().reduction_order(0) == []
+
+    def test_fan_in_validated(self):
+        with pytest.raises(ValueError, match="fan_in"):
+            GradReducer(fan_in=1)
+
+
+class TestReduceArrays:
+    def test_matches_explicit_tree(self):
+        arrays = [np.array([1e16]), np.array([1.0]),
+                  np.array([-1e16]), np.array([1.0])]
+        tree = (arrays[0] + arrays[1]) + (arrays[2] + arrays[3])
+        assert np.array_equal(GradReducer().reduce_arrays(arrays), tree)
+        # and the tree genuinely differs from a left fold here, which is
+        # why the order must be frozen
+        fold = ((arrays[0] + arrays[1]) + arrays[2]) + arrays[3]
+        assert not np.array_equal(tree, fold)
+
+    def test_inputs_not_mutated_and_single_is_copy(self):
+        source = np.ones(3)
+        result = GradReducer().reduce_arrays([source])
+        result += 5.0
+        assert np.array_equal(source, np.ones(3))
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 9),
+           fan_in=st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_across_calls(self, seed, n, fan_in):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.standard_normal(7) for _ in range(n)]
+        reducer = GradReducer(fan_in=fan_in)
+        first = reducer.reduce_arrays(arrays)
+        again = reducer.reduce_arrays([np.array(a) for a in arrays])
+        assert np.array_equal(first, again)        # bitwise
+
+
+class TestReduceDicts:
+    def test_reduces_per_key(self):
+        shards = [{"w": np.full(2, float(i)), "b": np.ones(1)}
+                  for i in range(3)]
+        out = GradReducer().reduce(shards)
+        assert np.array_equal(out["w"], np.full(2, 3.0))
+        assert np.array_equal(out["b"], np.full(1, 3.0))
+
+    def test_key_order_mismatch_rejected(self):
+        good = {"a": np.ones(1), "b": np.ones(1)}
+        reordered = {"b": np.ones(1), "a": np.ones(1)}
+        with pytest.raises(ValueError, match="keys differ"):
+            GradReducer().reduce([good, reordered])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GradReducer().reduce([])

@@ -6,7 +6,8 @@ from concurrent.futures import wait
 
 import pytest
 
-from repro.serve import BatcherClosedError, MicroBatcher
+from repro.serve import BatcherClosedError
+from repro.serve.batcher import MicroBatcher
 from repro.serve.telemetry import ServingTelemetry
 
 

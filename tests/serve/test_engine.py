@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.serve import InferenceEngine, ModelRegistry
+from repro.serve.engine import InferenceEngine
+from repro.serve.registry import ModelRegistry
 from repro.tensor import tape_node_count
 
 

@@ -5,8 +5,9 @@ import pytest
 
 from repro.ckpt import TrainingCheckpoint, corrupt_archive, save
 from repro.core import RTGCN
-from repro.serve import (ModelRegistry, RegistryError,
-                         infer_rtgcn_architecture, resolve_strategy)
+from repro.serve import (RegistryError, infer_rtgcn_architecture,
+                         resolve_strategy)
+from repro.serve.registry import ModelRegistry
 
 
 class TestDiscovery:

@@ -5,8 +5,9 @@ import threading
 import numpy as np
 import pytest
 
-from repro.serve import (ModelRegistry, RankingService,
-                         ServiceTimeoutError)
+from repro.serve import ServiceTimeoutError
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import RankingService
 
 
 @pytest.fixture()

@@ -58,6 +58,49 @@ class TestSchema:
         assert int(rows[0][0]) == STORE_SCHEMA_VERSION
         assert "slo" in migrated.counts()          # table re-created
 
+    def test_v2_file_migrates_histogram_columns(self, tmp_path):
+        from repro.store import STORE_SCHEMA_VERSION
+        from repro.store.schema import slo_hist_columns
+        path = tmp_path / "exp.sqlite"
+        first = ExperimentStore(path)
+        conn = first.connection
+        # rewind to a faithful v2 file: slo table without the v3
+        # histogram columns, version stamp 2, one pre-migration row
+        conn.execute("DROP TABLE slo")
+        conn.execute(
+            "CREATE TABLE slo ("
+            " id INTEGER PRIMARY KEY, report_id TEXT,"
+            " source TEXT NOT NULL DEFAULT 'serve', op TEXT,"
+            " target_p99_ms REAL, observed_p50_ms REAL,"
+            " observed_p95_ms REAL, observed_p99_ms REAL,"
+            " requests INTEGER, errors INTEGER, shed INTEGER,"
+            " within INTEGER, created_at TEXT NOT NULL)")
+        conn.execute(
+            "INSERT INTO slo (source, requests, created_at)"
+            " VALUES ('serve', 7, 'then')")
+        with first.transaction():
+            conn.execute("UPDATE meta SET value = '2'"
+                         " WHERE key = 'schema_version'")
+        first.close()
+        migrated = ExperimentStore(path)
+        rows = migrated.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'")
+        assert int(rows[0][0]) == STORE_SCHEMA_VERSION
+        old = migrated.execute("SELECT * FROM slo")[0]
+        assert old["requests"] == 7                # data survived
+        for column in slo_hist_columns():
+            assert old[column] is None             # unknown, not zero
+        # and the migrated file accepts v3 writes with histograms
+        snapshot = {"requests": 2, "errors": 0, "shed": 0,
+                    "latency_seconds": {"count": 2, "p50": 0.004,
+                                        "p95": 0.004, "p99": 0.004},
+                    "latency_hist_ms": {"hist_le_5": 2, "hist_inf": 2}}
+        row_id = migrated.record_slo(snapshot)
+        row = migrated.execute("SELECT * FROM slo WHERE id = ?",
+                               [row_id])[0]
+        assert row["hist_le_5"] == 2
+        assert row["hist_inf"] == 2
+
 
 class TestRecordSlo:
     def test_snapshot_with_slo_block_round_trips(self, store):
@@ -90,6 +133,38 @@ class TestRecordSlo:
         assert row["target_p99_ms"] is None
         assert row["within"] is None
         assert row["observed_p99_ms"] == pytest.approx(3.0)
+
+    def test_histogram_buckets_round_trip(self, store):
+        from repro.store.schema import latency_histogram, slo_hist_columns
+        samples = [0.0005, 0.0015, 0.004, 0.009, 0.040, 0.750, 3.0]
+        hist = latency_histogram(samples)
+        assert hist["hist_le_1"] == 1              # 0.5 ms
+        assert hist["hist_le_2"] == 2              # + 1.5 ms
+        assert hist["hist_le_5"] == 3              # + 4 ms
+        assert hist["hist_le_10"] == 4             # + 9 ms
+        assert hist["hist_le_50"] == 5             # + 40 ms
+        assert hist["hist_le_1000"] == 6           # + 750 ms
+        assert hist["hist_inf"] == 7               # + 3 s overflow
+        snapshot = {"requests": 7, "errors": 0, "shed": 0,
+                    "latency_seconds": {"count": 7, "p50": 0.009,
+                                        "p95": 0.75, "p99": 3.0},
+                    "latency_hist_ms": hist}
+        row_id = store.record_slo(snapshot, op="scores")
+        row = store.execute("SELECT * FROM slo WHERE id = ?",
+                            [row_id])[0]
+        for column in slo_hist_columns():
+            assert row[column] == hist[column], column
+
+    def test_estimate_percentile_interpolates(self):
+        from repro.store.schema import estimate_percentile
+        # 100 requests, all between 5 and 10 ms, uniformly credited
+        hist = {"hist_le_5": 0, "hist_le_10": 100, "hist_inf": 100}
+        assert estimate_percentile(hist, 0.5) == pytest.approx(7.5)
+        assert estimate_percentile(hist, 0.99) == pytest.approx(9.95)
+        # overflow-only mass floors at the last finite bound
+        assert estimate_percentile(
+            {"hist_inf": 10}, 0.5) == pytest.approx(1000.0)
+        assert estimate_percentile({}, 0.9) == 0.0
 
 
 class TestRecordRun:

@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.obs",
     "repro.ckpt",
     "repro.serve",
+    "repro.dist",
 ]
 
 
@@ -63,71 +64,47 @@ def test_key_paper_symbols_reachable_from_top_level():
         assert hasattr(repro, symbol)
 
 
-class TestServeDeprecationShims:
-    """PR 8: repro.serve construction goes through build(ServeConfig(...));
-    the legacy constructors stay importable but warn exactly once."""
+class TestServeLegacyRemoval:
+    """PR 8 deprecated the hand-construction surface; this release removes
+    it: the names are gone from repro.serve and direct construction of the
+    underlying classes raises LegacyRemovedError."""
 
-    @pytest.fixture(autouse=True)
-    def _fresh_warning_state(self):
-        from repro.serve._deprecation import reset_warned
-        reset_warned()
-        yield
-        reset_warned()
-
-    def test_every_legacy_name_is_exported(self):
+    def test_legacy_names_are_not_exported(self):
         import repro.serve as serve
         for name in serve.LEGACY:
-            assert name in serve.__all__, \
-                f"legacy shim {name!r} missing from repro.serve.__all__"
-            assert hasattr(serve, name)
+            assert name not in serve.__all__, \
+                f"removed legacy name {name!r} back in repro.serve.__all__"
+            assert not hasattr(serve, name), \
+                f"removed legacy name {name!r} importable from repro.serve"
 
     def test_legacy_replacements_name_the_blessed_path(self):
         import repro.serve as serve
         for name, replacement in serve.LEGACY.items():
             assert "ServeConfig" in replacement, (name, replacement)
 
-    @staticmethod
-    def _construct_legacy_stack(tmp_path):
-        import repro.serve as serve
-        registry = serve.ModelRegistry(tmp_path)
-        service = serve.RankingService(registry)
-        batcher = serve.MicroBatcher(lambda key: key)
-        server = serve.RankingHTTPServer(("127.0.0.1", 0), service)
-        server.server_close()
-        batcher.close()
-        service.close()
+    def test_direct_construction_raises(self, tmp_path):
+        from repro.serve import LegacyRemovedError
+        from repro.serve.batcher import MicroBatcher
+        from repro.serve.registry import ModelRegistry
+        from repro.serve.service import RankingService
+        with pytest.raises(LegacyRemovedError, match="ModelRegistry"):
+            ModelRegistry(tmp_path)
+        with pytest.raises(LegacyRemovedError, match="docs/serving.md"):
+            MicroBatcher(lambda key: key)
+        with pytest.raises(LegacyRemovedError, match="ServeConfig"):
+            RankingService(tmp_path)
 
-    def test_each_legacy_alias_warns_exactly_once(self, tmp_path):
-        import warnings
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            self._construct_legacy_stack(tmp_path)
-        messages = [str(w.message) for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-        for name in ("ModelRegistry", "RankingService", "MicroBatcher",
-                     "RankingHTTPServer"):
-            hits = [m for m in messages
-                    if m.startswith(f"direct {name} construction")]
-            assert len(hits) == 1, (name, messages)
-            assert "docs/serving.md" in hits[0]
-        # second use in the same process is silent
-        with warnings.catch_warnings(record=True) as again:
-            warnings.simplefilter("always")
-            self._construct_legacy_stack(tmp_path)
-        assert not [w for w in again
-                    if issubclass(w.category, DeprecationWarning)]
+    def test_sanctioned_construction_still_works(self, tmp_path):
+        from repro.serve._deprecation import sanctioned
+        from repro.serve.registry import ModelRegistry
+        with sanctioned():
+            registry = ModelRegistry(tmp_path)
+        assert registry.discover() == []
 
-    def test_blessed_build_path_never_warns(self, tmp_path):
-        import warnings
+    def test_blessed_build_path_never_raises(self, tmp_path):
         from repro.serve import ServeConfig, build
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            handle = build(ServeConfig(checkpoint_dir=str(tmp_path),
-                                       port=0))
-            handle.close()
-        assert not [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)], \
-            [str(w.message) for w in caught]
+        handle = build(ServeConfig(checkpoint_dir=str(tmp_path), port=0))
+        handle.close()
 
 
 class TestServeConfigCliRoundTrip:

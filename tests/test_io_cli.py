@@ -238,11 +238,14 @@ class TestServeQueryCLI:
         import json
         import threading
 
-        from repro.serve import (ModelRegistry, RankingHTTPServer,
-                                 RankingService)
+        from repro.serve._deprecation import sanctioned
+        from repro.serve.httpd import RankingHTTPServer
+        from repro.serve.registry import ModelRegistry
+        from repro.serve.service import RankingService
 
-        service = RankingService(ModelRegistry(ckpt_dir))
-        server = RankingHTTPServer(("127.0.0.1", 0), service)
+        with sanctioned():
+            service = RankingService(ModelRegistry(ckpt_dir))
+            server = RankingHTTPServer(("127.0.0.1", 0), service)
         thread = threading.Thread(target=server.serve_forever,
                                   daemon=True)
         thread.start()
